@@ -1,0 +1,107 @@
+// Command memsim runs one workload on one machine configuration and
+// prints the measurement report: the quickest way to poke at the
+// simulator.
+//
+// Usage:
+//
+//	memsim -w fir -model str -cores 16 -mhz 3200 -bw 6400 -pf 4 -scale default
+//	memsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	memsys "repro"
+)
+
+func main() {
+	name := flag.String("w", "fir", "workload name (see -list)")
+	model := flag.String("model", "cc", "memory model: cc, str or inc")
+	cores := flag.Int("cores", 4, "number of cores (1-16)")
+	mhz := flag.Uint64("mhz", 800, "core clock in MHz (800, 1600, 3200, 6400)")
+	bw := flag.Uint64("bw", 1600, "DRAM bandwidth in MB/s (1600, 3200, 6400, 12800)")
+	pf := flag.Int("pf", 0, "hardware prefetch depth (0 = off; CC only)")
+	nwa := flag.Bool("nwa", false, "no-write-allocate L1 policy (CC only)")
+	filter := flag.Bool("snoopfilter", false, "RegionScout-style snoop filter (CC only)")
+	scaleName := flag.String("scale", "small", "dataset scale: small, default, paper")
+	list := flag.Bool("list", false, "list available workloads")
+	verbose := flag.Bool("v", false, "print detailed counters")
+	asJSON := flag.Bool("json", false, "print the full report as JSON")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(memsys.Workloads(), "\n"))
+		return
+	}
+	m, err := memsys.ParseModel(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memsim:", err)
+		os.Exit(2)
+	}
+	scale, err := memsys.ParseScale(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memsim:", err)
+		os.Exit(2)
+	}
+
+	cfg := memsys.DefaultConfig(m, *cores)
+	cfg.CoreMHz = *mhz
+	cfg.DRAMBandwidthMBps = *bw
+	cfg.PrefetchDepth = *pf
+	cfg.NoWriteAllocate = *nwa
+	cfg.SnoopFilter = *filter
+	var tr *memsys.Trace
+	if *traceOut != "" {
+		tr = memsys.NewTrace()
+		cfg.Trace = tr
+	}
+
+	rep, err := memsys.Run(cfg, *name, scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memsim: %v\n", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "memsim: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Print(rep)
+	}
+	if tr != nil {
+		f, ferr := os.Create(*traceOut)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "memsim: %v\n", ferr)
+			os.Exit(1)
+		}
+		if werr := tr.WriteChrome(f); werr != nil {
+			fmt.Fprintf(os.Stderr, "memsim: %v\n", werr)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("trace: %d spans written to %s (%d dropped)\n", tr.Len(), *traceOut, tr.Dropped())
+	}
+	if *verbose {
+		fmt.Printf("L1:    %+v\n", rep.L1)
+		fmt.Printf("L2:    %+v\n", rep.L2)
+		fmt.Printf("DRAM:  %+v\n", rep.DRAM)
+		fmt.Printf("Net:   %+v\n", rep.Net)
+		fmt.Printf("Coher: rm=%d wm=%d upg=%d pfs=%d c2c=%d/%d wb=%d pf=%d/%d\n",
+			rep.ReadMisses, rep.WriteMisses, rep.Upgrades, rep.PFSMisses,
+			rep.C2CCluster, rep.C2CRemote, rep.L1WritebacksL2,
+			rep.PrefetchFills, rep.PrefetchUseless)
+		fmt.Printf("DMA:   cmds=%d get=%dB put=%dB ls=%d\n",
+			rep.DMACommands, rep.DMAGetBytes, rep.DMAPutBytes, rep.LSAccesses)
+		fmt.Printf("Energy: core=%.3g i$=%.3g d$=%.3g lmem=%.3g net=%.3g l2=%.3g dram=%.3g J\n",
+			rep.Energy.Core, rep.Energy.ICache, rep.Energy.DCache, rep.Energy.LMem,
+			rep.Energy.Network, rep.Energy.L2, rep.Energy.DRAM)
+	}
+}

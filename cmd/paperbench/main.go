@@ -1,0 +1,213 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation section on the simulator and prints them as text tables.
+//
+// Usage:
+//
+//	paperbench [-scale small|default|paper] [-only table3,fig2,...] [-apps fir,depth]
+//
+// The default scale runs the same workload shapes as the paper at
+// reduced dataset sizes; -scale paper uses paper-sized inputs (slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "default", "dataset scale: small, default or paper")
+	onlyFlag := flag.String("only", "", "comma-separated subset: table2,table3,fig2,...,fig10")
+	appsFlag := flag.String("apps", "", "restrict fig2 to these comma-separated apps")
+	quiet := flag.Bool("q", false, "suppress per-run progress lines")
+	csvDir := flag.String("csv", "", "also write each figure's series as CSV files into this directory")
+	flag.Parse()
+
+	var scale workload.Scale
+	switch *scaleFlag {
+	case "small":
+		scale = workload.ScaleSmall
+	case "default":
+		scale = workload.ScaleDefault
+	case "paper":
+		scale = workload.ScalePaper
+	default:
+		fmt.Fprintf(os.Stderr, "paperbench: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *onlyFlag != "" {
+		for _, k := range strings.Split(*onlyFlag, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	var apps []string
+	if *appsFlag != "" {
+		apps = strings.Split(*appsFlag, ",")
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	writeCSV := func(name string, tb *stats.Table) {
+		if *csvDir == "" {
+			return
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		tb.WriteCSV(f)
+		f.Close()
+	}
+	barsCSV := func(name string, bars []bench.Bar) {
+		tb := stats.NewTable("", "config", "useful", "sync", "load", "store", "total")
+		for _, b := range bars {
+			tb.Row(b.Label, b.Useful, b.Sync, b.Load, b.Store, b.Total)
+		}
+		writeCSV(name, tb)
+	}
+	trafficCSV := func(name string, bars []bench.TrafficBar) {
+		tb := stats.NewTable("", "config", "read", "write")
+		for _, b := range bars {
+			tb.Row(b.Label, b.Read, b.Write)
+		}
+		writeCSV(name, tb)
+	}
+	energyCSV := func(name string, bars []bench.EnergyBar) {
+		tb := stats.NewTable("", "config", "core", "icache", "dcache", "lmem", "net", "l2", "dram")
+		for _, b := range bars {
+			tb.Row(b.Label, b.Core, b.ICache, b.DCache, b.LMem, b.Net, b.L2, b.DRAM)
+		}
+		writeCSV(name, tb)
+	}
+
+	r := bench.NewRunner(scale)
+	if !*quiet {
+		r.Progress = os.Stderr
+	}
+	out := os.Stdout
+	start := time.Now()
+	fail := func(what string, err error) {
+		fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", what, err)
+		os.Exit(1)
+	}
+
+	if sel("table2") {
+		bench.Table2(out)
+		fmt.Fprintln(out)
+	}
+	if sel("table3") {
+		rows, err := r.Table3(out)
+		if err != nil {
+			fail("table3", err)
+		}
+		tb := stats.NewTable("", "app", "l1miss", "l2miss", "instrPerL1Miss", "cycPerL2Miss", "offchipMBps")
+		for _, row := range rows {
+			tb.Row(row.App, row.L1MissRate, row.L2MissRate, row.InstrPerL1Miss, row.CyclesPerL2, row.OffChipMBps)
+		}
+		writeCSV("table3", tb)
+		fmt.Fprintln(out)
+	}
+	if sel("fig2") {
+		series, err := r.Figure2(out, apps)
+		if err != nil {
+			fail("fig2", err)
+		}
+		for _, app := range bench.SortedKeys(series) {
+			barsCSV("fig2-"+app, series[app])
+		}
+		fmt.Fprintln(out)
+	}
+	if sel("fig3") {
+		series, err := r.Figure3(out)
+		if err != nil {
+			fail("fig3", err)
+		}
+		for _, app := range bench.SortedKeys(series) {
+			trafficCSV("fig3-"+app, series[app])
+		}
+		fmt.Fprintln(out)
+	}
+	if sel("fig4") {
+		series, err := r.Figure4(out)
+		if err != nil {
+			fail("fig4", err)
+		}
+		for _, app := range bench.SortedKeys(series) {
+			energyCSV("fig4-"+app, series[app])
+		}
+		fmt.Fprintln(out)
+	}
+	if sel("fig5") {
+		series, err := r.Figure5(out)
+		if err != nil {
+			fail("fig5", err)
+		}
+		for _, app := range bench.SortedKeys(series) {
+			barsCSV("fig5-"+app, series[app])
+		}
+		fmt.Fprintln(out)
+	}
+	if sel("fig6") {
+		bars, err := r.Figure6(out)
+		if err != nil {
+			fail("fig6", err)
+		}
+		barsCSV("fig6-fir", bars)
+		fmt.Fprintln(out)
+	}
+	if sel("fig7") {
+		series, err := r.Figure7(out)
+		if err != nil {
+			fail("fig7", err)
+		}
+		for _, app := range bench.SortedKeys(series) {
+			barsCSV("fig7-"+app, series[app])
+		}
+		fmt.Fprintln(out)
+	}
+	if sel("fig8") {
+		traffic, energy, err := r.Figure8(out)
+		if err != nil {
+			fail("fig8", err)
+		}
+		for _, app := range bench.SortedKeys(traffic) {
+			trafficCSV("fig8-"+app, traffic[app])
+		}
+		energyCSV("fig8-fir-energy", energy)
+		fmt.Fprintln(out)
+	}
+	if sel("fig9") {
+		bars, traffic, err := r.Figure9(out)
+		if err != nil {
+			fail("fig9", err)
+		}
+		barsCSV("fig9-mpeg2-time", bars)
+		trafficCSV("fig9-mpeg2-traffic", traffic)
+		fmt.Fprintln(out)
+	}
+	if sel("fig10") {
+		bars, err := r.Figure10(out)
+		if err != nil {
+			fail("fig10", err)
+		}
+		barsCSV("fig10-art", bars)
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintf(os.Stderr, "# paperbench finished in %v\n", time.Since(start).Round(time.Millisecond))
+}

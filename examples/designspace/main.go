@@ -1,0 +1,49 @@
+// Designspace sweeps the two machine knobs the paper scales —
+// computational throughput (core clock) and off-chip bandwidth — for a
+// bandwidth-bound workload, and prints where each memory model
+// saturates. It reproduces the Figure 5/6 design-space exploration as a
+// grid instead of bar charts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	memsys "repro"
+)
+
+func main() {
+	const app = "fir"
+	const cores = 16
+	clocks := []uint64{800, 1600, 3200, 6400}
+	bws := []uint64{1600, 3200, 6400, 12800}
+
+	for _, model := range []memsys.Model{memsys.CC, memsys.STR} {
+		fmt.Printf("%s on %v, %d cores: execution time (us)\n", app, model, cores)
+		fmt.Printf("  %10s", "clock\\bw")
+		for _, bw := range bws {
+			fmt.Printf(" %9.1fGB/s", float64(bw)/1000)
+		}
+		fmt.Println()
+		for _, mhz := range clocks {
+			fmt.Printf("  %7.1fGHz", float64(mhz)/1000)
+			for _, bw := range bws {
+				cfg := memsys.DefaultConfig(model, cores)
+				cfg.CoreMHz = mhz
+				cfg.DRAMBandwidthMBps = bw
+				rep, err := memsys.Run(cfg, app, memsys.ScaleSmall)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf(" %13.1f", rep.Wall.Seconds()*1e6)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("Reading the grids: once a row stops improving left-to-right the")
+	fmt.Println("machine is compute-bound; once a column stops improving top-to-")
+	fmt.Println("bottom it is bandwidth-bound. The streaming model reaches the")
+	fmt.Println("bandwidth wall with fewer stalls; prefetching (see mediapipeline)")
+	fmt.Println("buys the cache-based model the same headroom.")
+}

@@ -1,0 +1,50 @@
+// Mediapipeline walks the paper's cache-enhancement story (Sections 5.4
+// and 5.5) on the media workloads: start from the plain cache-based
+// MPEG-2 encoder, add stream-programming restructuring, then hardware
+// prefetching, then non-allocating ("Prepare For Store") output stores,
+// and compare the end point against the streaming-memory machine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	memsys "repro"
+)
+
+func run(cfg memsys.Config, name string) *memsys.Report {
+	rep, err := memsys.Run(cfg, name, memsys.ScaleSmall)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	return rep
+}
+
+func main() {
+	const cores = 8
+	fmt.Printf("MPEG-2 encoder on %d cores @ 800 MHz: enhancing the cache-based system\n\n", cores)
+	fmt.Printf("  %-34s %12s %10s %10s\n", "configuration", "time", "DRAM rd KB", "DRAM wr KB")
+
+	show := func(label string, rep *memsys.Report) {
+		fmt.Printf("  %-34s %12v %10d %10d\n",
+			label, rep.Wall, rep.DRAM.ReadBytes/1024, rep.DRAM.WriteBytes/1024)
+	}
+
+	base := memsys.DefaultConfig(memsys.CC, cores)
+
+	show("CC, original kernel-per-frame code", run(base, "mpeg2-orig"))
+	show("CC, stream-programmed (fused)", run(base, "mpeg2"))
+
+	pf := base
+	pf.PrefetchDepth = 4
+	show("CC, fused + prefetch depth 4", run(pf, "mpeg2"))
+
+	pfs := pf
+	show("CC, fused + P4 + PFS stores", run(pfs, "mpeg2-pfs"))
+
+	show("STR, streaming memory", run(memsys.DefaultConfig(memsys.STR, cores), "mpeg2"))
+
+	fmt.Println("\nThe paper's Section 5 conclusion in one table: with stream")
+	fmt.Println("programming, prefetching and non-allocating writes, the coherent")
+	fmt.Println("cache machine matches the streaming-memory machine on its own turf.")
+}

@@ -1,0 +1,35 @@
+// Quickstart: run one workload on both on-chip memory models and
+// compare the outcome — the two-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	memsys "repro"
+)
+
+func main() {
+	// A 4-core machine with the paper's default parameters (Table 2):
+	// 800 MHz cores, 1.6 GB/s memory channel.
+	for _, model := range []memsys.Model{memsys.CC, memsys.STR} {
+		cfg := memsys.DefaultConfig(model, 4)
+
+		// Run the 16-tap FIR filter; the workload computes real results
+		// and verifies them against a reference before reporting.
+		rep, err := memsys.Run(cfg, "fir", memsys.ScaleSmall)
+		if err != nil {
+			log.Fatalf("verification failed: %v", err)
+		}
+
+		fmt.Printf("=== %v model ===\n", model)
+		fmt.Print(rep)
+		fmt.Printf("  read %d KB / wrote %d KB off-chip, %.2f uJ total\n\n",
+			rep.DRAM.ReadBytes/1024, rep.DRAM.WriteBytes/1024, rep.Energy.Total()*1e6)
+	}
+
+	fmt.Println("Available workloads:")
+	for _, name := range memsys.Workloads() {
+		fmt.Println("  ", name)
+	}
+}

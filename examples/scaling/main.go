@@ -1,0 +1,50 @@
+// Scaling explores the paper's Section 6/7 outlook: what happens to the
+// cache-coherent model beyond the paper's 16 cores, where broadcast
+// coherence traffic grows with the core count, and how the two remedies
+// the paper anticipates — coarser-grained sharing (stream programming)
+// and traffic filters — change the picture. It runs a data-parallel
+// workload out to 32 cores and reports protocol activity alongside
+// execution time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	memsys "repro"
+)
+
+func main() {
+	const app = "fem"
+	fmt.Printf("%s beyond the paper's core counts (800 MHz, 1.6 GB/s)\n\n", app)
+	fmt.Printf("  %6s %9s | %12s %14s %12s | %12s %14s\n",
+		"cores", "model", "time (us)", "broadcasts", "snoops", "+filter (us)", "filtered")
+	for _, cores := range []int{8, 16, 32} {
+		for _, model := range []memsys.Model{memsys.CC, memsys.STR} {
+			rep, err := memsys.Run(memsys.DefaultConfig(model, cores), app, memsys.ScaleSmall)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if model == memsys.STR {
+				fmt.Printf("  %6d %9v | %12.1f %14s %12s | %12s %14s\n",
+					cores, model, rep.Wall.Seconds()*1e6, "-", "-", "-", "-")
+				continue
+			}
+			fcfg := memsys.DefaultConfig(model, cores)
+			fcfg.SnoopFilter = true
+			frep, err := memsys.Run(fcfg, app, memsys.ScaleSmall)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %6d %9v | %12.1f %14d %12d | %12.1f %14d\n",
+				cores, model, rep.Wall.Seconds()*1e6,
+				rep.ReadMisses+rep.WriteMisses+rep.Upgrades, rep.L1.SnoopLookups,
+				frep.Wall.Seconds()*1e6, frep.FilteredSnoops)
+		}
+	}
+	fmt.Println("\nEvery cache miss in the protocol-based machine probes every other")
+	fmt.Println("cache, so snoop work grows with the square of the core count; the")
+	fmt.Println("streaming machine has no such term. The region filter removes the")
+	fmt.Println("probes for provably-private data — the paper's expectation that")
+	fmt.Println("'less aggressive, coarser-grain' coherence is what scales.")
+}

@@ -1,0 +1,45 @@
+// Sortoff compares the two parallel sorts of the study — MergeSort and
+// BitonicSort — on both memory models across core counts. It reproduces
+// the Section 5.1 story in miniature: BitonicSort's in-place
+// compare-exchanges favor the cache-based model (only dirtied lines are
+// written back), while MergeSort's decaying parallelism shows up as
+// synchronization time on both.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	memsys "repro"
+)
+
+func main() {
+	fmt.Println("Parallel sort comparison (small scale, 800 MHz, 1.6 GB/s)")
+	for _, app := range []string{"mergesort", "bitonicsort"} {
+		fmt.Printf("\n%s:\n", app)
+		fmt.Printf("  %5s  %12s %12s %9s %14s %14s\n",
+			"cores", "CC time", "STR time", "CC/STR", "CC wr KB", "STR wr KB")
+		for _, cores := range []int{1, 2, 4, 8, 16} {
+			var wall [2]float64
+			var wrKB [2]uint64
+			for i, model := range []memsys.Model{memsys.CC, memsys.STR} {
+				rep, err := memsys.Run(memsys.DefaultConfig(model, cores), app, memsys.ScaleSmall)
+				if err != nil {
+					log.Fatal(err)
+				}
+				wall[i] = rep.Wall.Seconds() * 1e6
+				// Write traffic toward the memory system: L1 writebacks
+				// for CC, DMA puts for STR.
+				if model == memsys.CC {
+					wrKB[i] = rep.L1WritebacksL2 * 32 / 1024
+				} else {
+					wrKB[i] = rep.DMAPutBytes / 1024
+				}
+			}
+			fmt.Printf("  %5d  %10.1fus %10.1fus %9.2f %12d %14d\n",
+				cores, wall[0], wall[1], wall[0]/wall[1], wrKB[0], wrKB[1])
+		}
+	}
+	fmt.Println("\nNote how BitonicSort's STR write volume exceeds CC's: the")
+	fmt.Println("streaming system writes unmodified blocks back; the caches don't.")
+}

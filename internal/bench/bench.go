@@ -1,0 +1,540 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Table 3, Figures 2 through 10) on the simulator. Each
+// generator returns the measured series and writes a plain-text table;
+// cmd/paperbench drives them all and EXPERIMENTS.md records the
+// paper-versus-measured comparison.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// AllApps is the paper's application list in Table 3 order.
+var AllApps = []string{
+	"mpeg2", "h264", "raytracer", "jpeg-encode", "jpeg-decode",
+	"depth", "fem", "fir", "art", "bitonicsort", "mergesort",
+}
+
+// Runner executes workload/configuration pairs with memoization, so
+// shared baselines (e.g. the 1-core CC run every figure normalizes to)
+// are simulated once.
+type Runner struct {
+	Scale workload.Scale
+	// Progress, when non-nil, receives one line per fresh simulation.
+	Progress io.Writer
+	cache    map[string]*core.Report
+}
+
+// NewRunner returns a Runner at the given dataset scale.
+func NewRunner(scale workload.Scale) *Runner {
+	return &Runner{Scale: scale, cache: map[string]*core.Report{}}
+}
+
+func cfgKey(cfg core.Config, name string) string {
+	return fmt.Sprintf("%s|%v|%d|%d|%d|%d|%v|%v|%d|%d|%d", name, cfg.Model, cfg.Cores,
+		cfg.CoreMHz, cfg.DRAMBandwidthMBps, cfg.PrefetchDepth, cfg.NoWriteAllocate,
+		cfg.SnoopFilter, cfg.L2SizeKB, cfg.CoresPerCluster, cfg.DMAOutstanding+cfg.L2Banks*100+cfg.DRAMChannels*10000)
+}
+
+// Run simulates (or recalls) one configuration.
+func (r *Runner) Run(cfg core.Config, name string) (*core.Report, error) {
+	key := cfgKey(cfg, name)
+	if rep, ok := r.cache[key]; ok {
+		return rep, nil
+	}
+	f, err := workload.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, "# running %-14s %v %2d cores @%4d MHz bw=%d pf=%d\n",
+			name, cfg.Model, cfg.Cores, cfg.CoreMHz, cfg.DRAMBandwidthMBps, cfg.PrefetchDepth)
+	}
+	rep, err := core.New(cfg).Run(f(r.Scale))
+	if err != nil {
+		return nil, fmt.Errorf("%s %v/%d: verification failed: %w", name, cfg.Model, cfg.Cores, err)
+	}
+	r.cache[key] = rep
+	return rep, nil
+}
+
+// baseline returns the sequential cache-based run the paper normalizes
+// to: one 800 MHz CC core, default bandwidth.
+func (r *Runner) baseline(name string) (*core.Report, error) {
+	return r.Run(core.DefaultConfig(core.CC, 1), name)
+}
+
+// Bar is one stacked execution-time bar, normalized to a baseline run.
+type Bar struct {
+	Label                     string
+	Useful, Sync, Load, Store float64
+	Total                     float64
+}
+
+// normBar converts a report into a baseline-normalized stacked bar. The
+// stack heights follow Figure 2: per-core average time in each bucket
+// over the baseline's total time.
+func normBar(label string, rep, base *core.Report) Bar {
+	bt := float64(base.Wall)
+	bd := rep.Breakdown
+	return Bar{
+		Label:  label,
+		Useful: float64(bd.Useful) / bt,
+		Sync:   float64(bd.Sync) / bt,
+		Load:   float64(bd.LoadStall) / bt,
+		Store:  float64(bd.StoreStall) / bt,
+		Total:  float64(rep.Wall) / bt,
+	}
+}
+
+func writeBars(w io.Writer, title string, bars []Bar) {
+	tb := stats.NewTable(title, "config", "useful", "sync", "load", "store", "total")
+	ch := stats.Chart{SegNames: []string{"useful", "sync", "load", "store"}, Max: 1.0}
+	for _, b := range bars {
+		tb.Row(b.Label, b.Useful, b.Sync, b.Load, b.Store, b.Total)
+		ch.Bars = append(ch.Bars, stats.StackedBar{
+			Label:    b.Label,
+			Segments: []float64{b.Useful, b.Sync, b.Load, b.Store},
+		})
+	}
+	tb.WriteText(w)
+	ch.Write(w)
+}
+
+// TrafficBar is one off-chip-traffic bar, normalized to a baseline.
+type TrafficBar struct {
+	Label       string
+	Read, Write float64
+}
+
+func normTraffic(label string, rep, base *core.Report) TrafficBar {
+	bt := float64(base.DRAM.TotalBytes())
+	if bt == 0 {
+		bt = 1
+	}
+	return TrafficBar{
+		Label: label,
+		Read:  float64(rep.DRAM.ReadBytes) / bt,
+		Write: float64(rep.DRAM.WriteBytes) / bt,
+	}
+}
+
+func writeTraffic(w io.Writer, title string, bars []TrafficBar) {
+	tb := stats.NewTable(title, "config", "read", "write", "total")
+	ch := stats.Chart{SegNames: []string{"read", "write"}, Max: 1.0}
+	for _, b := range bars {
+		tb.Row(b.Label, b.Read, b.Write, b.Read+b.Write)
+		ch.Bars = append(ch.Bars, stats.StackedBar{Label: b.Label, Segments: []float64{b.Read, b.Write}})
+	}
+	tb.WriteText(w)
+	ch.Write(w)
+}
+
+// EnergyBar is one stacked energy bar (Figure 4's components),
+// normalized to a baseline run's total energy.
+type EnergyBar struct {
+	Label                                     string
+	Core, ICache, DCache, LMem, Net, L2, DRAM float64
+	Total                                     float64
+}
+
+func normEnergy(label string, rep, base *core.Report) EnergyBar {
+	bt := base.Energy.Total()
+	e := rep.Energy
+	return EnergyBar{
+		Label:  label,
+		Core:   e.Core / bt,
+		ICache: e.ICache / bt,
+		DCache: e.DCache / bt,
+		LMem:   e.LMem / bt,
+		Net:    e.Network / bt,
+		L2:     e.L2 / bt,
+		DRAM:   e.DRAM / bt,
+		Total:  e.Total() / bt,
+	}
+}
+
+func writeEnergy(w io.Writer, title string, bars []EnergyBar) {
+	tb := stats.NewTable(title, "config", "core", "i$", "d$", "lmem", "net", "l2", "dram", "total")
+	ch := stats.Chart{SegNames: []string{"core", "i$", "d$", "lmem", "net", "l2", "dram"}, Max: 1.0}
+	for _, b := range bars {
+		tb.Row(b.Label, b.Core, b.ICache, b.DCache, b.LMem, b.Net, b.L2, b.DRAM, b.Total)
+		ch.Bars = append(ch.Bars, stats.StackedBar{
+			Label:    b.Label,
+			Segments: []float64{b.Core, b.ICache, b.DCache, b.LMem, b.Net, b.L2, b.DRAM},
+		})
+	}
+	tb.WriteText(w)
+	ch.Write(w)
+}
+
+// Table2 prints the system parameters (Table 2) as configured.
+func Table2(w io.Writer) {
+	cfg := core.DefaultConfig(core.CC, 16)
+	fmt.Fprintln(w, "Table 2: CMP system parameters")
+	rows := [][2]string{
+		{"Cores", "1, 2, 4, 8 or 16 Tensilica-class 3-way VLIW, 7-stage"},
+		{"Core clock", "800 MHz (default), 1.6, 3.2 or 6.4 GHz"},
+		{"I-cache", "16 KB 2-way, 32 B lines (analytic model)"},
+		{"CC data storage", "32 KB 2-way L1 D-cache, MESI, write-back/write-allocate"},
+		{"STR data storage", "24 KB local store + 8 KB 2-way cache"},
+		{"Store buffer", "8 entries, loads bypass store misses (weak consistency)"},
+		{"Prefetcher", "tagged, 8-miss history, 4 streams, configurable depth"},
+		{"DMA engine", "16 outstanding 32 B accesses, command queuing"},
+		{"Local network", "32 B bidirectional bus per 4-core cluster, 2-cycle latency"},
+		{"Global crossbar", "16 B ports per cluster/L2 bank, 2.5 ns pipelined"},
+		{"L2", "512 KB 16-way, 1 port, 2.2 ns, non-inclusive"},
+		{"DRAM", fmt.Sprintf("one channel at %d MB/s (1600/3200/6400/12800), 70 ns random access", cfg.DRAMBandwidthMBps)},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-18s %s\n", r[0], r[1])
+	}
+}
+
+// Table3Row is one application's memory characterization.
+type Table3Row struct {
+	App            string
+	L1MissRate     float64
+	L2MissRate     float64
+	InstrPerL1Miss float64
+	CyclesPerL2    float64
+	OffChipMBps    float64
+}
+
+// Table3 measures the memory characteristics of all applications on the
+// cache-based model with 16 cores at 800 MHz, as the paper's Table 3.
+func (r *Runner) Table3(w io.Writer) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, app := range AllApps {
+		rep, err := r.Run(core.DefaultConfig(core.CC, 16), app)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table3Row{
+			App:            app,
+			L1MissRate:     rep.L1MissRate(),
+			L2MissRate:     rep.L2MissRate(),
+			InstrPerL1Miss: rep.InstrPerL1Miss(),
+			CyclesPerL2:    rep.CyclesPerL2Miss(),
+			OffChipMBps:    rep.OffChipBandwidth(),
+		})
+	}
+	fmt.Fprintln(w, "Table 3: memory characteristics (CC, 16 cores @ 800 MHz)")
+	fmt.Fprintf(w, "  %-14s %10s %10s %12s %12s %12s\n",
+		"app", "L1D-miss%", "L2D-miss%", "instr/L1miss", "cyc/L2miss", "offchip MB/s")
+	for _, row := range rows {
+		fmt.Fprintf(w, "  %-14s %10.2f %10.1f %12.1f %12.1f %12.1f\n",
+			row.App, row.L1MissRate*100, row.L2MissRate*100,
+			row.InstrPerL1Miss, row.CyclesPerL2, row.OffChipMBps)
+	}
+	return rows, nil
+}
+
+// coreCounts are Figure 2's x axis.
+var coreCounts = []int{2, 4, 8, 16}
+
+// Figure2 produces the execution-time comparison for every application:
+// CC and STR at 2-16 cores, normalized to one caching core.
+func (r *Runner) Figure2(w io.Writer, apps []string) (map[string][]Bar, error) {
+	if apps == nil {
+		apps = AllApps
+	}
+	out := map[string][]Bar{}
+	for _, app := range apps {
+		base, err := r.baseline(app)
+		if err != nil {
+			return nil, err
+		}
+		var bars []Bar
+		for _, n := range coreCounts {
+			for _, model := range []core.Model{core.CC, core.STR} {
+				rep, err := r.Run(core.DefaultConfig(model, n), app)
+				if err != nil {
+					return nil, err
+				}
+				bars = append(bars, normBar(fmt.Sprintf("%s-%d", model, n), rep, base))
+			}
+		}
+		out[app] = bars
+		writeBars(w, fmt.Sprintf("Figure 2 [%s]: normalized execution time", app), bars)
+	}
+	return out, nil
+}
+
+// fig34Apps are the applications Figures 3 and 4 report.
+var fig34Apps = []string{"fem", "mpeg2", "fir", "bitonicsort"}
+
+// Figure3 produces off-chip traffic at 16 cores, normalized to one
+// caching core.
+func (r *Runner) Figure3(w io.Writer) (map[string][]TrafficBar, error) {
+	out := map[string][]TrafficBar{}
+	for _, app := range fig34Apps {
+		base, err := r.baseline(app)
+		if err != nil {
+			return nil, err
+		}
+		var bars []TrafficBar
+		for _, model := range []core.Model{core.CC, core.STR} {
+			rep, err := r.Run(core.DefaultConfig(model, 16), app)
+			if err != nil {
+				return nil, err
+			}
+			bars = append(bars, normTraffic(model.String(), rep, base))
+		}
+		out[app] = bars
+		writeTraffic(w, fmt.Sprintf("Figure 3 [%s]: normalized off-chip traffic (16 cores)", app), bars)
+	}
+	return out, nil
+}
+
+// Figure4 produces the energy comparison at 16 cores, normalized to one
+// caching core.
+func (r *Runner) Figure4(w io.Writer) (map[string][]EnergyBar, error) {
+	out := map[string][]EnergyBar{}
+	for _, app := range fig34Apps {
+		base, err := r.baseline(app)
+		if err != nil {
+			return nil, err
+		}
+		var bars []EnergyBar
+		for _, model := range []core.Model{core.CC, core.STR} {
+			rep, err := r.Run(core.DefaultConfig(model, 16), app)
+			if err != nil {
+				return nil, err
+			}
+			bars = append(bars, normEnergy(model.String(), rep, base))
+		}
+		out[app] = bars
+		writeEnergy(w, fmt.Sprintf("Figure 4 [%s]: normalized energy (16 cores)", app), bars)
+	}
+	return out, nil
+}
+
+// fig5Apps are the computational-scaling applications of Figure 5.
+var fig5Apps = []string{"mpeg2", "fir", "bitonicsort"}
+
+// clockSweep is Figure 5's x axis.
+var clockSweep = []uint64{800, 1600, 3200, 6400}
+
+// Figure5 sweeps the core clock at 16 cores.
+func (r *Runner) Figure5(w io.Writer) (map[string][]Bar, error) {
+	out := map[string][]Bar{}
+	for _, app := range fig5Apps {
+		base, err := r.baseline(app)
+		if err != nil {
+			return nil, err
+		}
+		var bars []Bar
+		for _, mhz := range clockSweep {
+			for _, model := range []core.Model{core.CC, core.STR} {
+				cfg := core.DefaultConfig(model, 16)
+				cfg.CoreMHz = mhz
+				rep, err := r.Run(cfg, app)
+				if err != nil {
+					return nil, err
+				}
+				bars = append(bars, normBar(fmt.Sprintf("%s-%.1fGHz", model, float64(mhz)/1000), rep, base))
+			}
+		}
+		out[app] = bars
+		writeBars(w, fmt.Sprintf("Figure 5 [%s]: clock scaling (16 cores)", app), bars)
+	}
+	return out, nil
+}
+
+// bwSweep is Figure 6's x axis.
+var bwSweep = []uint64{1600, 3200, 6400, 12800}
+
+// Figure6 sweeps off-chip bandwidth for FIR at 16 cores, 3.2 GHz; at
+// 12.8 GB/s the cache-based system is additionally run with hardware
+// prefetching, as in the paper.
+func (r *Runner) Figure6(w io.Writer) ([]Bar, error) {
+	base, err := r.baseline("fir")
+	if err != nil {
+		return nil, err
+	}
+	var bars []Bar
+	for _, bw := range bwSweep {
+		for _, model := range []core.Model{core.CC, core.STR} {
+			cfg := core.DefaultConfig(model, 16)
+			cfg.CoreMHz = 3200
+			cfg.DRAMBandwidthMBps = bw
+			rep, err := r.Run(cfg, "fir")
+			if err != nil {
+				return nil, err
+			}
+			bars = append(bars, normBar(fmt.Sprintf("%s-%.1fGB/s", model, float64(bw)/1000), rep, base))
+		}
+	}
+	cfg := core.DefaultConfig(core.CC, 16)
+	cfg.CoreMHz = 3200
+	cfg.DRAMBandwidthMBps = 12800
+	cfg.PrefetchDepth = 4
+	rep, err := r.Run(cfg, "fir")
+	if err != nil {
+		return nil, err
+	}
+	bars = append(bars, normBar("CC+P4-12.8GB/s", rep, base))
+	writeBars(w, "Figure 6 [fir]: off-chip bandwidth sweep (16 cores @ 3.2 GHz)", bars)
+	return bars, nil
+}
+
+// Figure7 shows the effect of hardware prefetching (depth 4) on
+// MergeSort and 179.art: 2 cores at 3.2 GHz with a 12.8 GB/s channel.
+func (r *Runner) Figure7(w io.Writer) (map[string][]Bar, error) {
+	out := map[string][]Bar{}
+	for _, app := range []string{"mergesort", "art"} {
+		base, err := r.baseline(app)
+		if err != nil {
+			return nil, err
+		}
+		mk := func(model core.Model, pf int) core.Config {
+			cfg := core.DefaultConfig(model, 2)
+			cfg.CoreMHz = 3200
+			cfg.DRAMBandwidthMBps = 12800
+			cfg.PrefetchDepth = pf
+			return cfg
+		}
+		var bars []Bar
+		for _, c := range []struct {
+			label string
+			cfg   core.Config
+		}{
+			{"CC", mk(core.CC, 0)},
+			{"CC+P4", mk(core.CC, 4)},
+			{"STR", mk(core.STR, 0)},
+		} {
+			rep, err := r.Run(c.cfg, app)
+			if err != nil {
+				return nil, err
+			}
+			bars = append(bars, normBar(c.label, rep, base))
+		}
+		out[app] = bars
+		writeBars(w, fmt.Sprintf("Figure 7 [%s]: hardware prefetching (2 cores @ 3.2 GHz, 12.8 GB/s)", app), bars)
+	}
+	return out, nil
+}
+
+// Figure8 shows "Prepare For Store" effects: off-chip traffic for FIR,
+// MergeSort and MPEG-2 (CC vs CC+PFS vs STR at 16 cores, 800 MHz) and
+// the FIR energy comparison.
+func (r *Runner) Figure8(w io.Writer) (map[string][]TrafficBar, []EnergyBar, error) {
+	out := map[string][]TrafficBar{}
+	apps := map[string]string{"fir": "fir-pfs", "mergesort": "mergesort-pfs", "mpeg2": "mpeg2-pfs"}
+	order := []string{"fir", "mergesort", "mpeg2"}
+	for _, app := range order {
+		pfsApp := apps[app]
+		base, err := r.baseline(app)
+		if err != nil {
+			return nil, nil, err
+		}
+		var bars []TrafficBar
+		for _, c := range []struct{ label, name string }{
+			{"CC", app}, {"CC+PFS", pfsApp},
+		} {
+			rep, err := r.Run(core.DefaultConfig(core.CC, 16), c.name)
+			if err != nil {
+				return nil, nil, err
+			}
+			bars = append(bars, normTraffic(c.label, rep, base))
+		}
+		rep, err := r.Run(core.DefaultConfig(core.STR, 16), app)
+		if err != nil {
+			return nil, nil, err
+		}
+		bars = append(bars, normTraffic("STR", rep, base))
+		out[app] = bars
+		writeTraffic(w, fmt.Sprintf("Figure 8 [%s]: PFS off-chip traffic (16 cores)", app), bars)
+	}
+	// FIR energy with PFS.
+	base, err := r.baseline("fir")
+	if err != nil {
+		return nil, nil, err
+	}
+	var ebars []EnergyBar
+	for _, c := range []struct {
+		label, name string
+		model       core.Model
+	}{
+		{"CC", "fir", core.CC},
+		{"CC+PFS", "fir-pfs", core.CC},
+		{"STR", "fir", core.STR},
+	} {
+		rep, err := r.Run(core.DefaultConfig(c.model, 16), c.name)
+		if err != nil {
+			return nil, nil, err
+		}
+		ebars = append(ebars, normEnergy(c.label, rep, base))
+	}
+	writeEnergy(w, "Figure 8 [fir]: PFS energy (16 cores @ 800 MHz)", ebars)
+	return out, ebars, nil
+}
+
+// Figure9 compares the original and stream-optimized cache-based MPEG-2
+// encoders: traffic and execution time at 2-16 cores.
+func (r *Runner) Figure9(w io.Writer) (bars []Bar, traffic []TrafficBar, err error) {
+	base, err := r.baseline("mpeg2-orig")
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, n := range coreCounts {
+		for _, app := range []string{"mpeg2-orig", "mpeg2"} {
+			rep, err := r.Run(core.DefaultConfig(core.CC, n), app)
+			if err != nil {
+				return nil, nil, err
+			}
+			label := fmt.Sprintf("%s-%d", map[string]string{"mpeg2-orig": "ORIG", "mpeg2": "OPT"}[app], n)
+			bars = append(bars, normBar(label, rep, base))
+			traffic = append(traffic, normTraffic(label, rep, base))
+		}
+	}
+	writeBars(w, "Figure 9 [mpeg2]: stream-programming optimizations, execution time", bars)
+	writeTraffic(w, "Figure 9 [mpeg2]: stream-programming optimizations, off-chip traffic", traffic)
+	return bars, traffic, nil
+}
+
+// Figure10 compares the original and stream-optimized cache-based
+// 179.art at 2-16 cores.
+func (r *Runner) Figure10(w io.Writer) ([]Bar, error) {
+	base, err := r.baseline("art-orig")
+	if err != nil {
+		return nil, err
+	}
+	var bars []Bar
+	for _, n := range coreCounts {
+		for _, app := range []string{"art-orig", "art"} {
+			rep, err := r.Run(core.DefaultConfig(core.CC, n), app)
+			if err != nil {
+				return nil, err
+			}
+			label := fmt.Sprintf("%s-%d", map[string]string{"art-orig": "ORIG", "art": "OPT"}[app], n)
+			bars = append(bars, normBar(label, rep, base))
+		}
+	}
+	writeBars(w, "Figure 10 [179.art]: stream-programming optimizations", bars)
+	return bars, nil
+}
+
+// Speedup returns total(b)/total(a) for two bars (how much faster b is).
+func Speedup(a, b Bar) float64 { return a.Total / b.Total }
+
+// SortedKeys returns map keys in sorted order (stable test output).
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ClockOf is a small helper exposing the core clock for reports.
+func ClockOf(mhz uint64) sim.Clock { return sim.MHz(mhz) }

@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// sharedRunner memoizes across the package's tests: figure generators
+// reuse many of the same configurations (baselines especially).
+var sharedRunner = NewRunner(workload.ScaleSmall)
+
+func TestRunnerMemoizes(t *testing.T) {
+	r := NewRunner(workload.ScaleSmall)
+	cfg := core.DefaultConfig(core.CC, 2)
+	a, err := r.Run(cfg, "fir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(cfg, "fir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second run not served from cache")
+	}
+}
+
+func TestTable2Writes(t *testing.T) {
+	var sb strings.Builder
+	Table2(&sb)
+	if !strings.Contains(sb.String(), "512 KB 16-way") {
+		t.Error("Table 2 missing L2 row")
+	}
+}
+
+func TestTable3SmallScale(t *testing.T) {
+	r := sharedRunner
+	rows, err := r.Table3(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(AllApps) {
+		t.Fatalf("%d rows, want %d", len(rows), len(AllApps))
+	}
+	byApp := map[string]Table3Row{}
+	for _, row := range rows {
+		byApp[row.App] = row
+		if row.OffChipMBps <= 0 {
+			t.Errorf("%s: no off-chip traffic measured", row.App)
+		}
+	}
+	// Table 3 shape: depth is the most compute-intense; fir and the
+	// sorts demand the most bandwidth.
+	if byApp["depth"].InstrPerL1Miss < 4*byApp["fir"].InstrPerL1Miss {
+		t.Errorf("depth instr/miss (%.0f) should dwarf fir's (%.0f)",
+			byApp["depth"].InstrPerL1Miss, byApp["fir"].InstrPerL1Miss)
+	}
+	if byApp["fir"].OffChipMBps < byApp["depth"].OffChipMBps {
+		t.Error("fir should demand more bandwidth than depth")
+	}
+}
+
+func TestFigure2Subset(t *testing.T) {
+	r := sharedRunner
+	out, err := r.Figure2(io.Discard, []string{"fir", "depth"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for app, bars := range out {
+		if len(bars) != 8 { // 4 core counts x 2 models
+			t.Errorf("%s: %d bars, want 8", app, len(bars))
+		}
+		for _, b := range bars {
+			if b.Total <= 0 || b.Total > 1.5 {
+				t.Errorf("%s %s: normalized total %.3f out of range", app, b.Label, b.Total)
+			}
+		}
+	}
+	// Compute-bound depth: both models nearly identical at 16 cores.
+	bars := out["depth"]
+	cc16, str16 := bars[6], bars[7]
+	ratio := cc16.Total / str16.Total
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("depth CC16/STR16 = %.2f, want ~1", ratio)
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	r := sharedRunner
+	bars, err := r.Figure6(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bars) != 9 {
+		t.Fatalf("%d bars, want 9", len(bars))
+	}
+	// More bandwidth must not hurt the cache-based system.
+	cc16, cc128 := bars[0], bars[6]
+	if cc128.Total > cc16.Total*1.02 {
+		t.Errorf("CC at 12.8 GB/s (%.3f) slower than at 1.6 (%.3f)", cc128.Total, cc16.Total)
+	}
+	// The gap CC vs STR shrinks as bandwidth grows.
+	gapLo := bars[0].Total / bars[1].Total
+	gapHi := bars[6].Total / bars[7].Total
+	if gapHi > gapLo*1.05 {
+		t.Errorf("bandwidth did not close the CC/STR gap: %.2f -> %.2f", gapLo, gapHi)
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	r := sharedRunner
+	bars, traffic, err := r.Figure9(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bars) != 8 || len(traffic) != 8 {
+		t.Fatalf("bars=%d traffic=%d, want 8 each", len(bars), len(traffic))
+	}
+	// At 16 cores the optimized version is faster and moves less data.
+	orig16, opt16 := bars[6], bars[7]
+	if opt16.Total >= orig16.Total {
+		t.Errorf("optimized MPEG-2 (%.3f) not faster than original (%.3f) at 16 cores",
+			opt16.Total, orig16.Total)
+	}
+	tOrig, tOpt := traffic[6], traffic[7]
+	if tOpt.Read+tOpt.Write >= tOrig.Read+tOrig.Write {
+		t.Errorf("optimized traffic (%.3f) not below original (%.3f)",
+			tOpt.Read+tOpt.Write, tOrig.Read+tOrig.Write)
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	r := sharedRunner
+	bars, err := r.Figure10(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dramatic speedup "even at small core counts".
+	orig2, opt2 := bars[0], bars[1]
+	if sp := Speedup(orig2, opt2); sp < 2 {
+		t.Errorf("art optimization speedup at 2 cores = %.2f, want >= 2", sp)
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	out, err := sharedRunner.Figure4(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range fig34Apps {
+		bars := out[app]
+		if len(bars) != 2 {
+			t.Fatalf("%s: %d bars", app, len(bars))
+		}
+		for _, b := range bars {
+			if b.Total <= 0 {
+				t.Errorf("%s %s: non-positive energy", app, b.Label)
+			}
+		}
+	}
+	// FIR: streaming spends less total energy.
+	fir := out["fir"]
+	if fir[1].Total >= fir[0].Total {
+		t.Errorf("fir STR energy %.3f >= CC %.3f", fir[1].Total, fir[0].Total)
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	out, err := sharedRunner.Figure5(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range fig5Apps {
+		bars := out[app]
+		if len(bars) != 8 {
+			t.Fatalf("%s: %d bars, want 8", app, len(bars))
+		}
+		// Higher clocks never make the same machine slower.
+		for i := 2; i < 8; i++ {
+			if bars[i].Total > bars[i-2].Total*1.02 {
+				t.Errorf("%s: %s (%.3f) slower than %s (%.3f)",
+					app, bars[i].Label, bars[i].Total, bars[i-2].Label, bars[i-2].Total)
+			}
+		}
+	}
+	// FIR at 6.4 GHz: STR ahead (the paper's 36%).
+	fir := out["fir"]
+	if fir[7].Total >= fir[6].Total {
+		t.Errorf("fir @6.4GHz: STR %.3f not ahead of CC %.3f", fir[7].Total, fir[6].Total)
+	}
+	// BitonicSort at 6.4 GHz: CC ahead (the paper's 19%).
+	bt := out["bitonicsort"]
+	if bt[6].Total >= bt[7].Total {
+		t.Errorf("bitonic @6.4GHz: CC %.3f not ahead of STR %.3f", bt[6].Total, bt[7].Total)
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	out, err := sharedRunner.Figure7(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for app, bars := range out {
+		if len(bars) != 3 { // CC, CC+P4, STR
+			t.Fatalf("%s: %d bars", app, len(bars))
+		}
+		cc, p4 := bars[0], bars[1]
+		if p4.Load > cc.Load/2 {
+			t.Errorf("%s: P4 left %.3f of %.3f load stall", app, p4.Load, cc.Load)
+		}
+		if p4.Total >= cc.Total {
+			t.Errorf("%s: P4 (%.3f) not faster than CC (%.3f)", app, p4.Total, cc.Total)
+		}
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	traffic, energy, err := sharedRunner.Figure8(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range []string{"fir", "mergesort", "mpeg2"} {
+		bars := traffic[app]
+		if len(bars) != 3 { // CC, CC+PFS, STR
+			t.Fatalf("%s: %d bars", app, len(bars))
+		}
+		cc, pfs := bars[0], bars[1]
+		if pfs.Read >= cc.Read {
+			t.Errorf("%s: PFS reads %.3f >= CC %.3f", app, pfs.Read, cc.Read)
+		}
+	}
+	if len(energy) != 3 {
+		t.Fatalf("energy bars = %d", len(energy))
+	}
+	if energy[1].Total >= energy[0].Total {
+		t.Errorf("PFS energy %.3f >= CC %.3f", energy[1].Total, energy[0].Total)
+	}
+}

@@ -1,0 +1,317 @@
+// Package cache implements the set-associative tag arrays used for every
+// cache in the study: the 32 KB 2-way L1 data caches and 16 KB I-caches of
+// the cache-coherent model, the 8 KB stack/global cache of the streaming
+// model, and the shared 512 KB 16-way L2. It tracks tags, MESI state,
+// dirty bits, LRU order and fill completion times — never data, because
+// the simulator is functionally decoupled (see internal/mem).
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// State is a MESI coherence state. Caches that are not kept coherent (the
+// L2, the streaming model's small cache) use only Invalid/Exclusive/
+// Modified, treating Exclusive as plain "valid clean".
+type State uint8
+
+// MESI states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String returns the single-letter MESI name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Line is one cache line's bookkeeping.
+type Line struct {
+	Addr       mem.Addr // line-aligned address; valid only when State != Invalid
+	State      State
+	Dirty      bool
+	FillDone   sim.Time // time the fill completes; accesses before it wait
+	Prefetched bool     // brought in by a prefetcher and not yet demanded
+	lastUse    uint64
+}
+
+// Stats counts tag-array activity. The coherence layer and energy model
+// interpret them.
+type Stats struct {
+	Reads        uint64 // read lookups (demand)
+	Writes       uint64 // write lookups (demand)
+	ReadHits     uint64
+	WriteHits    uint64
+	Fills        uint64 // lines installed
+	Writebacks   uint64 // dirty lines evicted
+	Evictions    uint64 // total lines evicted (dirty or clean)
+	Invalidates  uint64 // lines killed by coherence
+	SnoopLookups uint64 // tag probes on behalf of other agents
+	PFSAllocs    uint64 // lines allocated without refill (PrepareForStore)
+	PrefetchHits uint64 // demand hits on prefetched lines
+}
+
+// Config sizes a cache.
+type Config struct {
+	Name     string
+	Size     uint64 // bytes
+	Assoc    int
+	LineSize uint64 // must be mem.LineSize for this study
+}
+
+// Cache is a set-associative tag array.
+type Cache struct {
+	cfg   Config
+	sets  [][]Line
+	nsets uint64
+	tick  uint64
+	stats Stats
+}
+
+// New returns an empty cache.
+func New(cfg Config) *Cache {
+	if cfg.LineSize == 0 {
+		cfg.LineSize = mem.LineSize
+	}
+	if cfg.LineSize != mem.LineSize {
+		panic("cache: study uses 32-byte lines everywhere")
+	}
+	if cfg.Assoc <= 0 || cfg.Size == 0 {
+		panic(fmt.Sprintf("cache: invalid config %+v", cfg))
+	}
+	nlines := cfg.Size / cfg.LineSize
+	nsets := nlines / uint64(cfg.Assoc)
+	if nsets == 0 || nlines%uint64(cfg.Assoc) != 0 {
+		panic(fmt.Sprintf("cache %s: %d lines not divisible into %d-way sets", cfg.Name, nlines, cfg.Assoc))
+	}
+	c := &Cache{cfg: cfg, nsets: nsets}
+	c.sets = make([][]Line, nsets)
+	backing := make([]Line, nlines)
+	for i := range c.sets {
+		c.sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) set(a mem.Addr) []Line {
+	return c.sets[(uint64(a)>>mem.LineShift)%c.nsets]
+}
+
+// Lookup probes the tag array for the line holding a, without updating
+// statistics. It returns nil on miss.
+func (c *Cache) Lookup(a mem.Addr) *Line {
+	la := a.Line()
+	set := c.set(a)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Addr == la {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Access probes for a demand read or write, updating hit/miss statistics
+// and LRU order. It returns the line on a hit, nil on a miss.
+func (c *Cache) Access(a mem.Addr, write bool) *Line {
+	ln, _ := c.AccessTagged(a, write)
+	return ln
+}
+
+// AccessTagged is Access, additionally reporting whether the hit landed
+// on a line installed by a prefetcher and not yet demanded (the "tag"
+// that advances a tagged prefetcher's stream).
+func (c *Cache) AccessTagged(a mem.Addr, write bool) (ln *Line, wasPrefetched bool) {
+	ln = c.Lookup(a)
+	if write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	if ln == nil {
+		return nil, false
+	}
+	if write {
+		c.stats.WriteHits++
+	} else {
+		c.stats.ReadHits++
+	}
+	if ln.Prefetched {
+		ln.Prefetched = false
+		wasPrefetched = true
+		c.stats.PrefetchHits++
+	}
+	c.tick++
+	ln.lastUse = c.tick
+	return ln, wasPrefetched
+}
+
+// Snoop probes on behalf of another agent (coherence, DMA), counting a
+// snoop lookup. It returns the line or nil.
+func (c *Cache) Snoop(a mem.Addr) *Line {
+	c.stats.SnoopLookups++
+	return c.Lookup(a)
+}
+
+// Evicted describes a line displaced by Insert.
+type Evicted struct {
+	Addr       mem.Addr
+	Dirty      bool
+	Valid      bool
+	Prefetched bool // the victim was prefetched and never demanded
+}
+
+// Insert installs the line for a, evicting the LRU way if the set is full.
+// The returned Evicted reports what was displaced so the caller can issue
+// the writeback. The new line starts with the given state and fill time.
+func (c *Cache) Insert(a mem.Addr, st State, fillDone sim.Time) (*Line, Evicted) {
+	if st == Invalid {
+		panic("cache: Insert with Invalid state")
+	}
+	la := a.Line()
+	set := c.set(a)
+	victim := &set[0]
+	for i := range set {
+		ln := &set[i]
+		if ln.State != Invalid && ln.Addr == la {
+			panic(fmt.Sprintf("cache %s: Insert of already-present line %v", c.cfg.Name, la))
+		}
+		if ln.State == Invalid {
+			victim = ln
+			break
+		}
+		if ln.lastUse < victim.lastUse {
+			victim = ln
+		}
+	}
+	var ev Evicted
+	if victim.State != Invalid {
+		ev = Evicted{Addr: victim.Addr, Dirty: victim.Dirty, Valid: true, Prefetched: victim.Prefetched}
+		c.stats.Evictions++
+		if victim.Dirty {
+			c.stats.Writebacks++
+		}
+	}
+	c.tick++
+	*victim = Line{Addr: la, State: st, FillDone: fillDone, lastUse: c.tick}
+	c.stats.Fills++
+	return victim, ev
+}
+
+// InsertPFS allocates and validates a line without refilling it, as the
+// MIPS32 "Prepare For Store" instruction does. The line is Modified and
+// immediately usable.
+func (c *Cache) InsertPFS(a mem.Addr, at sim.Time) (*Line, Evicted) {
+	ln, ev := c.Insert(a, Modified, at)
+	ln.Dirty = true
+	c.stats.PFSAllocs++
+	c.stats.Fills-- // PFS is not a fill: no data was moved
+	return ln, ev
+}
+
+// Invalidate removes the line holding a, if present, returning whether it
+// was present and whether it was dirty (the caller decides if the dirty
+// data must be transferred).
+func (c *Cache) Invalidate(a mem.Addr) (present, dirty bool) {
+	ln := c.Lookup(a)
+	if ln == nil {
+		return false, false
+	}
+	present, dirty = true, ln.Dirty
+	c.stats.Invalidates++
+	*ln = Line{}
+	return present, dirty
+}
+
+// Downgrade moves the line holding a (if present) to Shared, returning the
+// line. Dirtiness is cleared by the caller after it writes the data back.
+func (c *Cache) Downgrade(a mem.Addr) *Line {
+	ln := c.Lookup(a)
+	if ln == nil {
+		return nil
+	}
+	ln.State = Shared
+	return ln
+}
+
+// FlushAll invalidates every line, returning the dirty line addresses in
+// an unspecified order. Used by tests and by workload epilogues that
+// model cache cleaning.
+func (c *Cache) FlushAll() []mem.Addr {
+	var dirty []mem.Addr
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			ln := &c.sets[si][wi]
+			if ln.State == Invalid {
+				continue
+			}
+			if ln.Dirty {
+				dirty = append(dirty, ln.Addr)
+			}
+			*ln = Line{}
+		}
+	}
+	return dirty
+}
+
+// Lines returns the addresses of all valid lines, in set order.
+func (c *Cache) Lines() []mem.Addr {
+	var out []mem.Addr
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			if c.sets[si][wi].State != Invalid {
+				out = append(out, c.sets[si][wi].Addr)
+			}
+		}
+	}
+	return out
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			if c.sets[si][wi].State != Invalid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MissRate returns demand misses over demand accesses.
+func (s Stats) MissRate() float64 {
+	acc := s.Reads + s.Writes
+	if acc == 0 {
+		return 0
+	}
+	hits := s.ReadHits + s.WriteHits
+	return float64(acc-hits) / float64(acc)
+}
+
+// Misses returns demand misses.
+func (s Stats) Misses() uint64 {
+	return s.Reads + s.Writes - s.ReadHits - s.WriteHits
+}

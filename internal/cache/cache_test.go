@@ -1,0 +1,198 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func l1Config() Config {
+	return Config{Name: "l1d", Size: 32 * 1024, Assoc: 2}
+}
+
+func TestGeometry(t *testing.T) {
+	c := New(l1Config())
+	if c.nsets != 512 {
+		t.Errorf("32KB 2-way 32B cache: nsets = %d, want 512", c.nsets)
+	}
+	l2 := New(Config{Name: "l2", Size: 512 * 1024, Assoc: 16})
+	if l2.nsets != 1024 {
+		t.Errorf("512KB 16-way: nsets = %d, want 1024", l2.nsets)
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := New(l1Config())
+	if c.Access(0x100, false) != nil {
+		t.Fatal("cold access should miss")
+	}
+	c.Insert(0x100, Exclusive, 0)
+	ln := c.Access(0x104, false) // same line
+	if ln == nil {
+		t.Fatal("access after insert should hit")
+	}
+	if ln.State != Exclusive {
+		t.Errorf("state = %v, want E", ln.State)
+	}
+	st := c.Stats()
+	if st.Reads != 2 || st.ReadHits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(Config{Name: "tiny", Size: 64, Assoc: 2}) // one set, two ways
+	c.Insert(0x000, Exclusive, 0)
+	c.Insert(0x020, Exclusive, 0)
+	c.Access(0x000, false) // make 0x000 MRU
+	_, ev := c.Insert(0x040, Exclusive, 0)
+	if !ev.Valid || ev.Addr != 0x020 {
+		t.Errorf("evicted %+v, want line 0x020", ev)
+	}
+	if c.Lookup(0x000) == nil || c.Lookup(0x040) == nil || c.Lookup(0x020) != nil {
+		t.Error("wrong lines resident after eviction")
+	}
+}
+
+func TestDirtyEvictionCountsWriteback(t *testing.T) {
+	c := New(Config{Name: "tiny", Size: 64, Assoc: 1})
+	ln, _ := c.Insert(0x000, Modified, 0)
+	ln.Dirty = true
+	_, ev := c.Insert(0x040, Exclusive, 0) // maps to same single set? size 64, assoc1 -> 2 sets
+	// 0x040 maps to set (0x40>>5)%2 = 0, same as 0x000.
+	if !ev.Valid || !ev.Dirty {
+		t.Errorf("evicted %+v, want dirty 0x000", ev)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(l1Config())
+	ln, _ := c.Insert(0x200, Modified, 0)
+	ln.Dirty = true
+	present, dirty := c.Invalidate(0x210) // same line via offset
+	if !present || !dirty {
+		t.Errorf("Invalidate = %v,%v; want true,true", present, dirty)
+	}
+	if p, _ := c.Invalidate(0x200); p {
+		t.Error("double invalidate should report absent")
+	}
+}
+
+func TestPFSAllocatesWithoutFill(t *testing.T) {
+	c := New(l1Config())
+	ln, _ := c.InsertPFS(0x300, 100)
+	if ln.State != Modified || !ln.Dirty {
+		t.Errorf("PFS line = %+v, want dirty M", ln)
+	}
+	st := c.Stats()
+	if st.PFSAllocs != 1 || st.Fills != 0 {
+		t.Errorf("stats = %+v, want 1 PFS alloc and 0 fills", st)
+	}
+}
+
+func TestPrefetchedHitCounted(t *testing.T) {
+	c := New(l1Config())
+	ln, _ := c.Insert(0x400, Exclusive, 0)
+	ln.Prefetched = true
+	c.Access(0x400, false)
+	if c.Stats().PrefetchHits != 1 {
+		t.Error("prefetch hit not counted")
+	}
+	if ln.Prefetched {
+		t.Error("prefetched flag should clear on demand hit")
+	}
+}
+
+func TestDowngrade(t *testing.T) {
+	c := New(l1Config())
+	c.Insert(0x500, Modified, 0)
+	ln := c.Downgrade(0x500)
+	if ln == nil || ln.State != Shared {
+		t.Errorf("downgrade result %+v", ln)
+	}
+	if c.Downgrade(0x900) != nil {
+		t.Error("downgrade of absent line should return nil")
+	}
+}
+
+func TestFlushAllReturnsDirtyLines(t *testing.T) {
+	c := New(l1Config())
+	ln, _ := c.Insert(0x000, Modified, 0)
+	ln.Dirty = true
+	c.Insert(0x020, Exclusive, 0)
+	dirty := c.FlushAll()
+	if len(dirty) != 1 || dirty[0] != 0x000 {
+		t.Errorf("dirty = %v, want [0x000]", dirty)
+	}
+	if c.Occupancy() != 0 {
+		t.Error("cache not empty after flush")
+	}
+}
+
+func TestInsertDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate insert")
+		}
+	}()
+	c := New(l1Config())
+	c.Insert(0x100, Exclusive, 0)
+	c.Insert(0x104, Shared, 0)
+}
+
+func TestOccupancyNeverExceedsCapacity(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := New(Config{Name: "t", Size: 1024, Assoc: 4})
+		for _, a := range addrs {
+			la := mem.Addr(a).Line()
+			if c.Lookup(la) == nil {
+				c.Insert(la, Exclusive, 0)
+			}
+		}
+		return c.Occupancy() <= 32 // 1024/32 lines
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkingSetSmallerThanCacheNeverEvicts(t *testing.T) {
+	// Property: repeatedly touching a working set no larger than the
+	// cache with line-sequential addresses causes no evictions after the
+	// initial fills (LRU on a power-of-two set count is conflict-free for
+	// a contiguous range).
+	c := New(l1Config())
+	lines := int(c.cfg.Size / mem.LineSize)
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < lines; i++ {
+			a := mem.Addr(i * mem.LineSize)
+			if c.Access(a, false) == nil {
+				c.Insert(a, Exclusive, 0)
+			}
+		}
+	}
+	if ev := c.Stats().Evictions; ev != 0 {
+		t.Errorf("evictions = %d, want 0", ev)
+	}
+	if mr := c.Stats().MissRate(); mr > 0.34 {
+		t.Errorf("miss rate %.2f too high; compulsory only expected", mr)
+	}
+}
+
+func TestMissRateMath(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("empty stats miss rate should be 0")
+	}
+	s = Stats{Reads: 8, Writes: 2, ReadHits: 5, WriteHits: 1}
+	if got := s.MissRate(); got != 0.4 {
+		t.Errorf("miss rate = %v, want 0.4", got)
+	}
+	if got := s.Misses(); got != 4 {
+		t.Errorf("misses = %d, want 4", got)
+	}
+}

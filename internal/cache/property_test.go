@@ -1,0 +1,112 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+// refCache is an oracle: a fully-associative-per-set model tracking the
+// same geometry with straightforward maps, used to cross-check the
+// packed implementation under random operation sequences.
+type refCache struct {
+	nsets uint64
+	assoc int
+	sets  []map[mem.Addr]int // line -> lastUse
+	clock int
+}
+
+func newRefCache(size uint64, assoc int) *refCache {
+	nsets := size / mem.LineSize / uint64(assoc)
+	r := &refCache{nsets: nsets, assoc: assoc}
+	for i := uint64(0); i < nsets; i++ {
+		r.sets = append(r.sets, map[mem.Addr]int{})
+	}
+	return r
+}
+
+func (r *refCache) set(a mem.Addr) map[mem.Addr]int {
+	return r.sets[(uint64(a)>>mem.LineShift)%r.nsets]
+}
+
+func (r *refCache) access(a mem.Addr) bool {
+	la := a.Line()
+	s := r.set(a)
+	if _, ok := s[la]; ok {
+		r.clock++
+		s[la] = r.clock
+		return true
+	}
+	return false
+}
+
+func (r *refCache) insert(a mem.Addr) {
+	la := a.Line()
+	s := r.set(a)
+	if len(s) == r.assoc {
+		// Evict LRU.
+		var victim mem.Addr
+		oldest := int(^uint(0) >> 1)
+		for addr, use := range s {
+			if use < oldest {
+				oldest, victim = use, addr
+			}
+		}
+		delete(s, victim)
+	}
+	r.clock++
+	s[la] = r.clock
+}
+
+// TestAgainstReferenceModel drives both implementations with the same
+// random trace and requires identical hit/miss behavior.
+func TestAgainstReferenceModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := New(Config{Name: "dut", Size: 2048, Assoc: 4})
+		r := newRefCache(2048, 4)
+		for _, op := range ops {
+			a := mem.Addr(op) * 8 // 512 distinct lines over 64-line cache
+			gotHit := c.Access(a, false) != nil
+			wantHit := r.access(a)
+			if gotHit != wantHit {
+				return false
+			}
+			if !gotHit {
+				c.Insert(a, Exclusive, 0)
+				r.insert(a)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStatsBalance: across any op sequence, fills == evictions + live
+// lines, and hits + misses == accesses.
+func TestStatsBalance(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := New(Config{Name: "dut", Size: 1024, Assoc: 2})
+		for _, op := range ops {
+			a := mem.Addr(op) * 16
+			write := op%3 == 0
+			if c.Access(a, write) == nil {
+				ln, _ := c.Insert(a, Exclusive, 0)
+				if write {
+					ln.Dirty = true
+				}
+			}
+		}
+		st := c.Stats()
+		if st.Fills != st.Evictions+uint64(c.Occupancy()) {
+			return false
+		}
+		hits := st.ReadHits + st.WriteHits
+		return hits+st.Misses() == st.Reads+st.Writes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

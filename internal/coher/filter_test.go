@@ -1,0 +1,126 @@
+package coher
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func filterConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SnoopFilter = true
+	return cfg
+}
+
+func TestFilterSkipsBroadcastsForPrivateData(t *testing.T) {
+	h := newHarness(8, filterConfig())
+	bodies := make([]func(*cpu.Proc), 8)
+	for i := range bodies {
+		base := mem.Addr(0x100000 * (i + 1)) // disjoint regions per core
+		bodies[i] = func(p *cpu.Proc) {
+			for k := 0; k < 64; k++ {
+				p.Load(base + mem.Addr(k*32))
+				p.Store(base + mem.Addr(0x40000+k*32))
+			}
+		}
+	}
+	h.run(bodies...)
+	st := h.dom.Stats()
+	if st.FilteredSnoops == 0 {
+		t.Fatal("filter never fired on fully private data")
+	}
+	if st.GlobalBroadcasts > st.FilteredSnoops/4 {
+		t.Errorf("broadcasts=%d vs filtered=%d; private data should mostly filter",
+			st.GlobalBroadcasts, st.FilteredSnoops)
+	}
+}
+
+func TestFilterStaysCorrectUnderSharing(t *testing.T) {
+	// Random true sharing with the filter on: MESI invariants must hold
+	// (the filter may only skip snoops that provably cannot matter).
+	h := newHarness(4, filterConfig())
+	bodies := make([]func(*cpu.Proc), 4)
+	for i := range bodies {
+		seed := int64(i + 99)
+		bodies[i] = func(p *cpu.Proc) {
+			rng := rand.New(rand.NewSource(seed))
+			for n := 0; n < 300; n++ {
+				a := mem.Addr(0x20000 + rng.Intn(48)*32)
+				if rng.Intn(2) == 0 {
+					p.Load(a)
+				} else {
+					p.Store(a)
+				}
+				p.Work(uint64(rng.Intn(10)))
+			}
+		}
+	}
+	h.run(bodies...)
+	if err := h.dom.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterEquivalentProtocolOutcome(t *testing.T) {
+	// With and without the filter, the same single-producer/consumer
+	// sequence must end in the same line states — the filter is a pure
+	// traffic optimization.
+	endStates := func(filter bool) [2]string {
+		cfg := DefaultConfig()
+		cfg.SnoopFilter = filter
+		h := newHarness(2, cfg)
+		h.run(
+			func(p *cpu.Proc) {
+				p.Store(0x7000)
+				p.WaitUntil(30 * sim.Microsecond)
+				p.Load(0x7000)
+			},
+			func(p *cpu.Proc) {
+				p.WaitUntil(15 * sim.Microsecond)
+				p.Load(0x7000)
+			},
+		)
+		var out [2]string
+		for i := 0; i < 2; i++ {
+			if ln := h.dom.L1(i).Lookup(0x7000); ln != nil {
+				out[i] = ln.State.String()
+			} else {
+				out[i] = "I"
+			}
+		}
+		return out
+	}
+	if a, b := endStates(false), endStates(true); a != b {
+		t.Errorf("states differ: plain=%v filtered=%v", a, b)
+	}
+}
+
+func TestFilterReducesSnoopProbes(t *testing.T) {
+	probes := func(filter bool) uint64 {
+		cfg := DefaultConfig()
+		cfg.SnoopFilter = filter
+		h := newHarness(8, cfg)
+		bodies := make([]func(*cpu.Proc), 8)
+		for i := range bodies {
+			base := mem.Addr(0x400000 * (i + 1))
+			bodies[i] = func(p *cpu.Proc) {
+				for k := 0; k < 128; k++ {
+					p.Load(base + mem.Addr(k*32))
+				}
+			}
+		}
+		h.run(bodies...)
+		var total uint64
+		for i := 0; i < 8; i++ {
+			total += h.dom.L1(i).Stats().SnoopLookups
+		}
+		return total
+	}
+	plain, filtered := probes(false), probes(true)
+	if filtered >= plain/2 {
+		t.Errorf("filter left %d of %d snoop probes", filtered, plain)
+	}
+}

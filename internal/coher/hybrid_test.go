@@ -1,0 +1,58 @@
+package coher
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestPrefetchRangeHidesStreamLatency: the Section 7 hybrid bulk
+// prefetch should remove most demand load stalls on a stream, like the
+// streaming model's macroscopic DMA prefetching does.
+func TestPrefetchRangeHidesStreamLatency(t *testing.T) {
+	run := func(bulk bool) sim.Time {
+		h := newHarness(1, DefaultConfig())
+		var stall sim.Time
+		h.run(func(p *cpu.Proc) {
+			m := p.Mem().(*Mem)
+			const block = 2048 // bytes
+			for b := 0; b < 16; b++ {
+				base := mem.Addr(0x100000 + b*block)
+				if bulk && b+1 < 16 {
+					m.PrefetchRange(p, base+block, block) // next block ahead
+				}
+				if bulk && b == 0 {
+					// First block was not covered; prefetch it too and
+					// give it a head start with the setup work below.
+					m.PrefetchRange(p, base, block)
+				}
+				p.LoadN(base, 4, block/4)
+				p.Work(2000)
+			}
+			stall = p.Breakdown().LoadStall
+		})
+		return stall
+	}
+	plain := run(false)
+	bulk := run(true)
+	if bulk >= plain/2 {
+		t.Errorf("bulk prefetch stall %v, want < half of %v", bulk, plain)
+	}
+}
+
+// TestPrefetchRangeSkipsResidentLines: re-prefetching a resident range
+// must not generate memory traffic.
+func TestPrefetchRangeSkipsResidentLines(t *testing.T) {
+	h := newHarness(1, DefaultConfig())
+	h.run(func(p *cpu.Proc) {
+		m := p.Mem().(*Mem)
+		p.LoadN(0x2000, 4, 256) // bring 1 KB in
+		before := h.dom.Stats().PrefetchFills
+		m.PrefetchRange(p, 0x2000, 1024)
+		if got := h.dom.Stats().PrefetchFills - before; got != 0 {
+			t.Errorf("prefetched %d resident lines", got)
+		}
+	})
+}

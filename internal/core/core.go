@@ -1,0 +1,261 @@
+// Package core assembles the study's CMP (Figure 1, Table 2) in either
+// memory model and runs workloads on it. It is the framework the paper's
+// comparison is built on: identical cores, interconnect, L2, DRAM and
+// energy model, with only the first-level data storage swapped between
+// coherent caches (CC) and local stores + DMA (STR).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/coher"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/incoher"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/stream"
+	"repro/internal/uncore"
+)
+
+// Model selects the on-chip memory model.
+type Model int
+
+// The memory models: the study's two, plus the third practical corner
+// of its Table 1 design space as an extension.
+const (
+	CC  Model = iota // hardware-coherent caches
+	STR              // software-managed streaming memory
+	// INC is the incoherent cache-based model (Table 1's remaining
+	// practical option): hardware locality, software communication.
+	INC
+)
+
+// String returns the paper's abbreviation.
+func (m Model) String() string {
+	switch m {
+	case CC:
+		return "CC"
+	case STR:
+		return "STR"
+	case INC:
+		return "INC"
+	}
+	return "?"
+}
+
+// Config describes one experimental machine. The zero value is not
+// valid; start from DefaultConfig.
+type Config struct {
+	Model Model
+	// Cores is the number of processors: the paper uses 1, 2, 4, 8, 16.
+	Cores int
+	// CoreMHz is the core clock: 800, 1600, 3200 or 6400. Network, L2
+	// and DRAM clocks stay fixed when this scales (Section 5.3).
+	CoreMHz uint64
+	// DRAMBandwidthMBps is the memory channel bandwidth: 1600 (default),
+	// 3200, 6400 or 12800.
+	DRAMBandwidthMBps uint64
+	// PrefetchDepth enables the CC hardware prefetcher when positive
+	// ("P4" in Figure 7 is depth 4).
+	PrefetchDepth int
+	// NoWriteAllocate selects the CC no-write-allocate store policy with
+	// a write-gathering buffer (Section 5.5 footnote ablation).
+	NoWriteAllocate bool
+	// SnoopFilter enables the RegionScout-style coarse-grain snoop
+	// filter (the traffic-filter enhancement the paper's Section 8
+	// points to).
+	SnoopFilter bool
+	// InstrPerIMiss and IMissPenalty configure the analytic I-cache
+	// model; workloads with large code footprints set InstrPerIMiss in
+	// Setup (0 = perfect I-cache).
+	InstrPerIMiss uint64
+	IMissPenalty  sim.Time
+	// MaxSimTime aborts runaway simulations when non-zero.
+	MaxSimTime sim.Time
+
+	// Ablation knobs beyond the paper's sweeps (zero = Table 2 value).
+	L2SizeKB        uint64 // shared L2 capacity override
+	L2Banks         int    // address-interleaved L2 banks (default 1)
+	DRAMChannels    int    // address-interleaved memory channels (default 1)
+	CoresPerCluster int    // cores per local bus (default 4)
+	DMAOutstanding  int    // concurrent DMA accesses (default 16)
+	StoreBuffer     int    // store-buffer depth (default 8; 1 = blocking stores)
+
+	// Trace, when non-nil, collects per-core stall/sync spans for
+	// timeline export (internal/trace).
+	Trace cpu.Tracer
+}
+
+// DefaultConfig is the paper's default machine: 800 MHz cores, 1.6 GB/s
+// channel, no prefetching, write-allocate caches.
+func DefaultConfig(model Model, cores int) Config {
+	return Config{
+		Model:             model,
+		Cores:             cores,
+		CoreMHz:           800,
+		DRAMBandwidthMBps: 1600,
+		IMissPenalty:      20 * sim.Nanosecond,
+		MaxSimTime:        20 * sim.Second,
+	}
+}
+
+// System is one assembled machine.
+type System struct {
+	cfg   Config
+	eng   *sim.Engine
+	as    *mem.AddressSpace
+	net   *noc.Network
+	unc   *uncore.Uncore
+	procs []*cpu.Proc
+	dom   *coher.Domain   // CC only
+	strs  []*stream.Mem   // STR only
+	inc   *incoher.Domain // INC only
+	ran   bool
+}
+
+// Workload is a program for the machine: Setup allocates data and
+// synchronization, Run executes on every core concurrently, and Verify
+// checks the computed result against an independent reference.
+type Workload interface {
+	Name() string
+	Setup(sys *System)
+	Run(p *cpu.Proc)
+	Verify() error
+}
+
+// New assembles a machine.
+func New(cfg Config) *System {
+	if cfg.Cores <= 0 || cfg.Cores > 64 {
+		panic(fmt.Sprintf("core: invalid core count %d", cfg.Cores))
+	}
+	if cfg.CoreMHz == 0 {
+		panic("core: zero core clock; start from DefaultConfig")
+	}
+	ncfg := noc.DefaultConfig(cfg.Cores)
+	if cfg.CoresPerCluster > 0 {
+		ncfg = noc.DefaultConfigClustered(cfg.Cores, cfg.CoresPerCluster)
+	}
+	s := &System{
+		cfg: cfg,
+		eng: sim.NewEngine(),
+		as:  mem.NewAddressSpace(),
+		net: noc.New(ncfg),
+	}
+	s.eng.MaxTime = cfg.MaxSimTime
+	ucfg := uncore.DefaultConfig()
+	ucfg.DRAM = dram.DefaultConfig()
+	if cfg.DRAMBandwidthMBps != 0 {
+		ucfg.DRAM.BandwidthMBps = cfg.DRAMBandwidthMBps
+	}
+	if cfg.L2SizeKB != 0 {
+		ucfg.L2Size = cfg.L2SizeKB * 1024
+	}
+	if cfg.L2Banks > 0 {
+		ucfg.L2Banks = cfg.L2Banks
+	}
+	if cfg.DRAMChannels > 0 {
+		ucfg.Channels = cfg.DRAMChannels
+	}
+	s.unc = uncore.New(ucfg, s.net)
+
+	clock := sim.MHz(cfg.CoreMHz)
+	for i := 0; i < cfg.Cores; i++ {
+		s.procs = append(s.procs, cpu.New(i, s.net.ClusterOf(i), cpu.Config{
+			Clock:         clock,
+			StoreBuffer:   cfg.StoreBuffer,
+			InstrPerIMiss: cfg.InstrPerIMiss,
+			IMissPenalty:  cfg.IMissPenalty,
+		}))
+	}
+	switch cfg.Model {
+	case CC:
+		ccfg := coher.DefaultConfig()
+		ccfg.PrefetchDepth = cfg.PrefetchDepth
+		ccfg.WriteAllocate = !cfg.NoWriteAllocate
+		ccfg.SnoopFilter = cfg.SnoopFilter
+		s.dom = coher.NewDomain(ccfg, s.unc, s.procs)
+	case STR:
+		scfg := stream.DefaultConfig()
+		scfg.DMAOutstanding = cfg.DMAOutstanding
+		for i := 0; i < cfg.Cores; i++ {
+			s.strs = append(s.strs, stream.New(i, s.net.ClusterOf(i), scfg, s.unc))
+		}
+	case INC:
+		s.inc = incoher.NewDomain(incoher.DefaultConfig(), s.unc, s.procs)
+	default:
+		panic("core: unknown model")
+	}
+	return s
+}
+
+// Config returns the machine configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Model returns the memory model.
+func (s *System) Model() Model { return s.cfg.Model }
+
+// Cores returns the core count.
+func (s *System) Cores() int { return s.cfg.Cores }
+
+// AddressSpace returns the global address allocator for workload data.
+func (s *System) AddressSpace() *mem.AddressSpace { return s.as }
+
+// Domain returns the coherence domain (CC model only; nil otherwise).
+func (s *System) Domain() *coher.Domain { return s.dom }
+
+// StreamMem returns core i's streaming first level (STR model only).
+func (s *System) StreamMem(i int) *stream.Mem { return s.strs[i] }
+
+// Incoherent returns the incoherent-cache domain (INC model only).
+func (s *System) Incoherent() *incoher.Domain { return s.inc }
+
+// Uncore returns the shared hierarchy.
+func (s *System) Uncore() *uncore.Uncore { return s.unc }
+
+// SetICacheProfile lets a workload's Setup configure the analytic
+// I-cache model before execution.
+func (s *System) SetICacheProfile(instrPerMiss uint64) {
+	s.cfg.InstrPerIMiss = instrPerMiss
+	for _, p := range s.procs {
+		p.SetICache(instrPerMiss, s.cfg.IMissPenalty)
+	}
+}
+
+// Run executes the workload: Setup, concurrent per-core Run bodies, and
+// Verify. It returns the measurement report and the verification error,
+// if any.
+func (s *System) Run(w Workload) (*Report, error) {
+	if s.ran {
+		panic("core: System.Run called twice; build a fresh System per run")
+	}
+	s.ran = true
+	w.Setup(s)
+	for i := 0; i < s.cfg.Cores; i++ {
+		i := i
+		name := fmt.Sprintf("core%d", i)
+		s.eng.Spawn(name, 0, func(task *sim.Task) {
+			p := s.procs[i]
+			p.SetTracer(s.cfg.Trace)
+			switch s.cfg.Model {
+			case CC:
+				p.Bind(task, s.dom.Mem(i))
+			case STR:
+				p.Bind(task, s.strs[i])
+			case INC:
+				p.Bind(task, s.inc.Mem(i))
+			}
+			w.Run(p)
+			p.Finish()
+		})
+	}
+	if s.cfg.Model == STR {
+		for _, m := range s.strs {
+			m.Spawn(s.eng)
+		}
+	}
+	s.eng.Run()
+	rep := s.report()
+	return rep, w.Verify()
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stream"
+	"repro/internal/syncprim"
+)
+
+// copyKernel is a toy streaming workload: each core copies a disjoint
+// slab of a shared array, with a barrier at the end. It has a CC and an
+// STR path, does real data movement in Go memory, and verifies output.
+type copyKernel struct {
+	n            int // 4-byte elements
+	instrPerElem uint64
+	src          []uint32
+	dst          []uint32
+	srcR         mem.Region
+	dstR         mem.Region
+	barrier      *syncprim.Barrier
+	cores        int
+}
+
+func newCopyKernel(n int) *copyKernel { return &copyKernel{n: n, instrPerElem: 1} }
+
+func (k *copyKernel) Name() string { return "copy" }
+
+func (k *copyKernel) Setup(sys *System) {
+	k.cores = sys.Cores()
+	k.src = make([]uint32, k.n)
+	k.dst = make([]uint32, k.n)
+	for i := range k.src {
+		k.src[i] = uint32(i)*2654435761 + 1
+	}
+	k.srcR = sys.AddressSpace().AllocArray("src", k.n, 4)
+	k.dstR = sys.AddressSpace().AllocArray("dst", k.n, 4)
+	k.barrier = syncprim.NewBarrier("done", k.cores)
+}
+
+func (k *copyKernel) Run(p *cpu.Proc) {
+	lo := k.n * p.ID() / k.cores
+	hi := k.n * (p.ID() + 1) / k.cores
+	if sm, ok := p.Mem().(*stream.Mem); ok {
+		k.runSTR(p, sm, lo, hi)
+	} else {
+		k.runCC(p, lo, hi)
+	}
+	k.barrier.Wait(p)
+}
+
+func (k *copyKernel) runCC(p *cpu.Proc, lo, hi int) {
+	const block = 1024
+	for b := lo; b < hi; b += block {
+		e := b + block
+		if e > hi {
+			e = hi
+		}
+		n := uint64(e - b)
+		p.LoadN(k.srcR.Index(b, 4), 4, n)
+		for i := b; i < e; i++ {
+			k.dst[i] = k.src[i]
+		}
+		p.Work(n * k.instrPerElem)
+		p.StoreN(k.dstR.Index(b, 4), 4, n)
+	}
+}
+
+func (k *copyKernel) runSTR(p *cpu.Proc, sm *stream.Mem, lo, hi int) {
+	const block = 1024 // elements; 4KB per buffer, double-buffered
+	ls := sm.LocalStore()
+	ls.Alloc("in0", block*4)
+	ls.Alloc("in1", block*4)
+	ls.Alloc("out0", block*4)
+	ls.Alloc("out1", block*4)
+	type blk struct{ b, e int }
+	var blocks []blk
+	for b := lo; b < hi; b += block {
+		e := b + block
+		if e > hi {
+			e = hi
+		}
+		blocks = append(blocks, blk{b, e})
+	}
+	// Double-buffered: the next block's get is in flight while the
+	// current block computes.
+	getTag := sm.Get(p, k.srcR.Index(blocks[0].b, 4), uint64(blocks[0].e-blocks[0].b)*4)
+	for i, blkI := range blocks {
+		cur := getTag
+		if i+1 < len(blocks) {
+			nb := blocks[i+1]
+			getTag = sm.Get(p, k.srcR.Index(nb.b, 4), uint64(nb.e-nb.b)*4)
+		}
+		sm.Wait(p, cur)
+		n := uint64(blkI.e - blkI.b)
+		sm.LSLoadN(p, n)
+		for j := blkI.b; j < blkI.e; j++ {
+			k.dst[j] = k.src[j]
+		}
+		p.Work(n * k.instrPerElem)
+		sm.LSStoreN(p, n)
+		putTag := sm.Put(p, k.dstR.Index(blkI.b, 4), n*4)
+		if i == len(blocks)-1 {
+			sm.Wait(p, putTag)
+		}
+	}
+}
+
+func (k *copyKernel) Verify() error {
+	for i := range k.src {
+		if k.dst[i] != k.src[i] {
+			return fmt.Errorf("dst[%d] = %d, want %d", i, k.dst[i], k.src[i])
+		}
+	}
+	return nil
+}
+
+func runCopy(t *testing.T, model Model, cores int) *Report {
+	t.Helper()
+	sys := New(DefaultConfig(model, cores))
+	rep, err := sys.Run(newCopyKernel(64 * 1024))
+	if err != nil {
+		t.Fatalf("%v/%d verify: %v", model, cores, err)
+	}
+	return rep
+}
+
+func TestCopyKernelBothModels(t *testing.T) {
+	cc := runCopy(t, CC, 4)
+	str := runCopy(t, STR, 4)
+	if cc.Wall == 0 || str.Wall == 0 {
+		t.Fatal("zero wall time")
+	}
+	// The copy writes 256 KB and reads 256 KB. CC with write-allocate
+	// also refills the output stream: CC read traffic ~2x STR's.
+	if cc.DRAM.ReadBytes < str.DRAM.ReadBytes*3/2 {
+		t.Errorf("CC reads %d, STR reads %d: expected superfluous refills in CC",
+			cc.DRAM.ReadBytes, str.DRAM.ReadBytes)
+	}
+	if str.DMAGetBytes == 0 || str.DMAPutBytes == 0 {
+		t.Error("STR moved no DMA traffic")
+	}
+	if cc.Energy.Total() <= 0 || str.Energy.Total() <= 0 {
+		t.Error("energy not computed")
+	}
+	// STR energy should be no worse than CC for this no-reuse kernel.
+	if str.Energy.Total() >= cc.Energy.Total() {
+		t.Errorf("STR energy %.3g J >= CC %.3g J; refill elimination should save energy",
+			str.Energy.Total(), cc.Energy.Total())
+	}
+}
+
+func TestCopyScalesWithCores(t *testing.T) {
+	// The bare copy is bandwidth-bound on the 1.6 GB/s default channel,
+	// so more cores may not help much — but they must never hurt.
+	for _, model := range []Model{CC, STR} {
+		t1 := runCopy(t, model, 1).Wall
+		t4 := runCopy(t, model, 4).Wall
+		if t4 > t1 {
+			t.Errorf("%v: 4 cores (%v) slower than 1 (%v)", model, t4, t1)
+		}
+	}
+	// A compute-heavy variant is core-bound and must scale well.
+	runHeavy := func(model Model, cores int) sim.Time {
+		cfg := DefaultConfig(model, cores)
+		cfg.PrefetchDepth = 4
+		sys := New(cfg)
+		k := newCopyKernel(64 * 1024)
+		k.instrPerElem = 64
+		rep, err := sys.Run(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Wall
+	}
+	for _, model := range []Model{CC, STR} {
+		t1 := runHeavy(model, 1)
+		t4 := runHeavy(model, 4)
+		if float64(t4) > float64(t1)/2.5 {
+			t.Errorf("%v compute-bound: 4 cores (%v) not >=2.5x faster than 1 (%v)", model, t4, t1)
+		}
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sys := New(DefaultConfig(CC, 1))
+	if _, err := sys.Run(newCopyKernel(1024)); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(newCopyKernel(1024)) //nolint:errcheck // must panic
+}
+
+func TestReportMetrics(t *testing.T) {
+	rep := runCopy(t, CC, 2)
+	if rep.InstrPerL1Miss() <= 0 {
+		t.Error("InstrPerL1Miss not computed")
+	}
+	if rep.OffChipBandwidth() <= 0 {
+		t.Error("OffChipBandwidth not computed")
+	}
+	if rep.WallCycles() == 0 {
+		t.Error("WallCycles zero")
+	}
+	if got := rep.String(); len(got) == 0 {
+		t.Error("empty report string")
+	}
+	if err := checkBreakdownSane(rep); err != nil {
+		t.Error(err)
+	}
+}
+
+func checkBreakdownSane(r *Report) error {
+	for i, bd := range r.PerCore {
+		if bd.Total() == 0 {
+			return fmt.Errorf("core %d has empty breakdown", i)
+		}
+	}
+	return nil
+}
+
+func TestINCModelRunsCopyKernel(t *testing.T) {
+	sys := New(DefaultConfig(INC, 4))
+	rep, err := sys.Run(newCopyKernel(32 * 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Model != INC {
+		t.Errorf("model = %v", rep.Model)
+	}
+	// No coherence protocol: no snoop lookups anywhere.
+	if rep.L1.SnoopLookups != 0 {
+		t.Errorf("INC saw %d snoop lookups", rep.L1.SnoopLookups)
+	}
+	if rep.Wall == 0 {
+		t.Error("zero wall")
+	}
+}
+
+func TestUtilizationFieldsPopulated(t *testing.T) {
+	sys := New(DefaultConfig(CC, 4))
+	rep, err := sys.Run(newCopyKernel(64 * 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ChannelUtil <= 0 || rep.ChannelUtil > 1 {
+		t.Errorf("channel utilization %v out of range", rep.ChannelUtil)
+	}
+	if rep.L2PortUtil <= 0 || rep.AvgBusUtil <= 0 {
+		t.Errorf("utilizations: l2=%v bus=%v", rep.L2PortUtil, rep.AvgBusUtil)
+	}
+}
+
+func TestL2BankAblationThroughConfig(t *testing.T) {
+	cfg := DefaultConfig(CC, 8)
+	cfg.L2Banks = 2
+	sys := New(cfg)
+	if sys.Uncore().L2Banks() != 2 {
+		t.Fatalf("banks = %d", sys.Uncore().L2Banks())
+	}
+	if _, err := sys.Run(newCopyKernel(32 * 1024)); err != nil {
+		t.Fatal(err)
+	}
+	// Both banks must have seen traffic.
+	for i := 0; i < 2; i++ {
+		st := sys.Uncore().L2Bank(i).Stats()
+		if st.Reads+st.Writes == 0 {
+			t.Errorf("bank %d idle", i)
+		}
+	}
+}
+
+func TestMultiChannelConfig(t *testing.T) {
+	cfg := DefaultConfig(CC, 8)
+	cfg.DRAMChannels = 2
+	sys := New(cfg)
+	rep, err := sys.Run(newCopyKernel(64 * 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Uncore().Channels() != 2 {
+		t.Fatalf("channels = %d", sys.Uncore().Channels())
+	}
+	if rep.DRAM.TotalBytes() == 0 {
+		t.Error("no aggregate DRAM traffic recorded")
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestDeterminism: the simulator must be perfectly repeatable — same
+// workload, same configuration, same wall time and counters. The engine
+// orders same-time events by task id and all model state is engine-
+// serialized, so any divergence is a scheduling bug.
+func TestDeterminism(t *testing.T) {
+	for _, model := range []Model{CC, STR} {
+		run := func() *Report {
+			cfg := DefaultConfig(model, 8)
+			cfg.PrefetchDepth = 2
+			sys := New(cfg)
+			rep, err := sys.Run(newCopyKernel(32 * 1024))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rep
+		}
+		a, b := run(), run()
+		if a.Wall != b.Wall {
+			t.Errorf("%v: wall differs across runs: %v vs %v", model, a.Wall, b.Wall)
+		}
+		if a.Instructions != b.Instructions {
+			t.Errorf("%v: instructions differ: %d vs %d", model, a.Instructions, b.Instructions)
+		}
+		if a.DRAM != b.DRAM {
+			t.Errorf("%v: DRAM stats differ: %+v vs %+v", model, a.DRAM, b.DRAM)
+		}
+		if a.L1 != b.L1 {
+			t.Errorf("%v: L1 stats differ: %+v vs %+v", model, a.L1, b.L1)
+		}
+		if a.Energy != b.Energy {
+			t.Errorf("%v: energy differs: %+v vs %+v", model, a.Energy, b.Energy)
+		}
+	}
+}
+
+// TestBreakdownNeverExceedsWall: per-core busy time cannot exceed the
+// run's wall time (each core's buckets partition its own timeline).
+func TestBreakdownNeverExceedsWall(t *testing.T) {
+	for _, model := range []Model{CC, STR} {
+		sys := New(DefaultConfig(model, 4))
+		rep, err := sys.Run(newCopyKernel(32 * 1024))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, bd := range rep.PerCore {
+			if bd.Total() > rep.Wall {
+				t.Errorf("%v core %d: busy %v exceeds wall %v", model, i, bd.Total(), rep.Wall)
+			}
+		}
+	}
+}
+
+// TestEnergyAccountingConsistent: component energies are non-negative
+// and the DRAM component moves with DRAM traffic.
+func TestEnergyAccountingConsistent(t *testing.T) {
+	small := New(DefaultConfig(CC, 2))
+	repS, err := small.Run(newCopyKernel(8 * 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := New(DefaultConfig(CC, 2))
+	repB, err := big.Run(newCopyKernel(64 * 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repB.Energy.DRAM <= repS.Energy.DRAM {
+		t.Error("8x the data should cost more DRAM energy")
+	}
+	for _, e := range []float64{repS.Energy.Core, repS.Energy.ICache, repS.Energy.DCache,
+		repS.Energy.Network, repS.Energy.L2, repS.Energy.DRAM} {
+		if e < 0 {
+			t.Errorf("negative energy component: %+v", repS.Energy)
+		}
+	}
+}

@@ -1,0 +1,362 @@
+// Package dma implements the streaming model's per-core DMA engine
+// (Table 2): sequential, strided and indexed transfers between the local
+// store and the global address space, with command queuing and up to 16
+// outstanding 32-byte accesses. Each engine runs as its own simulation
+// task so that its traffic contends with everything else in timestamp
+// order, and software overlaps it with computation (double-buffering —
+// the paper's "macroscopic prefetching").
+package dma
+
+import (
+	"fmt"
+
+	"repro/internal/lstore"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/uncore"
+)
+
+// Outstanding is the number of concurrent 32-byte accesses the engine
+// sustains (Table 2).
+const Outstanding = 16
+
+// Dir is a transfer direction.
+type Dir uint8
+
+// Transfer directions.
+const (
+	Get Dir = iota // off-chip / L2 -> local store
+	Put            // local store -> off-chip / L2
+)
+
+// Tag identifies a queued command; Wait blocks until it completes.
+type Tag uint64
+
+// command describes one queued transfer.
+type command struct {
+	tag   Tag
+	dir   Dir
+	base  mem.Addr
+	bytes uint64
+	// Strided transfers move count elements of elemBytes separated by
+	// stride. stride == 0 means a plain sequential transfer.
+	elemBytes uint64
+	stride    uint64
+	count     uint64
+	// Indexed transfers move one elemBytes element per address.
+	index []mem.Addr
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Commands    uint64
+	GetBytes    uint64
+	PutBytes    uint64
+	Beats       uint64 // 32-byte line beats
+	SparseElems uint64 // strided/indexed elements
+	BusyTime    sim.Time
+}
+
+// Engine is one core's DMA engine.
+type Engine struct {
+	name    string
+	cluster int
+	unc     *uncore.Uncore
+	ls      *lstore.Store
+	task    *sim.Task
+
+	window   int
+	queue    []command
+	nextTag  Tag
+	done     map[Tag]sim.Time
+	lastDone Tag
+	idle     bool
+	stopping bool
+
+	waiter     *sim.Task
+	waitingFor Tag
+
+	stats Stats
+}
+
+// New creates an engine for a core in the given cluster. Call Spawn to
+// attach it to the simulation before queueing commands.
+func New(name string, cluster int, unc *uncore.Uncore, ls *lstore.Store) *Engine {
+	return NewWithWindow(name, cluster, unc, ls, 0)
+}
+
+// NewWithWindow creates an engine with an explicit outstanding-access
+// window (0 = the paper's 16). An ablation knob.
+func NewWithWindow(name string, cluster int, unc *uncore.Uncore, ls *lstore.Store, window int) *Engine {
+	if window <= 0 {
+		window = Outstanding
+	}
+	return &Engine{
+		name:    name,
+		cluster: cluster,
+		unc:     unc,
+		ls:      ls,
+		window:  window,
+		done:    make(map[Tag]sim.Time),
+	}
+}
+
+// Spawn starts the engine's simulation task.
+func (e *Engine) Spawn(eng *sim.Engine, start sim.Time) {
+	e.task = eng.Spawn(e.name, start, e.run)
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// enqueue adds a command and wakes the engine. Must be called from a
+// running task (the owning core).
+func (e *Engine) enqueue(at sim.Time, c command) Tag {
+	if e.stopping {
+		panic("dma: enqueue after Stop on " + e.name)
+	}
+	e.nextTag++
+	c.tag = e.nextTag
+	e.queue = append(e.queue, c)
+	e.stats.Commands++
+	if e.idle {
+		e.task.Unblock(at)
+		e.idle = false
+	}
+	return c.tag
+}
+
+// Queue enqueues a sequential transfer of nbytes at base.
+func (e *Engine) Queue(at sim.Time, dir Dir, base mem.Addr, nbytes uint64) Tag {
+	if nbytes == 0 {
+		panic("dma: zero-length transfer")
+	}
+	return e.enqueue(at, command{dir: dir, base: base, bytes: nbytes})
+}
+
+// QueueStrided enqueues a transfer of count elements of elemBytes each,
+// starting at base with the given stride in bytes.
+func (e *Engine) QueueStrided(at sim.Time, dir Dir, base mem.Addr, elemBytes, stride, count uint64) Tag {
+	if count == 0 || elemBytes == 0 {
+		panic("dma: empty strided transfer")
+	}
+	if stride == elemBytes {
+		return e.Queue(at, dir, base, elemBytes*count)
+	}
+	return e.enqueue(at, command{dir: dir, base: base, elemBytes: elemBytes, stride: stride, count: count})
+}
+
+// QueueIndexed enqueues a gather/scatter of one elemBytes element per
+// address.
+func (e *Engine) QueueIndexed(at sim.Time, dir Dir, addrs []mem.Addr, elemBytes uint64) Tag {
+	if len(addrs) == 0 || elemBytes == 0 {
+		panic("dma: empty indexed transfer")
+	}
+	idx := make([]mem.Addr, len(addrs))
+	copy(idx, addrs)
+	return e.enqueue(at, command{dir: dir, elemBytes: elemBytes, index: idx})
+}
+
+// LastTag returns the most recently issued tag (0 if none).
+func (e *Engine) LastTag() Tag { return e.nextTag }
+
+// Done reports whether tag has completed, and its completion time.
+func (e *Engine) Done(tag Tag) (sim.Time, bool) {
+	t, ok := e.done[tag]
+	return t, ok
+}
+
+// Wait blocks the calling task until tag completes, returning the
+// completion time. The caller charges the wait to its own sync bucket.
+func (e *Engine) Wait(caller *sim.Task, tag Tag) sim.Time {
+	if tag > e.nextTag {
+		panic(fmt.Sprintf("dma: wait for unissued tag %d", tag))
+	}
+	if t, ok := e.done[tag]; ok {
+		delete(e.done, tag)
+		return t
+	}
+	if tag <= e.lastDone {
+		return caller.Time() // completed and already collected
+	}
+	if e.waiter != nil {
+		panic("dma: engine " + e.name + " already has a waiter")
+	}
+	e.waiter = caller
+	e.waitingFor = tag
+	caller.Block()
+	t := e.done[tag]
+	delete(e.done, tag)
+	return t
+}
+
+// Stop tells the engine to exit once its queue drains. Must be called
+// from a running task. Safe to call more than once.
+func (e *Engine) Stop() {
+	if e.stopping {
+		return
+	}
+	e.stopping = true
+	if e.idle {
+		e.task.Unblock(e.task.Time())
+		e.idle = false
+	}
+}
+
+// run is the engine task body.
+func (e *Engine) run(t *sim.Task) {
+	for {
+		if len(e.queue) == 0 {
+			if e.stopping {
+				return
+			}
+			e.idle = true
+			t.Block()
+			continue
+		}
+		cmd := e.queue[0]
+		e.queue = e.queue[1:]
+		start := t.Time()
+		done := e.process(t, cmd)
+		e.stats.BusyTime += done - start
+		e.done[cmd.tag] = done
+		e.lastDone = cmd.tag
+		if e.waiter != nil && e.waitingFor <= cmd.tag {
+			w := e.waiter
+			e.waiter = nil
+			w.Unblock(done)
+		}
+	}
+}
+
+// process performs one command, advancing the engine task through its
+// beats with up to Outstanding accesses in flight. It returns the time
+// the last beat completes.
+func (e *Engine) process(t *sim.Task, cmd command) sim.Time {
+	ring := make([]sim.Time, e.window)
+	var last sim.Time
+	beat := 0
+	issue := func(fn func(at sim.Time) sim.Time) {
+		// Engine issues one access per network cycle.
+		t.Advance(e.unc.Network().Config().Clock.Period)
+		// Respect the outstanding-access window.
+		if prev := ring[beat%e.window]; beat >= e.window && prev > t.Time() {
+			t.SetTime(prev)
+		}
+		t.Sync()
+		done := fn(t.Time())
+		ring[beat%e.window] = done
+		if done > last {
+			last = done
+		}
+		beat++
+	}
+
+	switch {
+	case cmd.index != nil:
+		for _, a := range cmd.index {
+			a := a
+			e.stats.SparseElems++
+			e.ls.CountDMABeat()
+			if cmd.dir == Get {
+				e.stats.GetBytes += cmd.elemBytes
+				issue(func(at sim.Time) sim.Time {
+					d := e.unc.ReadSparse(at, e.cluster, a, cmd.elemBytes)
+					return e.unc.Network().BusData(d, e.cluster, cmd.elemBytes)
+				})
+			} else {
+				e.stats.PutBytes += cmd.elemBytes
+				issue(func(at sim.Time) sim.Time {
+					d := e.unc.Network().BusData(at, e.cluster, cmd.elemBytes)
+					return e.unc.WriteSparse(d, e.cluster, a, cmd.elemBytes)
+				})
+			}
+		}
+	case cmd.stride != 0 && cmd.elemBytes >= mem.LineSize:
+		// Wide strided elements (row strips of an image, matrix tiles)
+		// transfer as whole-line beats through the cached path.
+		for i := uint64(0); i < cmd.count; i++ {
+			base := cmd.base + mem.Addr(i*cmd.stride)
+			end := base + mem.Addr(cmd.elemBytes)
+			for a := base.Line(); a < end; a += mem.LineSize {
+				lo, hi := a, a+mem.LineSize
+				if base > lo {
+					lo = base
+				}
+				if end < hi {
+					hi = end
+				}
+				n := uint64(hi - lo)
+				a := a
+				e.stats.Beats++
+				e.ls.CountDMABeat()
+				if cmd.dir == Get {
+					e.stats.GetBytes += n
+					issue(func(at sim.Time) sim.Time {
+						d, _ := e.unc.ReadLine(at, e.cluster, a)
+						return e.unc.Network().BusData(d, e.cluster, n)
+					})
+				} else {
+					e.stats.PutBytes += n
+					issue(func(at sim.Time) sim.Time {
+						d := e.unc.Network().BusData(at, e.cluster, n)
+						return e.unc.WriteLine(d, e.cluster, a, n, n == mem.LineSize)
+					})
+				}
+			}
+		}
+	case cmd.stride != 0:
+		for i := uint64(0); i < cmd.count; i++ {
+			a := cmd.base + mem.Addr(i*cmd.stride)
+			e.stats.SparseElems++
+			e.ls.CountDMABeat()
+			if cmd.dir == Get {
+				e.stats.GetBytes += cmd.elemBytes
+				issue(func(at sim.Time) sim.Time {
+					d := e.unc.ReadSparse(at, e.cluster, a, cmd.elemBytes)
+					return e.unc.Network().BusData(d, e.cluster, cmd.elemBytes)
+				})
+			} else {
+				e.stats.PutBytes += cmd.elemBytes
+				issue(func(at sim.Time) sim.Time {
+					d := e.unc.Network().BusData(at, e.cluster, cmd.elemBytes)
+					return e.unc.WriteSparse(d, e.cluster, a, cmd.elemBytes)
+				})
+			}
+		}
+	default:
+		// Sequential: whole 32-byte beats; a partial tail beat of a Put
+		// is a narrow write (the L2 refills for it).
+		end := cmd.base + mem.Addr(cmd.bytes)
+		for a := cmd.base.Line(); a < end; a += mem.LineSize {
+			lo, hi := a, a+mem.LineSize
+			if cmd.base > lo {
+				lo = cmd.base
+			}
+			if end < hi {
+				hi = end
+			}
+			n := uint64(hi - lo)
+			e.stats.Beats++
+			e.ls.CountDMABeat()
+			if cmd.dir == Get {
+				e.stats.GetBytes += n
+				issue(func(at sim.Time) sim.Time {
+					d, _ := e.unc.ReadLine(at, e.cluster, a)
+					return e.unc.Network().BusData(d, e.cluster, n)
+				})
+			} else {
+				full := n == mem.LineSize
+				e.stats.PutBytes += n
+				issue(func(at sim.Time) sim.Time {
+					d := e.unc.Network().BusData(at, e.cluster, n)
+					return e.unc.WriteLine(d, e.cluster, a, n, full)
+				})
+			}
+		}
+	}
+	if last > t.Time() {
+		t.AdvanceTo(last)
+	}
+	return t.Time()
+}

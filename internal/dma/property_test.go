@@ -1,0 +1,89 @@
+package dma
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lstore"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/uncore"
+)
+
+// TestByteConservation: for any sequence of sequential transfers, the
+// engine's byte counters equal exactly what was requested, and
+// completion times are non-decreasing per engine.
+func TestByteConservation(t *testing.T) {
+	f := func(cmds []struct {
+		Put  bool
+		Base uint16
+		Len  uint8
+	}) bool {
+		if len(cmds) == 0 {
+			return true
+		}
+		if len(cmds) > 32 {
+			cmds = cmds[:32]
+		}
+		eng := sim.NewEngine()
+		unc := uncore.New(uncore.DefaultConfig(), noc.New(noc.DefaultConfig(4)))
+		e := New("dma", 0, unc, lstore.New(0))
+		e.Spawn(eng, 0)
+		var wantGet, wantPut uint64
+		ok := true
+		eng.Spawn("driver", 0, func(task *sim.Task) {
+			var last sim.Time
+			for _, c := range cmds {
+				n := uint64(c.Len) + 1
+				dir := Get
+				if c.Put {
+					dir = Put
+					wantPut += n
+				} else {
+					wantGet += n
+				}
+				tag := e.Queue(task.Time(), dir, mem.Addr(c.Base)*64, n)
+				done := e.Wait(task, tag)
+				if done < last {
+					ok = false
+				}
+				last = done
+				task.SetTime(done)
+				task.Sync()
+			}
+			e.Stop()
+		})
+		eng.Run()
+		st := e.Stats()
+		return ok && st.GetBytes == wantGet && st.PutBytes == wantPut &&
+			st.Commands == uint64(len(cmds))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStridedByteAccounting: strided transfers move exactly
+// count*elemBytes payload bytes regardless of stride.
+func TestStridedByteAccounting(t *testing.T) {
+	f := func(elem, stride, count uint8) bool {
+		eb := uint64(elem%16) + 1
+		st := eb + uint64(stride%64)
+		cnt := uint64(count%50) + 1
+		eng := sim.NewEngine()
+		unc := uncore.New(uncore.DefaultConfig(), noc.New(noc.DefaultConfig(4)))
+		e := New("dma", 0, unc, lstore.New(0))
+		e.Spawn(eng, 0)
+		eng.Spawn("driver", 0, func(task *sim.Task) {
+			tag := e.QueueStrided(task.Time(), Get, 0x10000, eb, st, cnt)
+			e.Wait(task, tag)
+			e.Stop()
+		})
+		eng.Run()
+		return e.Stats().GetBytes == eb*cnt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

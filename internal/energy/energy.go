@@ -1,0 +1,140 @@
+// Package energy implements the study's 90 nm energy model (Section 4.1,
+// Figure 4). The paper combined per-event energies from CACTI 4.1 and
+// laid-out Tensilica cores with activity statistics from the simulator;
+// we substitute a fixed per-event energy table with the same structure
+// and ratios (documented in DESIGN.md): DRAM accesses cost orders of
+// magnitude more than on-chip accesses, a tag-less local store access is
+// cheaper than a same-capacity cache access, the L2 costs several L1
+// accesses, and every component has static (leakage + clock) power.
+//
+// Figure 4's conclusions depend on those ratios, not on absolute joules,
+// which is why a calibrated table preserves the comparison.
+package energy
+
+import "repro/internal/sim"
+
+// PerEvent holds the dynamic energy per event, in joules.
+type PerEvent struct {
+	CoreInstr float64 // one 3-slot VLIW instruction (datapath + RF)
+	CoreIdle  float64 // clock energy for one stalled/idle core cycle
+
+	ICacheAccess float64 // 16 KB I-cache fetch
+	L1Access     float64 // 32 KB 2-way D-cache access (tags + data)
+	L1SnoopTag   float64 // tag-only probe by the coherence protocol
+	SmallCache   float64 // the streaming model's 8 KB cache
+	LSAccess     float64 // 24 KB local store access (no tags)
+
+	BusByte   float64 // cluster bus, per payload byte
+	BusCtrl   float64 // cluster bus, per command slot
+	XbarByte  float64 // global crossbar, per payload byte
+	XbarMsg   float64 // global crossbar, per message overhead
+	L2Access  float64 // 512 KB 16-way access
+	DRAMByte  float64 // per byte crossing the pins
+	DRAMActiv float64 // per row activation
+}
+
+// Static holds static power (leakage + always-on clocks), in watts.
+type Static struct {
+	PerCore float64 // core + its first-level storage
+	L2      float64
+	DRAM    float64 // background/refresh power of the DRAM devices
+}
+
+// Model bundles the energy parameters.
+type Model struct {
+	Event  PerEvent
+	Static Static
+}
+
+// Default90nm returns the calibrated 90 nm table (1.0 V, values in
+// joules/watts).
+func Default90nm() Model {
+	const pJ = 1e-12
+	return Model{
+		Event: PerEvent{
+			CoreInstr:    45 * pJ,
+			CoreIdle:     8 * pJ,
+			ICacheAccess: 20 * pJ,
+			L1Access:     42 * pJ,
+			L1SnoopTag:   10 * pJ,
+			SmallCache:   18 * pJ,
+			LSAccess:     26 * pJ,
+			BusByte:      1.0 * pJ,
+			BusCtrl:      12 * pJ,
+			XbarByte:     2.2 * pJ,
+			XbarMsg:      10 * pJ,
+			L2Access:     310 * pJ,
+			DRAMByte:     60 * pJ,
+			DRAMActiv:    1500 * pJ,
+		},
+		Static: Static{
+			PerCore: 0.012, // 12 mW per core with its L1/LS at 90 nm
+			L2:      0.060,
+			DRAM:    0.120,
+		},
+	}
+}
+
+// Counts is the activity snapshot the system gathers for the model.
+type Counts struct {
+	Instructions uint64 // total VLIW instructions, all cores
+	CoreCycles   uint64 // total active cycles (== instructions here)
+	IdleCycles   uint64 // total stall + idle cycles across cores
+
+	ICacheAccesses uint64
+	L1Accesses     uint64 // demand accesses + fills of the coherent L1s
+	L1Snoops       uint64
+	SmallAccesses  uint64 // streaming model's 8 KB caches
+	LSAccesses     uint64 // local store reads+writes+DMA beats
+
+	BusDataBytes uint64
+	BusControl   uint64
+	XbarBytes    uint64
+	XbarMsgs     uint64
+	L2Accesses   uint64
+
+	DRAMBytes       uint64
+	DRAMActivations uint64
+}
+
+// Breakdown is Figure 4's stacked components, in joules.
+type Breakdown struct {
+	Core    float64
+	ICache  float64
+	DCache  float64 // coherent L1s or the streaming 8 KB caches
+	LMem    float64 // local stores
+	Network float64
+	L2      float64
+	DRAM    float64
+}
+
+// Total returns the sum of all components.
+func (b Breakdown) Total() float64 {
+	return b.Core + b.ICache + b.DCache + b.LMem + b.Network + b.L2 + b.DRAM
+}
+
+// Compute converts activity counts into an energy breakdown. wall is the
+// execution time (static power integrates over it) and nCores the number
+// of powered cores.
+func (m Model) Compute(c Counts, wall sim.Time, nCores int) Breakdown {
+	sec := wall.Seconds()
+	return Breakdown{
+		Core: float64(c.Instructions)*m.Event.CoreInstr +
+			float64(c.IdleCycles)*m.Event.CoreIdle +
+			float64(nCores)*m.Static.PerCore*sec,
+		ICache: float64(c.ICacheAccesses) * m.Event.ICacheAccess,
+		DCache: float64(c.L1Accesses)*m.Event.L1Access +
+			float64(c.L1Snoops)*m.Event.L1SnoopTag +
+			float64(c.SmallAccesses)*m.Event.SmallCache,
+		LMem: float64(c.LSAccesses) * m.Event.LSAccess,
+		Network: float64(c.BusDataBytes)*m.Event.BusByte +
+			float64(c.BusControl)*m.Event.BusCtrl +
+			float64(c.XbarBytes)*m.Event.XbarByte +
+			float64(c.XbarMsgs)*m.Event.XbarMsg,
+		L2: float64(c.L2Accesses)*m.Event.L2Access +
+			m.Static.L2*sec,
+		DRAM: float64(c.DRAMBytes)*m.Event.DRAMByte +
+			float64(c.DRAMActivations)*m.Event.DRAMActiv +
+			m.Static.DRAM*sec,
+	}
+}

@@ -1,0 +1,79 @@
+package energy
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRatiosPreserved(t *testing.T) {
+	e := Default90nm().Event
+	if e.LSAccess >= e.L1Access {
+		t.Error("tag-less local store must be cheaper per access than the L1 cache")
+	}
+	if e.SmallCache >= e.L1Access {
+		t.Error("8KB cache must be cheaper than 32KB cache")
+	}
+	if e.L2Access <= 4*e.L1Access {
+		t.Error("L2 access should cost several L1 accesses")
+	}
+	if 32*e.DRAMByte <= e.L2Access {
+		t.Error("a DRAM line transfer should dominate an L2 access")
+	}
+	if e.L1SnoopTag >= e.L1Access {
+		t.Error("tag-only snoop must be cheaper than a full access")
+	}
+}
+
+func TestComputeComponents(t *testing.T) {
+	m := Default90nm()
+	c := Counts{
+		Instructions: 1000, IdleCycles: 500,
+		ICacheAccesses: 1000,
+		L1Accesses:     300, L1Snoops: 50,
+		LSAccesses:   200,
+		BusDataBytes: 320, BusControl: 10,
+		XbarBytes: 640, XbarMsgs: 20,
+		L2Accesses: 40,
+		DRAMBytes:  1024, DRAMActivations: 16,
+	}
+	b := m.Compute(c, sim.Microsecond, 4)
+	if b.Core <= 0 || b.ICache <= 0 || b.DCache <= 0 || b.LMem <= 0 ||
+		b.Network <= 0 || b.L2 <= 0 || b.DRAM <= 0 {
+		t.Fatalf("all components must be positive: %+v", b)
+	}
+	sum := b.Core + b.ICache + b.DCache + b.LMem + b.Network + b.L2 + b.DRAM
+	if got := b.Total(); got != sum {
+		t.Errorf("Total = %v, want %v", got, sum)
+	}
+}
+
+func TestStaticPowerScalesWithTime(t *testing.T) {
+	m := Default90nm()
+	var c Counts
+	short := m.Compute(c, sim.Microsecond, 1)
+	long := m.Compute(c, 2*sim.Microsecond, 1)
+	if long.Core <= short.Core || long.L2 <= short.L2 || long.DRAM <= short.DRAM {
+		t.Error("static energy must grow with time")
+	}
+	ratio := long.Total() / short.Total()
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Errorf("pure-static energy ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestDRAMDominatesForStreamingTraffic(t *testing.T) {
+	// A bandwidth-bound profile: little compute, lots of DRAM bytes.
+	m := Default90nm()
+	c := Counts{
+		Instructions:    100_000,
+		L1Accesses:      100_000,
+		DRAMBytes:       1_000_000,
+		DRAMActivations: 1000,
+		L2Accesses:      32_000,
+	}
+	b := m.Compute(c, 100*sim.Microsecond, 16)
+	if b.DRAM <= b.Core || b.DRAM <= b.DCache {
+		t.Errorf("DRAM should dominate a streaming profile: %+v", b)
+	}
+}

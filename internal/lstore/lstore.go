@@ -1,0 +1,136 @@
+// Package lstore models the streaming model's per-core local store
+// (Section 3.3): a 24 KB explicitly managed RAM with a single port,
+// indexed as a random-access memory. It has no tags or control bits, so
+// its per-access energy is lower than a cache's; the energy model reads
+// the access counters kept here.
+//
+// Capacity management is software's job in a streaming system, so the
+// allocator is explicit: workloads allocate buffers (typically two per
+// stream, for double-buffering) and must fit in 24 KB or the allocation
+// panics — exactly the discipline the paper's applications had to follow.
+package lstore
+
+import "fmt"
+
+// DefaultSize is the paper's local store capacity.
+const DefaultSize = 24 * 1024
+
+// Stats counts local-store port activity.
+type Stats struct {
+	Reads  uint64
+	Writes uint64
+	// DMABeats counts 32-byte DMA transfers into or out of the store.
+	DMABeats uint64
+}
+
+// Buffer is an allocated range of the local store.
+type Buffer struct {
+	Name string
+	Off  uint64
+	Size uint64
+}
+
+// Store is one core's local store.
+type Store struct {
+	size  uint64
+	next  uint64
+	bufs  []Buffer
+	stats Stats
+}
+
+// New returns an empty local store of the given size.
+func New(size uint64) *Store {
+	if size == 0 {
+		size = DefaultSize
+	}
+	return &Store{size: size}
+}
+
+// Size returns the store capacity in bytes.
+func (s *Store) Size() uint64 { return s.size }
+
+// Free returns the unallocated capacity.
+func (s *Store) Free() uint64 { return s.size - s.next }
+
+// Alloc reserves n bytes, 32-byte aligned. It panics when the store
+// overflows: a streaming workload that does not fit its blocking factor
+// into the local store is mis-blocked, which software must fix (the
+// hardware has no fallback).
+func (s *Store) Alloc(name string, n uint64) Buffer {
+	off := (s.next + 31) &^ 31
+	if off+n > s.size {
+		panic(fmt.Sprintf("lstore: %q (%d bytes) overflows local store (%d of %d used); reduce the blocking factor", name, n, s.next, s.size))
+	}
+	b := Buffer{Name: name, Off: off, Size: n}
+	s.next = off + n
+	s.bufs = append(s.bufs, b)
+	return b
+}
+
+// Reset frees all allocations (between workload phases).
+func (s *Store) Reset() {
+	s.next = 0
+	s.bufs = nil
+}
+
+// CountRead records n core reads of the local store.
+func (s *Store) CountRead(n uint64) { s.stats.Reads += n }
+
+// CountWrite records n core writes of the local store.
+func (s *Store) CountWrite(n uint64) { s.stats.Writes += n }
+
+// CountDMABeat records one 32-byte DMA beat on the port.
+func (s *Store) CountDMABeat() { s.stats.DMABeats++ }
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// FIFO is the hardware FIFO view of a local-store buffer that Table 2's
+// streaming cores provide ("The cores can access their local stores as
+// FIFO queues or as randomly indexed structures"). The paper's
+// applications did not use it; it is provided for completeness and for
+// producer/consumer kernels written against this library.
+type FIFO struct {
+	store    *Store
+	buf      Buffer
+	elemSize uint64
+	head     uint64 // elements pushed
+	tail     uint64 // elements popped
+}
+
+// NewFIFO wraps an allocated buffer as a FIFO of elemSize elements.
+func (s *Store) NewFIFO(buf Buffer, elemSize uint64) *FIFO {
+	if elemSize == 0 || buf.Size < elemSize {
+		panic("lstore: FIFO element larger than buffer")
+	}
+	return &FIFO{store: s, buf: buf, elemSize: elemSize}
+}
+
+// Cap returns the FIFO capacity in elements.
+func (f *FIFO) Cap() uint64 { return f.buf.Size / f.elemSize }
+
+// Len returns the number of queued elements.
+func (f *FIFO) Len() uint64 { return f.head - f.tail }
+
+// Push enqueues one element, counting a local-store write. It reports
+// whether there was room (a full FIFO rejects the push; hardware would
+// stall the producer).
+func (f *FIFO) Push() bool {
+	if f.Len() == f.Cap() {
+		return false
+	}
+	f.head++
+	f.store.CountWrite(1)
+	return true
+}
+
+// Pop dequeues one element, counting a local-store read. It reports
+// whether an element was available.
+func (f *FIFO) Pop() bool {
+	if f.Len() == 0 {
+		return false
+	}
+	f.tail++
+	f.store.CountRead(1)
+	return true
+}

@@ -1,0 +1,101 @@
+package lstore
+
+import "testing"
+
+func TestAllocAligned(t *testing.T) {
+	s := New(0)
+	if s.Size() != DefaultSize {
+		t.Errorf("default size = %d, want %d", s.Size(), DefaultSize)
+	}
+	a := s.Alloc("a", 10)
+	b := s.Alloc("b", 100)
+	if a.Off%32 != 0 || b.Off%32 != 0 {
+		t.Errorf("allocations not 32-byte aligned: %d, %d", a.Off, b.Off)
+	}
+	if b.Off < a.Off+a.Size {
+		t.Error("allocations overlap")
+	}
+}
+
+func TestAllocOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on local store overflow")
+		}
+	}()
+	s := New(1024)
+	s.Alloc("big", 2048)
+}
+
+func TestDoubleBufferFitsExactly(t *testing.T) {
+	// The classic streaming layout: two input and two output buffers.
+	s := New(DefaultSize)
+	for i := 0; i < 4; i++ {
+		s.Alloc("buf", 6*1024)
+	}
+	if s.Free() != 0 {
+		t.Errorf("free = %d, want 0", s.Free())
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(1024)
+	s.Alloc("x", 512)
+	s.Reset()
+	s.Alloc("y", 1024) // fits again after reset
+}
+
+func TestCounters(t *testing.T) {
+	s := New(0)
+	s.CountRead(5)
+	s.CountWrite(3)
+	s.CountDMABeat()
+	st := s.Stats()
+	if st.Reads != 5 || st.Writes != 3 || st.DMABeats != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFIFOPushPop(t *testing.T) {
+	s := New(1024)
+	f := s.NewFIFO(s.Alloc("q", 64), 8) // 8 elements
+	if f.Cap() != 8 {
+		t.Fatalf("cap = %d, want 8", f.Cap())
+	}
+	for i := 0; i < 8; i++ {
+		if !f.Push() {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	if f.Push() {
+		t.Error("push into full FIFO accepted")
+	}
+	for i := 0; i < 8; i++ {
+		if !f.Pop() {
+			t.Fatalf("pop %d failed", i)
+		}
+	}
+	if f.Pop() {
+		t.Error("pop from empty FIFO succeeded")
+	}
+	st := s.Stats()
+	if st.Writes != 8 || st.Reads != 8 {
+		t.Errorf("port accounting: %+v", st)
+	}
+}
+
+func TestFIFOWrapsAround(t *testing.T) {
+	s := New(1024)
+	f := s.NewFIFO(s.Alloc("q", 32), 8) // 4 elements
+	for round := 0; round < 10; round++ {
+		if !f.Push() || !f.Push() {
+			t.Fatal("push failed")
+		}
+		if !f.Pop() || !f.Pop() {
+			t.Fatal("pop failed")
+		}
+	}
+	if f.Len() != 0 {
+		t.Errorf("len = %d after balanced rounds", f.Len())
+	}
+}

@@ -1,0 +1,107 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDefaultConfigClusters(t *testing.T) {
+	cases := []struct{ cores, clusters int }{
+		{1, 1}, {2, 1}, {4, 1}, {5, 2}, {8, 2}, {16, 4},
+	}
+	for _, c := range cases {
+		if got := DefaultConfig(c.cores).Clusters; got != c.clusters {
+			t.Errorf("DefaultConfig(%d).Clusters = %d, want %d", c.cores, got, c.clusters)
+		}
+	}
+}
+
+func TestClusterOf(t *testing.T) {
+	n := New(DefaultConfig(16))
+	if n.ClusterOf(0) != 0 || n.ClusterOf(3) != 0 || n.ClusterOf(4) != 1 || n.ClusterOf(15) != 3 {
+		t.Error("ClusterOf mapping wrong")
+	}
+}
+
+func TestBusTransferTiming(t *testing.T) {
+	n := New(DefaultConfig(4))
+	// 32 bytes over a 32-byte bus: 1 cycle occupancy + 2 cycles latency
+	// at 800 MHz = 3.75 ns.
+	done := n.BusData(0, 0, 32)
+	if done != 3750*sim.Picosecond {
+		t.Errorf("bus transfer done = %v, want 3.75ns", done)
+	}
+}
+
+func TestXbarTiming(t *testing.T) {
+	n := New(DefaultConfig(4))
+	// 32 bytes over a 16-byte port: 2 cycles (2.5ns) + 2.5ns latency.
+	done := n.ToGlobal(0, 0, 32)
+	if done != 5*sim.Nanosecond {
+		t.Errorf("xbar transfer done = %v, want 5ns", done)
+	}
+}
+
+func TestBusesIndependent(t *testing.T) {
+	n := New(DefaultConfig(16))
+	d0 := n.BusData(0, 0, 3200)
+	d1 := n.BusData(0, 1, 32)
+	if d1 >= d0 {
+		t.Error("cluster buses must not contend with each other")
+	}
+}
+
+func TestBusContention(t *testing.T) {
+	n := New(DefaultConfig(4))
+	first := n.BusData(0, 0, 32)
+	second := n.BusData(0, 0, 32)
+	if second <= first {
+		t.Errorf("second transfer on same bus must queue: %v <= %v", second, first)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	n := New(DefaultConfig(8))
+	n.BusData(0, 0, 64)
+	n.BusControl(0, 1)
+	n.ToGlobal(0, 0, 32)
+	n.FromGlobal(0, 1, 32)
+	st := n.Stats()
+	if st.BusDataBytes != 64 || st.BusControl != 1 || st.XbarBytes != 64 || st.XbarMsgs != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestAvgBusUtilization(t *testing.T) {
+	n := New(DefaultConfig(8)) // 2 clusters
+	n.BusData(0, 0, 3200)      // busy cluster 0 for 100 cycles
+	end := sim.MHz(800).Cycles(200)
+	avg := n.AvgBusUtilization(end)
+	u0 := n.BusUtilization(0, end)
+	if u0 <= 0 || avg <= 0 {
+		t.Fatal("utilizations not computed")
+	}
+	// Cluster 1 is idle, so the average is half of cluster 0's.
+	if diff := avg - u0/2; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("avg = %v, want %v", avg, u0/2)
+	}
+	if n.AvgBusUtilization(0) != 0 {
+		t.Error("zero window should give zero utilization")
+	}
+}
+
+func TestClusteredConfigCustomSize(t *testing.T) {
+	cfg := DefaultConfigClustered(16, 8)
+	if cfg.Clusters != 2 || cfg.CoresPerClust != 8 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	n := New(cfg)
+	if n.ClusterOf(7) != 0 || n.ClusterOf(8) != 1 {
+		t.Error("cluster mapping wrong for 8-core clusters")
+	}
+	// Degenerate request: perCluster <= 0 falls back to 4.
+	if DefaultConfigClustered(16, 0).CoresPerClust != 4 {
+		t.Error("fallback cluster size broken")
+	}
+}

@@ -1,0 +1,162 @@
+// Package prefetch implements the hardware stream prefetcher of the
+// cache-based model: a tagged sequential prefetcher modeled after the one
+// described by Vander Wiel and Lilja (the paper's [41]). It keeps a
+// history of the last 8 cache-miss lines to detect new sequential
+// streams, tracks 4 independent streams, and runs a configurable number
+// of cache lines ahead of the latest miss. Prefetched lines are placed
+// directly in the L1 (Table 2), and a demand hit on a prefetched line
+// (the "tag") advances its stream.
+package prefetch
+
+import (
+	"repro/internal/mem"
+)
+
+// DefaultStreams and DefaultHistory are the paper's fixed parameters.
+const (
+	DefaultStreams = 4
+	DefaultHistory = 8
+)
+
+// Stats counts prefetcher activity.
+type Stats struct {
+	Issued    uint64 // prefetches handed to the memory system
+	Allocated uint64 // streams allocated
+	Replaced  uint64 // streams evicted for new ones
+}
+
+type stream struct {
+	next    mem.Addr // next line to prefetch
+	ahead   int      // lines currently in flight / ahead of the demand
+	lastUse uint64
+	valid   bool
+}
+
+// Prefetcher detects sequential miss streams and proposes prefetch
+// addresses. It is pure policy: the owner issues the returned addresses
+// through the memory system and installs them with the Prefetched flag.
+type Prefetcher struct {
+	depth   int
+	history [DefaultHistory]mem.Addr
+	hpos    int
+	streams [DefaultStreams]stream
+	tick    uint64
+	stats   Stats
+}
+
+// New returns a prefetcher running depth lines ahead. depth <= 0 disables
+// it (both Miss and Hit return nil).
+func New(depth int) *Prefetcher {
+	return &Prefetcher{depth: depth}
+}
+
+// Depth returns the configured prefetch depth.
+func (p *Prefetcher) Depth() int { return p.depth }
+
+// Stats returns a snapshot of the counters.
+func (p *Prefetcher) Stats() Stats { return p.stats }
+
+// Miss informs the prefetcher of a demand miss on line a and returns the
+// line addresses to prefetch now (possibly none).
+func (p *Prefetcher) Miss(a mem.Addr) []mem.Addr {
+	if p.depth <= 0 {
+		return nil
+	}
+	a = a.Line()
+	p.tick++
+	// An existing stream expecting this line: the demand caught up with
+	// the stream (its prefetch was too late or evicted); re-anchor.
+	for i := range p.streams {
+		s := &p.streams[i]
+		if s.valid && a >= s.next-mem.Addr(p.depth*mem.LineSize) && a < s.next+mem.LineSize {
+			s.lastUse = p.tick
+			if a >= s.next {
+				s.next = a + mem.LineSize
+			}
+			s.ahead = 0
+			return p.run(s)
+		}
+	}
+	// A new ascending pair in the miss history allocates a stream.
+	if p.inHistory(a - mem.LineSize) {
+		s := p.allocStream()
+		s.next = a + mem.LineSize
+		s.ahead = 0
+		s.lastUse = p.tick
+		s.valid = true
+		out := p.run(s)
+		p.remember(a)
+		return out
+	}
+	p.remember(a)
+	return nil
+}
+
+// Hit informs the prefetcher of a demand hit on a line that was installed
+// by a prefetch (the tagged trigger) and returns further lines to
+// prefetch.
+func (p *Prefetcher) Hit(a mem.Addr) []mem.Addr {
+	if p.depth <= 0 {
+		return nil
+	}
+	a = a.Line()
+	p.tick++
+	for i := range p.streams {
+		s := &p.streams[i]
+		if !s.valid {
+			continue
+		}
+		// The consumed line is behind s.next by at most depth lines if it
+		// belongs to this stream.
+		if a < s.next && s.next-a <= mem.Addr((p.depth+1)*mem.LineSize) {
+			s.lastUse = p.tick
+			if s.ahead > 0 {
+				s.ahead--
+			}
+			return p.run(s)
+		}
+	}
+	return nil
+}
+
+// run tops the stream back up to depth lines ahead.
+func (p *Prefetcher) run(s *stream) []mem.Addr {
+	var out []mem.Addr
+	for s.ahead < p.depth {
+		out = append(out, s.next)
+		s.next += mem.LineSize
+		s.ahead++
+		p.stats.Issued++
+	}
+	return out
+}
+
+func (p *Prefetcher) inHistory(a mem.Addr) bool {
+	for _, h := range p.history {
+		if h == a && a != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Prefetcher) remember(a mem.Addr) {
+	p.history[p.hpos] = a
+	p.hpos = (p.hpos + 1) % len(p.history)
+}
+
+func (p *Prefetcher) allocStream() *stream {
+	victim := &p.streams[0]
+	for i := range p.streams {
+		s := &p.streams[i]
+		if !s.valid {
+			p.stats.Allocated++
+			return s
+		}
+		if s.lastUse < victim.lastUse {
+			victim = s
+		}
+	}
+	p.stats.Replaced++
+	return victim
+}

@@ -1,0 +1,101 @@
+package prefetch
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+const ls = mem.LineSize
+
+func TestDisabled(t *testing.T) {
+	p := New(0)
+	if got := p.Miss(0x1000); got != nil {
+		t.Errorf("disabled prefetcher issued %v", got)
+	}
+}
+
+func TestSequentialStreamDetection(t *testing.T) {
+	p := New(4)
+	if got := p.Miss(1 * ls); got != nil {
+		t.Errorf("first miss should not prefetch, got %v", got)
+	}
+	// Second sequential miss allocates a stream and runs 4 lines ahead.
+	got := p.Miss(2 * ls)
+	if len(got) != 4 {
+		t.Fatalf("second miss issued %d prefetches, want 4", len(got))
+	}
+	for i, a := range got {
+		if want := mem.Addr((3 + i) * ls); a != want {
+			t.Errorf("prefetch[%d] = %v, want %v", i, a, want)
+		}
+	}
+}
+
+func TestRandomMissesNeverPrefetch(t *testing.T) {
+	p := New(4)
+	addrs := []mem.Addr{0x100000, 0x4000, 0x930000, 0x20, 0x77000, 0x500000}
+	for _, a := range addrs {
+		if got := p.Miss(a); got != nil {
+			t.Errorf("random miss %v triggered prefetch %v", a, got)
+		}
+	}
+}
+
+func TestTaggedHitAdvancesStream(t *testing.T) {
+	p := New(2)
+	p.Miss(1 * ls)
+	issued := p.Miss(2 * ls) // prefetches lines 3,4
+	if len(issued) != 2 {
+		t.Fatalf("want 2 issued, got %d", len(issued))
+	}
+	// Demand hit on prefetched line 3 should top the stream up by one.
+	got := p.Hit(3 * ls)
+	if len(got) != 1 || got[0] != 5*ls {
+		t.Errorf("Hit issued %v, want [5*ls]", got)
+	}
+}
+
+func TestFourStreamsTracked(t *testing.T) {
+	p := New(1)
+	bases := []mem.Addr{0x10000, 0x20000, 0x30000, 0x40000}
+	for _, b := range bases {
+		p.Miss(b)
+		if got := p.Miss(b + ls); len(got) != 1 {
+			t.Errorf("stream at %v not allocated (issued %v)", b, got)
+		}
+	}
+	if p.Stats().Allocated != 4 {
+		t.Errorf("allocated = %d, want 4", p.Stats().Allocated)
+	}
+	// A fifth stream replaces the LRU one.
+	p.Miss(0x50000)
+	p.Miss(0x50000 + ls)
+	if p.Stats().Replaced != 1 {
+		t.Errorf("replaced = %d, want 1", p.Stats().Replaced)
+	}
+}
+
+func TestDemandCatchingUpReanchors(t *testing.T) {
+	p := New(2)
+	p.Miss(1 * ls)
+	p.Miss(2 * ls) // stream next=5*ls after running ahead
+	// Demand misses line 5 (prefetch was useless/evicted): stream should
+	// re-anchor and keep prefetching rather than allocate a new stream.
+	got := p.Miss(5 * ls)
+	if len(got) == 0 {
+		t.Fatal("re-anchored stream issued nothing")
+	}
+	if p.Stats().Allocated != 1 {
+		t.Errorf("allocated = %d, want 1 (no duplicate stream)", p.Stats().Allocated)
+	}
+}
+
+func TestIssuedCountMatches(t *testing.T) {
+	p := New(8)
+	p.Miss(1 * ls)
+	got := p.Miss(2 * ls)
+	if uint64(len(got)) != p.Stats().Issued {
+		t.Errorf("issued stat %d != returned %d", p.Stats().Issued, len(got))
+	}
+}

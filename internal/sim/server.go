@@ -1,0 +1,175 @@
+package sim
+
+// Server models a contended resource (a bus, a cache port, a DRAM
+// channel) as a busy-interval calendar. A request arriving at time t is
+// granted the first gap of sufficient length starting no earlier than t.
+//
+// Transactions in this simulator reserve their whole resource chain when
+// they are handled (e.g. a cache miss books the response bus slot at its
+// future fill time), so a resource sees arrivals at non-monotone times.
+// A single next-free-time scalar would let those future bookings block
+// earlier requests; the calendar instead backfills gaps, which is what a
+// real arbiter does with requests that are actually present at the time.
+type Server struct {
+	name string
+	// busy holds non-overlapping reservations sorted by start time.
+	busy    []interval
+	busyAcc Time // total reserved time, for utilization
+	uses    uint64
+	maxAt   Time // latest arrival seen, for safe pruning
+}
+
+type interval struct{ start, end Time }
+
+// pruneWindow bounds how far in the past a new arrival may land relative
+// to the latest arrival seen. Arrivals carry times no earlier than the
+// engine's current event time, and future bookings extend at most one
+// transaction latency (far below this) ahead, so reservations older than
+// the window can never interact with new arrivals.
+const pruneWindow = 200 * Microsecond
+
+// NewServer returns a named idle server.
+func NewServer(name string) *Server { return &Server{name: name} }
+
+// Name returns the server's name.
+func (s *Server) Name() string { return s.name }
+
+// Acquire reserves the server for dur starting no earlier than at,
+// returning the grant time. Zero-duration acquisitions return at.
+func (s *Server) Acquire(at, dur Time) (start Time) {
+	s.uses++
+	s.busyAcc += dur
+	if at > s.maxAt {
+		s.maxAt = at
+		s.prune()
+	}
+	if dur == 0 {
+		return at
+	}
+	// Find the first gap of length dur at or after `at`.
+	// Binary search for the first interval ending after `at`.
+	lo, hi := 0, len(s.busy)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.busy[mid].end <= at {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	start = at
+	idx := lo
+	for idx < len(s.busy) {
+		iv := s.busy[idx]
+		if start+dur <= iv.start {
+			break // fits in the gap before this interval
+		}
+		if iv.end > start {
+			start = iv.end
+		}
+		idx++
+	}
+	s.insert(idx, interval{start, start + dur})
+	return start
+}
+
+// insert places iv at position idx, merging with contiguous neighbors.
+func (s *Server) insert(idx int, iv interval) {
+	mergeLeft := idx > 0 && s.busy[idx-1].end == iv.start
+	mergeRight := idx < len(s.busy) && s.busy[idx].start == iv.end
+	switch {
+	case mergeLeft && mergeRight:
+		s.busy[idx-1].end = s.busy[idx].end
+		s.busy = append(s.busy[:idx], s.busy[idx+1:]...)
+	case mergeLeft:
+		s.busy[idx-1].end = iv.end
+	case mergeRight:
+		s.busy[idx].start = iv.start
+	default:
+		s.busy = append(s.busy, interval{})
+		copy(s.busy[idx+1:], s.busy[idx:])
+		s.busy[idx] = iv
+	}
+}
+
+// prune drops reservations that ended long before any possible future
+// arrival.
+func (s *Server) prune() {
+	if s.maxAt < pruneWindow {
+		return
+	}
+	cut := s.maxAt - pruneWindow
+	n := 0
+	for n < len(s.busy) && s.busy[n].end < cut {
+		n++
+	}
+	if n > 0 {
+		s.busy = append(s.busy[:0], s.busy[n:]...)
+	}
+}
+
+// NextFree returns the end of the last reservation (idle time after all
+// current bookings).
+func (s *Server) NextFree() Time {
+	if len(s.busy) == 0 {
+		return 0
+	}
+	return s.busy[len(s.busy)-1].end
+}
+
+// BusyTime returns the total time reserved on the server.
+func (s *Server) BusyTime() Time { return s.busyAcc }
+
+// Uses returns the number of acquisitions.
+func (s *Server) Uses() uint64 { return s.uses }
+
+// Utilization returns reserved time divided by the window [0, end].
+func (s *Server) Utilization(end Time) float64 {
+	if end == 0 {
+		return 0
+	}
+	return float64(s.busyAcc) / float64(end)
+}
+
+// Reservations returns the currently tracked busy intervals (tests).
+func (s *Server) Reservations() [][2]Time {
+	out := make([][2]Time, len(s.busy))
+	for i, iv := range s.busy {
+		out[i] = [2]Time{iv.start, iv.end}
+	}
+	return out
+}
+
+// Pipe models a pipelined link: each transfer occupies the server for an
+// occupancy proportional to its size, and completes a fixed latency
+// after service starts. Transfers of different requests overlap in the
+// pipeline.
+type Pipe struct {
+	Server
+	// BytesPerCycle is the link width; Clock gives the cycle time.
+	BytesPerCycle uint64
+	Clock         Clock
+	// Latency is the pipeline depth: time from service start to delivery.
+	Latency Time
+}
+
+// NewPipe returns a pipelined link.
+func NewPipe(name string, bytesPerCycle uint64, clock Clock, latency Time) *Pipe {
+	return &Pipe{
+		Server:        Server{name: name},
+		BytesPerCycle: bytesPerCycle,
+		Clock:         clock,
+		Latency:       latency,
+	}
+}
+
+// Transfer moves nbytes through the pipe starting no earlier than at.
+// It returns the time the last byte is delivered.
+func (p *Pipe) Transfer(at Time, nbytes uint64) (done Time) {
+	if nbytes == 0 {
+		return at + p.Latency
+	}
+	cycles := (nbytes + p.BytesPerCycle - 1) / p.BytesPerCycle
+	start := p.Acquire(at, p.Clock.Cycles(cycles))
+	return start + p.Clock.Cycles(cycles) + p.Latency
+}

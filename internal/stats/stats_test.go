@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.Row("short", 1.5)
+	tb.Row("a-much-longer-name", 10.25)
+	var sb strings.Builder
+	tb.WriteText(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "demo") {
+		t.Error("missing title")
+	}
+	// Numeric column right-aligned: both rows end with the value.
+	if !strings.HasSuffix(lines[2], "1.500") || !strings.HasSuffix(lines[3], "10.250") {
+		t.Errorf("numeric alignment broken:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b,with comma")
+	tb.Row(`quote"y`, 2)
+	var sb strings.Builder
+	tb.WriteCSV(&sb)
+	want := "a,\"b,with comma\"\n\"quote\"\"y\",2\n"
+	if sb.String() != want {
+		t.Errorf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestChartProportions(t *testing.T) {
+	ch := Chart{
+		Title:    "t",
+		SegNames: []string{"useful", "sync"},
+		Bars: []StackedBar{
+			{Label: "full", Segments: []float64{1.0, 0.0}},
+			{Label: "half", Segments: []float64{0.25, 0.25}},
+		},
+		Max:   1.0,
+		Width: 40,
+	}
+	var sb strings.Builder
+	ch.Write(&sb)
+	out := sb.String()
+	if strings.Count(out, "#") != 40+10+1 { // full + half + legend
+		t.Errorf("glyph counts wrong (want 40 + 10 + 1 '#'):\n%s", out)
+	}
+	if strings.Count(out, "~") != 10+1 { // 10 in bar + 1 in legend
+		t.Errorf("segment-2 glyphs wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "useful") || !strings.Contains(out, "sync") {
+		t.Error("legend missing")
+	}
+}
+
+func TestChartAutoScale(t *testing.T) {
+	ch := Chart{
+		Bars:  []StackedBar{{Label: "x", Segments: []float64{2.0}}},
+		Width: 20,
+	}
+	var sb strings.Builder
+	ch.Write(&sb)
+	if got := strings.Count(sb.String(), "#"); got != 20 {
+		t.Errorf("auto-scaled bar width = %d, want 20", got)
+	}
+}
+
+func TestChartZeroData(t *testing.T) {
+	ch := Chart{Bars: []StackedBar{{Label: "none", Segments: []float64{0}}}}
+	var sb strings.Builder
+	ch.Write(&sb) // must not panic or divide by zero
+	if !strings.Contains(sb.String(), "none") {
+		t.Error("label missing")
+	}
+}

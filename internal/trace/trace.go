@@ -1,0 +1,105 @@
+// Package trace collects simulation activity spans and exports them in
+// the Chrome trace-event JSON format (chrome://tracing, Perfetto), so a
+// run's stalls, synchronization waits and DMA transfers can be inspected
+// on a timeline. Collection is opt-in per run and capped, because a
+// paper-scale simulation can produce millions of spans.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// DefaultCap bounds the number of recorded spans.
+const DefaultCap = 1 << 20
+
+// Span is one timeline interval.
+type Span struct {
+	Track int    // timeline row (core id; DMA engines use an offset)
+	Name  string // e.g. "load-stall", "dma-get"
+	Start sim.Time
+	Dur   sim.Time
+}
+
+// Collector accumulates spans. The simulation engine is single-threaded,
+// so no locking is needed.
+type Collector struct {
+	Cap     int
+	spans   []Span
+	dropped uint64
+}
+
+// New returns a collector with the default cap.
+func New() *Collector { return &Collector{Cap: DefaultCap} }
+
+// Add records one span; spans beyond the cap are counted as dropped.
+func (c *Collector) Add(track int, name string, start, dur sim.Time) {
+	if c.Cap > 0 && len(c.spans) >= c.Cap {
+		c.dropped++
+		return
+	}
+	c.spans = append(c.spans, Span{Track: track, Name: name, Start: start, Dur: dur})
+}
+
+// Len returns the number of recorded spans.
+func (c *Collector) Len() int { return len(c.spans) }
+
+// Dropped returns how many spans were discarded after the cap.
+func (c *Collector) Dropped() uint64 { return c.dropped }
+
+// Spans returns the recorded spans (read-only view).
+func (c *Collector) Spans() []Span { return c.spans }
+
+// chromeEvent is the trace-event wire format ("X" = complete event;
+// timestamps and durations in microseconds).
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// WriteChrome writes the spans as a Chrome trace-event JSON array.
+func (c *Collector) WriteChrome(w io.Writer) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	for i, s := range c.spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  "sim",
+			Ph:   "X",
+			Ts:   float64(s.Start) / float64(sim.Microsecond),
+			Dur:  float64(s.Dur) / float64(sim.Microsecond),
+			Pid:  0,
+			Tid:  s.Track,
+		}
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}
+
+// Summary aggregates total duration per (track, name) for quick textual
+// inspection and tests.
+func (c *Collector) Summary() map[string]sim.Time {
+	out := map[string]sim.Time{}
+	for _, s := range c.spans {
+		out[fmt.Sprintf("%d/%s", s.Track, s.Name)] += s.Dur
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCollectAndSummarize(t *testing.T) {
+	c := New()
+	c.Add(0, "load-stall", 100*sim.Nanosecond, 50*sim.Nanosecond)
+	c.Add(0, "load-stall", 300*sim.Nanosecond, 25*sim.Nanosecond)
+	c.Add(1, "sync-wait", 0, 10*sim.Nanosecond)
+	if c.Len() != 3 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	sum := c.Summary()
+	if sum["0/load-stall"] != 75*sim.Nanosecond {
+		t.Errorf("summary = %v", sum)
+	}
+}
+
+func TestCapDrops(t *testing.T) {
+	c := &Collector{Cap: 2}
+	for i := 0; i < 5; i++ {
+		c.Add(0, "x", sim.Time(i), 1)
+	}
+	if c.Len() != 2 || c.Dropped() != 3 {
+		t.Errorf("len=%d dropped=%d", c.Len(), c.Dropped())
+	}
+}
+
+func TestChromeExportParses(t *testing.T) {
+	c := New()
+	c.Add(2, "dma-get", sim.Microsecond, 3*sim.Microsecond)
+	c.Add(0, "load-stall", 0, 500*sim.Nanosecond)
+	var sb strings.Builder
+	if err := c.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("%d events", len(events))
+	}
+	if events[0]["name"] != "dma-get" || events[0]["ts"].(float64) != 1.0 {
+		t.Errorf("event 0 = %v", events[0])
+	}
+	if events[0]["dur"].(float64) != 3.0 {
+		t.Errorf("dur = %v", events[0]["dur"])
+	}
+}
+
+func TestZeroDurationNotEmittedByProcHelper(t *testing.T) {
+	// The collector itself records what it is given; zero-duration
+	// filtering happens at the instrumentation site. Just confirm the
+	// collector copes with zero durations for robustness.
+	c := New()
+	c.Add(0, "z", 0, 0)
+	if c.Len() != 1 {
+		t.Error("zero-duration span rejected by collector")
+	}
+}

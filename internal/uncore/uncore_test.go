@@ -1,0 +1,216 @@
+package uncore
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+func newUncore() *Uncore {
+	return New(DefaultConfig(), noc.New(noc.DefaultConfig(16)))
+}
+
+func TestReadLineMissThenHit(t *testing.T) {
+	u := newUncore()
+	done1, hit1 := u.ReadLine(0, 0, 0x1000)
+	if hit1 {
+		t.Fatal("cold read should miss L2")
+	}
+	// A second read of the same line, long after, should hit the L2 and
+	// be much faster.
+	at := done1 + 1000*sim.Nanosecond
+	done2, hit2 := u.ReadLine(at, 0, 0x1000)
+	if !hit2 {
+		t.Fatal("second read should hit L2")
+	}
+	if done2-at >= done1 {
+		t.Errorf("L2 hit latency %v not better than miss %v", done2-at, done1)
+	}
+	if done1 < 70*sim.Nanosecond {
+		t.Errorf("miss latency %v below DRAM latency", done1)
+	}
+}
+
+func TestFullLineWriteAvoidsRefill(t *testing.T) {
+	u := newUncore()
+	u.WriteLine(0, 0, 0x2000, mem.LineSize, true)
+	if got := u.DRAM().Stats().ReadBytes; got != 0 {
+		t.Errorf("full-line write miss caused %d bytes of DRAM reads; want 0", got)
+	}
+	if u.Stats().L2WriteNoFill != 1 {
+		t.Errorf("L2WriteNoFill = %d, want 1", u.Stats().L2WriteNoFill)
+	}
+}
+
+func TestPartialWriteRefills(t *testing.T) {
+	u := newUncore()
+	u.WriteLine(0, 0, 0x3000, 8, false)
+	if got := u.DRAM().Stats().ReadBytes; got != mem.LineSize {
+		t.Errorf("partial write refill read %d bytes, want %d", got, mem.LineSize)
+	}
+	if u.Stats().L2Refills != 1 {
+		t.Errorf("L2Refills = %d, want 1", u.Stats().L2Refills)
+	}
+}
+
+func TestDirtyL2EvictionWritesDRAM(t *testing.T) {
+	u := newUncore()
+	// Fill one L2 set (16 ways) with dirty lines, then one more to force
+	// a dirty eviction. Lines mapping to set 0: addr = i * nsets * 32.
+	setStride := uint64(u.Config().L2Size) / uint64(u.Config().L2Assoc) // bytes covered by one way pass
+	var at sim.Time
+	for i := 0; i <= 16; i++ {
+		at = u.WriteLine(at, 0, mem.Addr(uint64(i)*setStride), mem.LineSize, true)
+	}
+	if wb := u.Stats().L2Writebacks; wb != 1 {
+		t.Errorf("L2Writebacks = %d, want 1", wb)
+	}
+	if got := u.DRAM().Stats().WriteBytes; got != mem.LineSize {
+		t.Errorf("DRAM write bytes = %d, want %d", got, mem.LineSize)
+	}
+}
+
+func TestReadLineUncachedDoesNotAllocate(t *testing.T) {
+	u := newUncore()
+	u.ReadLineUncached(0, 0, 0x4000)
+	if occ := u.L2().Occupancy(); occ != 0 {
+		t.Errorf("uncached read allocated %d L2 lines", occ)
+	}
+	// But it can still hit a line someone else allocated.
+	u.WriteLine(0, 0, 0x5000, mem.LineSize, true)
+	before := u.DRAM().Stats().Reads
+	u.ReadLineUncached(10000, 0, 0x5000)
+	if u.DRAM().Stats().Reads != before {
+		t.Error("uncached read of L2-resident line went to DRAM")
+	}
+}
+
+func TestFlushDirty(t *testing.T) {
+	u := newUncore()
+	u.WriteLine(0, 0, 0x6000, mem.LineSize, true)
+	u.WriteLine(0, 0, 0x7000, mem.LineSize, true)
+	u.FlushDirty(1000000)
+	if got := u.DRAM().Stats().WriteBytes; got != 2*mem.LineSize {
+		t.Errorf("flushed %d bytes, want %d", got, 2*mem.LineSize)
+	}
+	if u.L2().Occupancy() != 0 {
+		t.Error("L2 not empty after flush")
+	}
+}
+
+func TestL2PortSerializes(t *testing.T) {
+	u := newUncore()
+	// Two same-time read hits from different clusters must serialize on
+	// the single L2 port.
+	u.WriteLine(0, 0, 0x8000, mem.LineSize, true)
+	u.WriteLine(0, 0, 0x8020, mem.LineSize, true)
+	at := sim.Time(1_000_000_000) // 1us, past the writes
+	d1, _ := u.ReadLine(at, 0, 0x8000)
+	d2, _ := u.ReadLine(at, 1, 0x8020)
+	if d2 <= d1 && d1 <= d2 {
+		t.Errorf("same-time L2 accesses did not serialize: %v vs %v", d1, d2)
+	}
+	if d2-at < u.Config().L2Latency*2 {
+		t.Errorf("second access %v did not wait for port", d2-at)
+	}
+}
+
+func TestReadSparseMinBurst(t *testing.T) {
+	u := newUncore()
+	u.ReadSparse(0, 0, 0x9000, 4)
+	if got := u.DRAM().Stats().ReadBytes; got != MinBurst {
+		t.Errorf("sparse 4-byte read moved %d DRAM bytes, want %d (min burst)", got, MinBurst)
+	}
+	// Sparse reads never allocate in the L2.
+	if occ := u.L2().Occupancy(); occ != 0 {
+		t.Errorf("sparse read allocated %d L2 lines", occ)
+	}
+}
+
+func TestReadSparseHitsDirtyL2(t *testing.T) {
+	u := newUncore()
+	u.WriteLine(0, 0, 0xA000, mem.LineSize, true)
+	before := u.DRAM().Stats().Reads
+	u.ReadSparse(10000, 0, 0xA000, 8)
+	if u.DRAM().Stats().Reads != before {
+		t.Error("sparse read of L2-resident dirty line went to DRAM")
+	}
+}
+
+func TestWriteSparseMergesWithoutRefill(t *testing.T) {
+	u := newUncore()
+	u.WriteSparse(0, 0, 0xB000, 8)
+	st := u.DRAM().Stats()
+	if st.ReadBytes != 0 {
+		t.Errorf("sparse write refilled %d bytes; write-combining should avoid it", st.ReadBytes)
+	}
+	if st.WriteBytes != MinBurst {
+		t.Errorf("sparse write moved %d bytes, want %d", st.WriteBytes, MinBurst)
+	}
+}
+
+func TestSparseOversizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	u := newUncore()
+	u.ReadSparse(0, 0, 0, mem.LineSize+1)
+}
+
+func TestL2BanksInterleaveAndParallelize(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L2Banks = 2
+	u := New(cfg, noc.New(noc.DefaultConfig(8)))
+	// Warm two lines that land in different banks (consecutive lines
+	// interleave).
+	u.WriteLine(0, 0, 0x0, mem.LineSize, true)
+	u.WriteLine(0, 0, 0x20, mem.LineSize, true)
+	if u.bankOf(0x0) == u.bankOf(0x20) {
+		t.Fatal("consecutive lines should map to different banks")
+	}
+	at := sim.Time(1_000_000_000)
+	d1, hit1 := u.ReadLine(at, 0, 0x0)
+	d2, hit2 := u.ReadLine(at, 1, 0x20)
+	if !hit1 || !hit2 {
+		t.Fatal("expected L2 hits")
+	}
+	// Different banks, different clusters: near-identical service (no
+	// shared-port serialization).
+	diff := d2 - d1
+	if d1 > d2 {
+		diff = d1 - d2
+	}
+	if diff > cfg.L2Latency {
+		t.Errorf("banked accesses serialized: %v vs %v", d1, d2)
+	}
+	if got := u.L2Banks(); got != 2 {
+		t.Errorf("L2Banks = %d, want 2", got)
+	}
+	if st := u.L2Stats(); st.WriteHits+st.Fills == 0 {
+		t.Error("aggregate L2 stats empty")
+	}
+}
+
+func TestDRAMChannelsShareTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Channels = 2
+	u := New(cfg, noc.New(noc.DefaultConfig(4)))
+	for i := 0; i < 64; i++ {
+		u.ReadLineUncached(0, 0, mem.Addr(i*32))
+	}
+	a := u.drams[0].Stats().Reads
+	b := u.drams[1].Stats().Reads
+	if a == 0 || b == 0 {
+		t.Fatalf("traffic not interleaved: %d / %d", a, b)
+	}
+	if a != b {
+		t.Errorf("sequential lines should split evenly: %d vs %d", a, b)
+	}
+	if got := u.DRAMStats().Reads; got != a+b {
+		t.Errorf("aggregate reads = %d, want %d", got, a+b)
+	}
+}

@@ -1,0 +1,389 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/stream"
+	"repro/internal/syncprim"
+)
+
+func init() {
+	Register("art", func(s Scale) core.Workload { return newArt(s, false) })
+	// The pre-stream-programming version of Figure 10: array-of-structs
+	// F1 layer (sparse strided access) and large temporary vectors.
+	Register("art-orig", func(s Scale) core.Workload { return newArt(s, true) })
+}
+
+// art reproduces the memory behavior of SPEC 179.art's trainmatch loop:
+// an ART neural network whose F1 layer is processed by data-parallel
+// vector passes separated by barriers, a matrix-vector resonance step
+// against the F2 layer, and a winner weight update. The computation is
+// real (the verification reruns it sequentially); what distinguishes the
+// variants is the data layout:
+//
+//   - art-orig: F1 neurons are 64-byte structs and each pass touches one
+//     field, so every access lands on a new cache line with 8 of 32
+//     bytes used — the sparse pattern the paper's Section 6 fixes.
+//   - art: structure-of-arrays fields, merged loops and scalar temps,
+//     the stream-programming rewrite that gave the paper ~7x.
+type art struct {
+	orig  bool
+	numF1 int
+	numF2 int
+	iters int
+
+	i, w, x, v, u, pp, q, r []float64 // F1 fields (SoA storage)
+	tds                     [][]float64
+	tds0                    [][]float64 // initial weights, for verification
+
+	// Simulated layout regions.
+	aosR    mem.Region   // array-of-structs F1 (orig)
+	soaR    []mem.Region // one region per field (optimized)
+	tdsR    mem.Region
+	tempR   mem.Region // orig's large temporary vector
+	cores   int
+	barrier *syncprim.Barrier
+	redLock *syncprim.Lock
+
+	partial  []float64 // reduction scratch (one slot per core)
+	norm     float64
+	winners  []int
+	resonate []float64 // per-F2 accumulators
+}
+
+const artFields = 8
+const artStructBytes = 64
+
+func newArt(s Scale, orig bool) *art {
+	a := &art{orig: orig, numF1: 1 << 14, numF2: 6, iters: 10}
+	switch s {
+	case ScaleSmall:
+		a.numF1 = 1 << 13 // AoS layer ~ L2-sized even at small scale
+		a.iters = 3
+	case ScalePaper:
+		a.numF1 = 1 << 15 // SPEC reference-class F1 layer
+		a.iters = 10      // "we measure 10 invocations of trainmatch"
+	}
+	return a
+}
+
+func (a *art) Name() string {
+	if a.orig {
+		return "art-orig"
+	}
+	return "art"
+}
+
+func (a *art) Setup(sys *core.System) {
+	a.cores = sys.Cores()
+	n := a.numF1
+	alloc := func() []float64 { return make([]float64, n) }
+	a.i, a.w, a.x, a.v, a.u, a.pp, a.q, a.r =
+		alloc(), alloc(), alloc(), alloc(), alloc(), alloc(), alloc(), alloc()
+	rg := newRNG(0xA27)
+	for k := 0; k < n; k++ {
+		a.i[k] = rg.float01()
+	}
+	a.tds = make([][]float64, a.numF2)
+	a.tds0 = make([][]float64, a.numF2)
+	for j := range a.tds {
+		a.tds[j] = alloc()
+		for k := range a.tds[j] {
+			a.tds[j][k] = rg.float01() * 0.1
+		}
+		a.tds0[j] = append([]float64(nil), a.tds[j]...)
+	}
+	as := sys.AddressSpace()
+	a.aosR = as.Alloc("art.f1aos", uint64(n*artStructBytes))
+	for f := 0; f < artFields; f++ {
+		a.soaR = append(a.soaR, as.AllocArray(fmt.Sprintf("art.f%d", f), n, 8))
+	}
+	a.tdsR = as.Alloc("art.tds", uint64(a.numF2*n*8))
+	a.tempR = as.AllocArray("art.temp", n, 8)
+	a.barrier = syncprim.NewBarrier("art.bar", a.cores)
+	a.redLock = syncprim.NewLock("art.red")
+	a.partial = make([]float64, a.cores)
+	a.resonate = make([]float64, a.numF2)
+}
+
+// fieldAddr returns the simulated address of field f of neuron k under
+// the active layout.
+func (a *art) fieldAddr(f, k int) mem.Addr {
+	if a.orig {
+		return a.aosR.At(uint64(k*artStructBytes + f*8))
+	}
+	return a.soaR[f].Index(k, 8)
+}
+
+// loadField charges the loads for reading field f over [lo, hi).
+func (a *art) loadField(p *cpu.Proc, sm *stream.Mem, f, lo, hi int) {
+	n := hi - lo
+	if sm != nil {
+		// Sequential SoA DMA; the strIn helper double-buffers it.
+		in := newStrIn(p, sm, a.fieldAddr(f, lo), 8, n, 1024)
+		in.consume(n)
+		return
+	}
+	if a.orig {
+		// One access per struct: a new line every 64 bytes.
+		for k := lo; k < hi; k++ {
+			p.Load(a.fieldAddr(f, k))
+		}
+		return
+	}
+	p.LoadN(a.fieldAddr(f, lo), 8, uint64(n))
+}
+
+// storeField charges the stores for writing field f over [lo, hi).
+func (a *art) storeField(p *cpu.Proc, sm *stream.Mem, f, lo, hi int) {
+	n := hi - lo
+	if sm != nil {
+		out := newStrOut(p, sm, a.fieldAddr(f, lo), 8, 1024)
+		out.produce(n)
+		out.flush()
+		return
+	}
+	if a.orig {
+		for k := lo; k < hi; k++ {
+			p.Store(a.fieldAddr(f, k))
+		}
+		return
+	}
+	p.StoreN(a.fieldAddr(f, lo), 8, uint64(n))
+}
+
+// reduce combines per-core partial sums; core 0 publishes the result.
+func (a *art) reduce(p *cpu.Proc, val float64) float64 {
+	a.redLock.Acquire(p)
+	a.partial[p.ID()] = val
+	a.redLock.Release(p)
+	a.barrier.Wait(p)
+	if p.ID() == 0 {
+		s := 0.0
+		for _, v := range a.partial {
+			s += v
+		}
+		p.Work(uint64(2 * a.cores))
+		a.norm = s
+	}
+	a.barrier.Wait(p)
+	return a.norm
+}
+
+func (a *art) Run(p *cpu.Proc) {
+	sm, _ := streamMem(p)
+	lo, hi := span(a.numF1, a.cores, p.ID())
+	n := hi - lo
+	for it := 0; it < a.iters; it++ {
+		// Pass 1: norm of I (reduction).
+		a.loadField(p, sm, 0, lo, hi)
+		s := 0.0
+		for k := lo; k < hi; k++ {
+			s += a.i[k] * a.i[k]
+		}
+		p.Work(uint64(2 * n))
+		normI := math.Sqrt(a.reduce(p, s)) + 1e-9
+
+		if a.orig {
+			// Original code: one field-at-a-time pass per vector op,
+			// each striding through the 64-byte neuron structs, with a
+			// large temporary vector written and re-read in between.
+			a.loadField(p, sm, 0, lo, hi) // I
+			for k := lo; k < hi; k++ {
+				a.x[k] = a.i[k] / normI
+			}
+			p.Work(uint64(n))
+			a.storeField(p, sm, 2, lo, hi) // X
+			a.barrier.Wait(p)
+
+			a.loadField(p, sm, 2, lo, hi) // X
+			p.StoreN(a.tempR.Index(lo, 8), 8, uint64(n))
+			p.Work(uint64(n))
+			a.barrier.Wait(p)
+
+			p.LoadN(a.tempR.Index(lo, 8), 8, uint64(n))
+			a.loadField(p, sm, 4, lo, hi) // U
+			for k := lo; k < hi; k++ {
+				a.v[k] = a.x[k] + 0.5*a.u[k]
+			}
+			p.Work(uint64(n))
+			a.storeField(p, sm, 3, lo, hi) // V
+			a.barrier.Wait(p)
+
+			a.loadField(p, sm, 3, lo, hi) // V
+			a.loadField(p, sm, 4, lo, hi) // U
+			for k := lo; k < hi; k++ {
+				a.pp[k] = a.u[k] + a.v[k]
+			}
+			p.Work(uint64(n))
+			a.storeField(p, sm, 5, lo, hi) // P
+			a.barrier.Wait(p)
+
+			// Q = P / |P| needs another reduction pass over P.
+			a.loadField(p, sm, 5, lo, hi)
+			sq := 0.0
+			for k := lo; k < hi; k++ {
+				sq += a.pp[k] * a.pp[k]
+			}
+			p.Work(uint64(2 * n))
+			normP := math.Sqrt(a.reduce(p, sq)) + 1e-9
+			a.loadField(p, sm, 5, lo, hi)
+			for k := lo; k < hi; k++ {
+				a.q[k] = a.pp[k] / normP
+			}
+			p.Work(uint64(n))
+			a.storeField(p, sm, 6, lo, hi) // Q
+			a.barrier.Wait(p)
+
+			a.loadField(p, sm, 5, lo, hi) // P
+			a.loadField(p, sm, 0, lo, hi) // I
+			for k := lo; k < hi; k++ {
+				a.r[k] = (a.i[k] + 0.3*a.pp[k]) / (normI + 0.3*normP)
+			}
+			p.Work(uint64(2 * n))
+			a.storeField(p, sm, 7, lo, hi) // R
+		} else {
+			// Stream-optimized: one fused pass over contiguous fields,
+			// temps in registers ("we were able to replace several
+			// large temporary vectors with scalar values by merging
+			// several loops").
+			a.loadField(p, sm, 0, lo, hi) // I
+			a.loadField(p, sm, 4, lo, hi) // U
+			sq := 0.0
+			for k := lo; k < hi; k++ {
+				a.x[k] = a.i[k] / normI
+				a.v[k] = a.x[k] + 0.5*a.u[k]
+				a.pp[k] = a.u[k] + a.v[k]
+				sq += a.pp[k] * a.pp[k]
+			}
+			p.Work(uint64(5 * n))
+			a.storeField(p, sm, 5, lo, hi) // P (needed by resonance)
+			normP := math.Sqrt(a.reduce(p, sq)) + 1e-9
+			for k := lo; k < hi; k++ {
+				a.q[k] = a.pp[k] / normP
+				a.r[k] = (a.i[k] + 0.3*a.pp[k]) / (normI + 0.3*normP)
+			}
+			p.Work(uint64(3 * n))
+			a.storeField(p, sm, 6, lo, hi) // Q
+			a.storeField(p, sm, 7, lo, hi) // R
+		}
+		a.barrier.Wait(p)
+
+		// Resonance: y[j] = sum_i P[i] * tds[j][i], reduced across
+		// cores, then the winner's weights adapt.
+		for j := 0; j < a.numF2; j++ {
+			s := 0.0
+			for k := lo; k < hi; k++ {
+				s += a.pp[k] * a.tds[j][k]
+			}
+			// tds row slice for this core's span.
+			rowBase := a.tdsR.At(uint64(j*a.numF1*8) + uint64(lo*8))
+			if sm != nil {
+				in := newStrIn(p, sm, rowBase, 8, n, 1024)
+				in.consume(n)
+			} else {
+				p.LoadN(rowBase, 8, uint64(n))
+			}
+			p.Work(uint64(6 * n)) // double-precision MAC + index math
+
+			a.redLock.Acquire(p)
+			a.resonate[j] += s
+			a.redLock.Release(p)
+		}
+		a.barrier.Wait(p)
+		winner := 0
+		if p.ID() == 0 {
+			for j := 1; j < a.numF2; j++ {
+				if a.resonate[j] > a.resonate[winner] {
+					winner = j
+				}
+			}
+			a.winners = append(a.winners, winner)
+			p.Work(uint64(2 * a.numF2))
+		}
+		a.barrier.Wait(p)
+		winner = a.winners[len(a.winners)-1]
+		// Weight update for the winner row (parallel over F1).
+		for k := lo; k < hi; k++ {
+			a.tds[winner][k] += 0.05 * (a.pp[k] - a.tds[winner][k])
+		}
+		rowBase := a.tdsR.At(uint64(winner*a.numF1*8) + uint64(lo*8))
+		if sm != nil {
+			in := newStrIn(p, sm, rowBase, 8, n, 1024)
+			in.consume(n)
+			out := newStrOut(p, sm, rowBase, 8, 1024)
+			out.produce(n)
+			out.flush()
+		} else {
+			p.LoadN(rowBase, 8, uint64(n))
+			p.StoreN(rowBase, 8, uint64(n))
+		}
+		p.Work(uint64(3 * n))
+		if p.ID() == 0 {
+			for j := range a.resonate {
+				a.resonate[j] = 0
+			}
+		}
+		a.barrier.Wait(p)
+	}
+}
+
+func (a *art) Verify() error {
+	if len(a.winners) != a.iters {
+		return fmt.Errorf("art: %d winners recorded, want %d", len(a.winners), a.iters)
+	}
+	// Sequential reference from the saved initial weights. Reduction
+	// order differs from the parallel run, so compare with tolerance.
+	n := a.numF1
+	tds := make([][]float64, a.numF2)
+	for j := range tds {
+		tds[j] = append([]float64(nil), a.tds0[j]...)
+	}
+	normI := 0.0
+	for k := 0; k < n; k++ {
+		normI += a.i[k] * a.i[k]
+	}
+	normI = math.Sqrt(normI) + 1e-9
+	x := make([]float64, n)
+	v := make([]float64, n)
+	pp := make([]float64, n)
+	for k := 0; k < n; k++ {
+		x[k] = a.i[k] / normI
+		v[k] = x[k] + 0.5*a.u[k] // u stays zero throughout
+		pp[k] = a.u[k] + v[k]
+	}
+	for it := 0; it < a.iters; it++ {
+		winner := 0
+		best := math.Inf(-1)
+		for j := 0; j < a.numF2; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += pp[k] * tds[j][k]
+			}
+			if s > best {
+				best, winner = s, j
+			}
+		}
+		if a.winners[it] != winner {
+			return fmt.Errorf("art: iteration %d winner = %d, want %d", it, a.winners[it], winner)
+		}
+		for k := 0; k < n; k++ {
+			tds[winner][k] += 0.05 * (pp[k] - tds[winner][k])
+		}
+	}
+	var got, want float64
+	for j := 0; j < a.numF2; j++ {
+		for k := 0; k < n; k++ {
+			got += a.tds[j][k]
+			want += tds[j][k]
+		}
+	}
+	if math.Abs(got-want) > 1e-6*math.Abs(want) {
+		return fmt.Errorf("art: weight checksum %v, want %v", got, want)
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestArtBothModelsVerify(t *testing.T) {
+	for _, model := range []core.Model{core.CC, core.STR} {
+		rep := runWL(t, "art", model, 4, nil)
+		if rep.Wall == 0 {
+			t.Errorf("%v: zero wall", model)
+		}
+	}
+}
+
+func TestArtOrigVerifies(t *testing.T) {
+	runWL(t, "art-orig", core.CC, 4, nil)
+}
+
+func TestArtOptimizationSpeedsUpCC(t *testing.T) {
+	// The Figure 10 effect: the stream-programming rewrite (SoA layout,
+	// merged loops, scalar temps) is dramatically faster on the
+	// cache-based machine, even without prefetching.
+	orig := runWL(t, "art-orig", core.CC, 4, nil)
+	opt := runWL(t, "art", core.CC, 4, nil)
+	speedup := float64(orig.Wall) / float64(opt.Wall)
+	if speedup < 2.0 {
+		t.Errorf("stream optimization speedup = %.2fx, want >= 2x (paper: ~7x with prefetching)", speedup)
+	}
+	// The original wastes bandwidth on sparse lines.
+	if orig.DRAM.ReadBytes <= opt.DRAM.ReadBytes {
+		t.Errorf("orig reads %d <= opt reads %d; sparse AoS should read more",
+			orig.DRAM.ReadBytes, opt.DRAM.ReadBytes)
+	}
+}
+
+func TestArtPrefetchHelpsOptimizedMore(t *testing.T) {
+	// Both variants stream the F2 weight rows (prefetchable), but only
+	// the optimized layout makes the F1 passes prefetchable: "These
+	// optimizations ... allowed us to use prefetching effectively."
+	pf := func(c *core.Config) { c.PrefetchDepth = 4 }
+	orig := runWL(t, "art-orig", core.CC, 2, nil)
+	origPF := runWL(t, "art-orig", core.CC, 2, pf)
+	opt := runWL(t, "art", core.CC, 2, nil)
+	optPF := runWL(t, "art", core.CC, 2, pf)
+	if optPF.PrefetchFills == 0 {
+		t.Error("no prefetches issued for the contiguous layout")
+	}
+	gainOrig := float64(orig.Wall) / float64(origPF.Wall)
+	gainOpt := float64(opt.Wall) / float64(optPF.Wall)
+	if gainOpt <= gainOrig {
+		t.Errorf("prefetch speedup: opt %.3fx <= orig %.3fx; contiguous layout should benefit more",
+			gainOpt, gainOrig)
+	}
+}

@@ -1,0 +1,170 @@
+package workload
+
+import "math"
+
+// This file holds the signal-processing kernels shared by the JPEG and
+// MPEG-2 workloads: an 8x8 DCT pair, quantization, zigzag ordering and
+// a run-length entropy stage. The transforms are real (the decoders
+// verify round-trips); the simulator only sees their memory behavior
+// and instruction counts.
+
+// dctCos holds the DCT-II basis, precomputed once.
+var dctCos [8][8]float64
+
+func init() {
+	for u := 0; u < 8; u++ {
+		for x := 0; x < 8; x++ {
+			dctCos[u][x] = math.Cos(float64(2*x+1) * float64(u) * math.Pi / 16)
+		}
+	}
+}
+
+func dctAlpha(u int) float64 {
+	if u == 0 {
+		return math.Sqrt2 / 2
+	}
+	return 1
+}
+
+// fdct8 computes the forward 8x8 DCT-II of a spatial block into coef.
+func fdct8(block *[64]int32, coef *[64]int32) {
+	var tmp [64]float64
+	// Rows then columns (separable).
+	for y := 0; y < 8; y++ {
+		for u := 0; u < 8; u++ {
+			s := 0.0
+			for x := 0; x < 8; x++ {
+				s += float64(block[y*8+x]) * dctCos[u][x]
+			}
+			tmp[y*8+u] = s * dctAlpha(u) / 2
+		}
+	}
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			s := 0.0
+			for y := 0; y < 8; y++ {
+				s += tmp[y*8+u] * dctCos[v][y]
+			}
+			coef[v*8+u] = int32(math.RoundToEven(s * dctAlpha(v) / 2))
+		}
+	}
+}
+
+// idct8 inverts fdct8 (up to rounding).
+func idct8(coef *[64]int32, block *[64]int32) {
+	var tmp [64]float64
+	for v := 0; v < 8; v++ {
+		for x := 0; x < 8; x++ {
+			s := 0.0
+			for u := 0; u < 8; u++ {
+				s += dctAlpha(u) * float64(coef[v*8+u]) * dctCos[u][x]
+			}
+			tmp[v*8+x] = s / 2
+		}
+	}
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			s := 0.0
+			for v := 0; v < 8; v++ {
+				s += dctAlpha(v) * tmp[v*8+x] * dctCos[v][y]
+			}
+			block[y*8+x] = int32(math.RoundToEven(s / 2))
+		}
+	}
+}
+
+// jpegQuant is a luminance quantization table (JPEG Annex K, quality
+// ~50).
+var jpegQuant = [64]int32{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// quantize divides coefficients by the table with rounding to nearest.
+func quantize(coef *[64]int32, table *[64]int32) {
+	for i := range coef {
+		q := table[i]
+		c := coef[i]
+		if c >= 0 {
+			coef[i] = (c + q/2) / q
+		} else {
+			coef[i] = -((-c + q/2) / q)
+		}
+	}
+}
+
+// dequantize multiplies coefficients back up.
+func dequantize(coef *[64]int32, table *[64]int32) {
+	for i := range coef {
+		coef[i] *= table[i]
+	}
+}
+
+// zigzag is the JPEG coefficient scan order.
+var zigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// rleEncode appends a (run, level) entropy coding of the zigzagged
+// coefficients to out: runs of zeros are counted, values stored as
+// 16-bit little-endian pairs, terminated by an end-of-block marker.
+func rleEncode(coef *[64]int32, out []byte) []byte {
+	run := 0
+	for _, zi := range zigzag {
+		v := coef[zi]
+		if v == 0 {
+			run++
+			continue
+		}
+		for run > 255 {
+			out = append(out, 255, 0, 0)
+			run -= 255
+		}
+		out = append(out, byte(run), byte(uint16(v)), byte(uint16(v)>>8))
+		run = 0
+	}
+	return append(out, 0xFF, 0xFF, 0xFF) // end of block
+}
+
+// rleDecode parses one block from data, returning the rest.
+func rleDecode(data []byte, coef *[64]int32) []byte {
+	*coef = [64]int32{}
+	pos := 0
+	for {
+		run, lo, hi := data[0], data[1], data[2]
+		data = data[3:]
+		if run == 0xFF && lo == 0xFF && hi == 0xFF {
+			return data
+		}
+		pos += int(run)
+		v := int32(int16(uint16(lo) | uint16(hi)<<8))
+		if v != 0 {
+			coef[zigzag[pos]] = v
+			pos++
+		}
+	}
+}
+
+// Instruction-cost constants for the kernels above, in 3-slot VLIW
+// issue slots. A separable 8x8 DCT is ~2x64x8 multiply-adds on two FPU
+// slots plus address arithmetic.
+const (
+	workFDCT     = 600 // per 8x8 block
+	workIDCT     = 600
+	workQuant    = 96 // 64 divides-by-constant via multiplies
+	workRLE      = 160
+	workPerPixel = 3 // level shift / color handling per pixel
+)

@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/syncprim"
+)
+
+func init() {
+	Register("depth", func(s Scale) core.Workload { return newDepth(s) })
+}
+
+// depthWin is the SAD matching window and depthRange the disparity
+// search range of the stereo matcher.
+const (
+	depthWin   = 8
+	depthRange = 16
+	depthBlk   = 32 // "dividing input frames into 32x32 blocks"
+)
+
+// depth is Stereo Depth Extraction: block-matching disparity between
+// image pairs. It performs an enormous computation per byte fetched
+// (Table 3: ~8700 instructions per L1 miss) and is insensitive to every
+// memory-system experiment in the paper — the control workload.
+type depth struct {
+	pairs int
+	w, h  int
+
+	left  [][]byte // per pair
+	right [][]byte
+	disp  [][]byte
+
+	leftR  []mem.Region
+	rightR []mem.Region
+	dispR  []mem.Region
+	cores  int
+	wq     *syncprim.TaskQueue
+}
+
+func newDepth(s Scale) *depth {
+	d := &depth{pairs: 1, w: 176, h: 144}
+	switch s {
+	case ScaleSmall:
+		d.w, d.h = 64, 48
+	case ScalePaper:
+		d.pairs, d.w, d.h = 3, 352, 288 // "3 CIF image pairs"
+	}
+	return d
+}
+
+func (d *depth) Name() string { return "depth" }
+
+func (d *depth) Setup(sys *core.System) {
+	d.cores = sys.Cores()
+	rg := newRNG(0xDE72)
+	as := sys.AddressSpace()
+	for pi := 0; pi < d.pairs; pi++ {
+		left := make([]byte, d.w*d.h)
+		right := make([]byte, d.w*d.h)
+		// Left image: texture; right image: left shifted by a varying
+		// true disparity plus noise.
+		for y := 0; y < d.h; y++ {
+			for x := 0; x < d.w; x++ {
+				left[y*d.w+x] = byte(x*3+y*7) ^ rg.byte()&0x1F
+			}
+		}
+		for y := 0; y < d.h; y++ {
+			trueD := 2 + (y/16)%8
+			for x := 0; x < d.w; x++ {
+				sx := x + trueD
+				if sx >= d.w {
+					sx = d.w - 1
+				}
+				right[y*d.w+x] = left[y*d.w+sx]
+			}
+		}
+		d.left = append(d.left, left)
+		d.right = append(d.right, right)
+		d.disp = append(d.disp, make([]byte, d.w*d.h))
+		d.leftR = append(d.leftR, as.Alloc(fmt.Sprintf("depth.left%d", pi), uint64(d.w*d.h)))
+		d.rightR = append(d.rightR, as.Alloc(fmt.Sprintf("depth.right%d", pi), uint64(d.w*d.h)))
+		d.dispR = append(d.dispR, as.Alloc(fmt.Sprintf("depth.disp%d", pi), uint64(d.w*d.h)))
+	}
+	bw := (d.w + depthBlk - 1) / depthBlk
+	bh := (d.h + depthBlk - 1) / depthBlk
+	// Static assignment ("statically assigning them to processors") is
+	// modeled with a cheap striped dispenser rather than the dynamic
+	// lock-based queue: index math below mimics static striping.
+	d.wq = syncprim.NewTaskQueue("depth.blocks", d.pairs*bw*bh)
+	_ = bw
+	_ = bh
+}
+
+// matchPixel computes the best disparity for (x, y) by SAD over a
+// depthWin x depthWin window.
+func (d *depth) matchPixel(pi, x, y int) byte {
+	left, right := d.left[pi], d.right[pi]
+	bestD, bestSAD := 0, int(^uint(0)>>1)
+	for disp := 0; disp < depthRange; disp++ {
+		sad := 0
+		for wy := 0; wy < depthWin; wy++ {
+			yy := min(y+wy, d.h-1)
+			for wx := 0; wx < depthWin; wx++ {
+				xx := min(x+wx, d.w-1)
+				sx := min(xx+disp, d.w-1)
+				diff := int(left[yy*d.w+xx]) - int(right[yy*d.w+sx])
+				if diff < 0 {
+					diff = -diff
+				}
+				sad += diff
+			}
+		}
+		if sad < bestSAD {
+			bestSAD, bestD = sad, disp
+		}
+	}
+	return byte(bestD)
+}
+
+// depthWorkPerPixel: 16 disparities x 64 absolute differences, two SAD
+// ops per 3-slot instruction, plus min tracking.
+const depthWorkPerPixel = depthRange*depthWin*depthWin/2 + 24
+
+func (d *depth) Run(p *cpu.Proc) {
+	sm, isSTR := streamMem(p)
+	bw := (d.w + depthBlk - 1) / depthBlk
+	bh := (d.h + depthBlk - 1) / depthBlk
+	total := d.pairs * bw * bh
+	// Static striped assignment across cores.
+	for task := p.ID(); task < total; task += d.cores {
+		pi := task / (bw * bh)
+		rem := task % (bw * bh)
+		bx, by := rem%bw, rem/bw
+		x0, y0 := bx*depthBlk, by*depthBlk
+		x1, y1 := min(x0+depthBlk, d.w), min(y0+depthBlk, d.h)
+
+		// Fetch the left block rows and the right rows extended by the
+		// search range.
+		for y := y0; y < y1; y++ {
+			nL := uint64(x1 - x0)
+			nR := uint64(min(x1+depthRange+depthWin, d.w) - x0)
+			if isSTR {
+				g1 := sm.Get(p, d.leftR[pi].At(uint64(y*d.w+x0)), nL)
+				g2 := sm.Get(p, d.rightR[pi].At(uint64(y*d.w+x0)), nR)
+				sm.Wait(p, g1)
+				sm.Wait(p, g2)
+			} else {
+				p.LoadN(d.leftR[pi].At(uint64(y*d.w+x0)), 4, (nL+3)/4)
+				p.LoadN(d.rightR[pi].At(uint64(y*d.w+x0)), 4, (nR+3)/4)
+			}
+		}
+		pixels := uint64((x1 - x0) * (y1 - y0))
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				d.disp[pi][y*d.w+x] = d.matchPixel(pi, x, y)
+			}
+		}
+		if isSTR {
+			sm.LSLoadN(p, pixels*2)
+			p.Work(pixels * depthWorkPerPixel)
+			sm.LSStoreN(p, pixels/4)
+			for y := y0; y < y1; y++ {
+				put := sm.Put(p, d.dispR[pi].At(uint64(y*d.w+x0)), uint64(x1-x0))
+				if y == y1-1 {
+					sm.Wait(p, put)
+				}
+			}
+		} else {
+			p.Work(pixels * depthWorkPerPixel)
+			for y := y0; y < y1; y++ {
+				p.StoreN(d.dispR[pi].At(uint64(y*d.w+x0)), 4, uint64(x1-x0+3)/4)
+			}
+		}
+	}
+}
+
+func (d *depth) Verify() error {
+	for pi := 0; pi < d.pairs; pi++ {
+		for y := 0; y < d.h; y += 7 {
+			for x := 0; x < d.w; x += 5 {
+				want := d.matchPixel(pi, x, y)
+				if got := d.disp[pi][y*d.w+x]; got != want {
+					return fmt.Errorf("depth: pair %d (%d,%d) = %d, want %d", pi, x, y, got, want)
+				}
+			}
+		}
+	}
+	return nil
+}

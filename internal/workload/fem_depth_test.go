@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestFEMBothModelsVerify(t *testing.T) {
+	for _, model := range []core.Model{core.CC, core.STR} {
+		for _, n := range []int{1, 4} {
+			runWL(t, "fem", model, n, nil)
+		}
+	}
+}
+
+func TestFEMModelsComparable(t *testing.T) {
+	// Figure 2: FEM performs almost identically on both models.
+	cc := runWL(t, "fem", core.CC, 4, nil)
+	str := runWL(t, "fem", core.STR, 4, nil)
+	ratio := float64(cc.Wall) / float64(str.Wall)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("CC/STR wall ratio = %.2f, want comparable", ratio)
+	}
+}
+
+func TestDepthBothModelsVerify(t *testing.T) {
+	for _, model := range []core.Model{core.CC, core.STR} {
+		runWL(t, "depth", model, 4, nil)
+	}
+}
+
+func TestDepthComputeBound(t *testing.T) {
+	rep := runWL(t, "depth", core.CC, 4, nil)
+	frac := float64(rep.Breakdown.Useful) / float64(rep.Breakdown.Total())
+	if frac < 0.9 {
+		t.Errorf("useful fraction = %.2f, want > 0.9 (Depth is compute-bound)", frac)
+	}
+	if rep.InstrPerL1Miss() < 1000 {
+		t.Errorf("instr/L1-miss = %.0f, want >1000 (Table 3: ~8700)", rep.InstrPerL1Miss())
+	}
+}
+
+func TestDepthScalesBothModels(t *testing.T) {
+	for _, model := range []core.Model{core.CC, core.STR} {
+		t1 := runWL(t, "depth", model, 1, nil).Wall
+		t4 := runWL(t, "depth", model, 4, nil).Wall
+		if float64(t4) > float64(t1)/2.8 {
+			t.Errorf("%v: 4-core depth %v vs 1-core %v; want near-linear scaling", model, t4, t1)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// runWL builds a system, runs the named workload at small scale, and
+// fails the test on verification errors.
+func runWL(t *testing.T, name string, model core.Model, cores int, mut func(*core.Config)) *core.Report {
+	t.Helper()
+	f, err := Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(model, cores)
+	if mut != nil {
+		mut(&cfg)
+	}
+	sys := core.New(cfg)
+	rep, err := sys.Run(f(ScaleSmall))
+	if err != nil {
+		t.Fatalf("%s/%v/%d: %v", name, model, cores, err)
+	}
+	return rep
+}
+
+func TestFIRBothModelsVerify(t *testing.T) {
+	for _, model := range []core.Model{core.CC, core.STR} {
+		for _, n := range []int{1, 4} {
+			rep := runWL(t, "fir", model, n, nil)
+			if rep.Wall == 0 {
+				t.Errorf("%v/%d: zero wall", model, n)
+			}
+		}
+	}
+}
+
+func TestFIRSTRAvoidsRefills(t *testing.T) {
+	cc := runWL(t, "fir", core.CC, 4, nil)
+	str := runWL(t, "fir", core.STR, 4, nil)
+	// CC reads input + refills the output stream; STR reads input only.
+	if cc.DRAM.ReadBytes <= str.DRAM.ReadBytes*3/2 {
+		t.Errorf("CC read %d, STR read %d; want refill overhead in CC",
+			cc.DRAM.ReadBytes, str.DRAM.ReadBytes)
+	}
+}
+
+func TestFIRPFSEliminatesRefills(t *testing.T) {
+	plain := runWL(t, "fir", core.CC, 4, nil)
+	pfs := runWL(t, "fir-pfs", core.CC, 4, nil)
+	str := runWL(t, "fir", core.STR, 4, nil)
+	if pfs.DRAM.ReadBytes >= plain.DRAM.ReadBytes*3/4 {
+		t.Errorf("PFS read %d vs plain %d; want a large reduction",
+			pfs.DRAM.ReadBytes, plain.DRAM.ReadBytes)
+	}
+	// PFS brings CC traffic to rough parity with streaming (Figure 8).
+	lo, hi := str.DRAM.ReadBytes*3/4, str.DRAM.ReadBytes*3/2+4096
+	if pfs.DRAM.ReadBytes < lo || pfs.DRAM.ReadBytes > hi {
+		t.Errorf("PFS reads %d not near STR reads %d", pfs.DRAM.ReadBytes, str.DRAM.ReadBytes)
+	}
+}
+
+func TestFIRSTRInstructionOverhead(t *testing.T) {
+	cc := runWL(t, "fir", core.CC, 2, nil)
+	str := runWL(t, "fir", core.STR, 2, nil)
+	ratio := float64(str.Instructions) / float64(cc.Instructions)
+	// The paper measured 14% more instructions when streaming.
+	if ratio < 1.05 || ratio > 1.30 {
+		t.Errorf("STR/CC instruction ratio = %.3f, want ~1.14", ratio)
+	}
+}

@@ -1,0 +1,367 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/syncprim"
+)
+
+func init() {
+	Register("h264", func(s Scale) core.Workload { return newH264(s) })
+}
+
+// h264 models the H.264 encoder's defining behavior: intra prediction
+// creates dependencies between macroblocks (a block predicts from the
+// *reconstructed* pixels of its left and top neighbors), so parallelism
+// is limited to the anti-diagonal wavefront. "We schedule the
+// processing of dependent macroblocks so as to minimize the length of
+// the critical execution path ... the macroblock parallelism available
+// in H.264 is limited", which shows up as synchronization stalls on
+// both memory models at high core counts (Figure 2).
+//
+// The encoder is real: DC/horizontal/vertical intra mode decision by
+// SAD, residual DCT + quantization + RLE, and reconstruction through
+// the inverse transform (so the dependency is genuine — reordering
+// macroblocks illegally would change the output).
+type h264 struct {
+	frames int
+	w, h   int
+	mbW    int
+	mbH    int
+
+	pix   [][]byte
+	recon [][]byte
+	modes [][]uint8
+	out   [][][]byte
+
+	pixR   []mem.Region
+	reconR []mem.Region
+	outR   []mem.Region
+
+	cores   int
+	lock    *syncprim.Lock
+	barrier *syncprim.Barrier
+	deps    []int8
+	ready   []int
+	done    int
+}
+
+func newH264(s Scale) *h264 {
+	e := &h264{frames: 3, w: 176, h: 144}
+	switch s {
+	case ScaleSmall:
+		e.frames, e.w, e.h = 2, 96, 80
+	case ScalePaper:
+		e.frames, e.w, e.h = 10, 352, 288
+	}
+	e.mbW, e.mbH = e.w/mbSize, e.h/mbSize
+	return e
+}
+
+func (e *h264) Name() string { return "h264" }
+
+func (e *h264) Setup(sys *core.System) {
+	e.cores = sys.Cores()
+	rg := newRNG(0x264)
+	as := sys.AddressSpace()
+	for f := 0; f < e.frames; f++ {
+		pix := make([]byte, e.w*e.h)
+		for y := 0; y < e.h; y++ {
+			for x := 0; x < e.w; x++ {
+				pix[y*e.w+x] = byte(13*(x/8)+29*(y/8)+5*f) ^ rg.byte()&0x07
+			}
+		}
+		e.pix = append(e.pix, pix)
+		e.recon = append(e.recon, make([]byte, e.w*e.h))
+		e.modes = append(e.modes, make([]uint8, e.mbW*e.mbH))
+		e.out = append(e.out, make([][]byte, e.mbW*e.mbH))
+		e.pixR = append(e.pixR, as.Alloc(fmt.Sprintf("h264.f%d", f), uint64(e.w*e.h)))
+		e.reconR = append(e.reconR, as.Alloc(fmt.Sprintf("h264.r%d", f), uint64(e.w*e.h)))
+		e.outR = append(e.outR, as.Alloc(fmt.Sprintf("h264.o%d", f), uint64(e.mbW*e.mbH*mbOutSlot)))
+	}
+	e.lock = syncprim.NewLock("h264.sched")
+	e.barrier = syncprim.NewBarrier("h264.bar", e.cores)
+	e.deps = make([]int8, e.mbW*e.mbH)
+	// Like MPEG-2, the encoder's footprint pressures the 16 KB I-cache.
+	sys.SetICacheProfile(3000)
+}
+
+// predict fills pred with the chosen intra prediction for mb, returning
+// the SAD-best mode (0 = DC, 1 = vertical from top, 2 = horizontal from
+// left). Prediction sources are reconstructed neighbor pixels.
+func (e *h264) predict(f, mbx, mby int, pred []byte) uint8 {
+	x, y := mbx*mbSize, mby*mbSize
+	rec := e.recon[f]
+	cur := e.pix[f]
+	// Candidate predictions.
+	var dc int
+	var top, left [mbSize]byte
+	haveTop, haveLeft := mby > 0, mbx > 0
+	count := 0
+	for i := 0; i < mbSize; i++ {
+		if haveTop {
+			top[i] = rec[(y-1)*e.w+x+i]
+			dc += int(top[i])
+			count++
+		}
+		if haveLeft {
+			left[i] = rec[(y+i)*e.w+x-1]
+			dc += int(left[i])
+			count++
+		}
+	}
+	if count > 0 {
+		dc /= count
+	} else {
+		dc = 128
+	}
+	bestMode, bestSAD := uint8(0), 1<<30
+	try := func(mode uint8, at func(i, j int) byte) {
+		sad := 0
+		for j := 0; j < mbSize; j++ {
+			for i := 0; i < mbSize; i++ {
+				d := int(cur[(y+j)*e.w+x+i]) - int(at(i, j))
+				if d < 0 {
+					d = -d
+				}
+				sad += d
+			}
+		}
+		if sad < bestSAD {
+			bestSAD = sad
+			bestMode = mode
+		}
+	}
+	try(0, func(i, j int) byte { return byte(dc) })
+	if haveTop {
+		try(1, func(i, j int) byte { return top[i] })
+	}
+	if haveLeft {
+		try(2, func(i, j int) byte { return left[j] })
+	}
+	fill := func(at func(i, j int) byte) {
+		for j := 0; j < mbSize; j++ {
+			for i := 0; i < mbSize; i++ {
+				pred[j*mbSize+i] = at(i, j)
+			}
+		}
+	}
+	switch bestMode {
+	case 1:
+		fill(func(i, j int) byte { return top[i] })
+	case 2:
+		fill(func(i, j int) byte { return left[j] })
+	default:
+		fill(func(i, j int) byte { return byte(dc) })
+	}
+	return bestMode
+}
+
+// encodeMB codes one macroblock and reconstructs it in place.
+func (e *h264) encodeMB(f, mb int, pred []byte, res []int32) {
+	mbx, mby := mb%e.mbW, mb/e.mbW
+	x, y := mbx*mbSize, mby*mbSize
+	e.modes[f][mb] = e.predict(f, mbx, mby, pred)
+	cur := e.pix[f]
+	for j := 0; j < mbSize; j++ {
+		for i := 0; i < mbSize; i++ {
+			res[j*mbSize+i] = int32(cur[(y+j)*e.w+x+i]) - int32(pred[j*mbSize+i])
+		}
+	}
+	var out []byte
+	var blk, coef [64]int32
+	rec := e.recon[f]
+	for b := 0; b < 4; b++ {
+		ox, oy := (b%2)*8, (b/2)*8
+		for j := 0; j < 8; j++ {
+			for i := 0; i < 8; i++ {
+				blk[j*8+i] = res[(oy+j)*mbSize+ox+i]
+			}
+		}
+		fdct8(&blk, &coef)
+		quantize(&coef, &jpegQuant)
+		out = rleEncode(&coef, out)
+		// Reconstruction path: dequantize + inverse transform + pred.
+		dequantize(&coef, &jpegQuant)
+		idct8(&coef, &blk)
+		for j := 0; j < 8; j++ {
+			for i := 0; i < 8; i++ {
+				v := blk[j*8+i] + int32(pred[(oy+j)*mbSize+ox+i])
+				if v < 0 {
+					v = 0
+				}
+				if v > 255 {
+					v = 255
+				}
+				rec[(y+oy+j)*e.w+x+ox+i] = byte(v)
+			}
+		}
+	}
+	e.out[f][mb] = out
+}
+
+// workH264MB is the issue cost per macroblock: intra mode trials,
+// forward+inverse transforms, quantization both ways, coding and
+// reconstruction clamping.
+const workH264MB = 3*workSAD16 + 4*(workFDCT+workQuant+workRLE+workIDCT) + 2*workResid + workMBMisc
+
+// workH264ME approximates the encoder's dominant cost on P-frames that
+// this intra-path model does not execute: exhaustive fractional motion
+// search and rate-distortion mode decisions (H.264's compute per
+// macroblock dwarfs MPEG-2's — Table 3 shows ~3700 instructions per L1
+// miss). Charged per macroblock on non-first frames.
+const workH264ME = 140 * workSAD16
+
+// pollDelay is how long a core backs off when no macroblock is ready.
+const pollDelay = 200 * sim.Nanosecond
+
+func (e *h264) Run(p *cpu.Proc) {
+	sm, isSTR := streamMem(p)
+	pred := make([]byte, mbSize*mbSize)
+	res := make([]int32, mbSize*mbSize)
+	nMB := e.mbW * e.mbH
+	for f := 0; f < e.frames; f++ {
+		if p.ID() == 0 {
+			for mb := 0; mb < nMB; mb++ {
+				d := int8(0)
+				if mb%e.mbW > 0 {
+					d++
+				}
+				if mb/e.mbW > 0 {
+					d++
+				}
+				e.deps[mb] = d
+			}
+			e.ready = e.ready[:0]
+			e.ready = append(e.ready, 0)
+			e.done = 0
+		}
+		e.barrier.Wait(p)
+		for {
+			e.lock.Acquire(p)
+			if e.done == nMB {
+				e.lock.Release(p)
+				break
+			}
+			if len(e.ready) == 0 {
+				e.lock.Release(p)
+				p.WaitUntil(p.Now() + pollDelay)
+				continue
+			}
+			mb := e.ready[0]
+			e.ready = e.ready[1:]
+			e.lock.Release(p)
+
+			mbx, mby := mb%e.mbW, mb/e.mbW
+			x, y := mbx*mbSize, mby*mbSize
+			// Input pixels + neighbor reconstruction rows/columns.
+			if isSTR {
+				g := sm.GetStrided(p, e.pixR[f].At(uint64(y*e.w+x)), mbSize, uint64(e.w), mbSize)
+				if mby > 0 {
+					g2 := sm.Get(p, e.reconR[f].At(uint64((y-1)*e.w+x)), mbSize)
+					sm.Wait(p, g2)
+				}
+				if mbx > 0 {
+					g3 := sm.GetStrided(p, e.reconR[f].At(uint64(y*e.w+x-1)), 1, uint64(e.w), mbSize)
+					sm.Wait(p, g3)
+				}
+				sm.Wait(p, g)
+				sm.LSLoadN(p, mbSize*mbSize/4)
+			} else {
+				for j := 0; j < mbSize; j++ {
+					p.LoadN(e.pixR[f].At(uint64((y+j)*e.w+x)), 4, mbSize/4)
+				}
+				if mby > 0 {
+					p.LoadN(e.reconR[f].At(uint64((y-1)*e.w+x)), 4, mbSize/4)
+				}
+				if mbx > 0 {
+					for j := 0; j < mbSize; j++ {
+						p.Load(e.reconR[f].At(uint64((y+j)*e.w + x - 1)))
+					}
+				}
+			}
+			e.encodeMB(f, mb, pred, res)
+			work := uint64(workH264MB)
+			if f > 0 {
+				work += workH264ME
+			}
+			if isSTR {
+				// "The streaming H.264 takes advantage of some boundary-
+				// condition optimizations that proved difficult in the
+				// cache-based variant", a slight instruction reduction.
+				work = work * 97 / 100
+			}
+			p.Work(work)
+			// Write reconstruction + bitstream.
+			n := uint64(len(e.out[f][mb]))
+			if isSTR {
+				sm.LSStoreN(p, mbSize*mbSize/4)
+				pr := sm.PutStrided(p, e.reconR[f].At(uint64(y*e.w+x)), mbSize, uint64(e.w), mbSize)
+				po := sm.Put(p, e.outR[f].At(uint64(mb*mbOutSlot)), n)
+				sm.Wait(p, pr)
+				sm.Wait(p, po)
+			} else {
+				for j := 0; j < mbSize; j++ {
+					p.StoreN(e.reconR[f].At(uint64((y+j)*e.w+x)), 4, mbSize/4)
+				}
+				p.StoreN(e.outR[f].At(uint64(mb*mbOutSlot)), 4, (n+3)/4)
+			}
+
+			// Release dependents.
+			e.lock.Acquire(p)
+			e.done++
+			if mbx+1 < e.mbW {
+				r := mb + 1
+				e.deps[r]--
+				if e.deps[r] == 0 {
+					e.ready = append(e.ready, r)
+				}
+			}
+			if mby+1 < e.mbH {
+				r := mb + e.mbW
+				e.deps[r]--
+				if e.deps[r] == 0 {
+					e.ready = append(e.ready, r)
+				}
+			}
+			e.lock.Release(p)
+		}
+		e.barrier.Wait(p)
+	}
+}
+
+func (e *h264) Verify() error {
+	// Re-encode sequentially in raster order (a legal dependency order)
+	// and compare bitstreams and reconstructions.
+	ref := &h264{frames: e.frames, w: e.w, h: e.h, mbW: e.mbW, mbH: e.mbH}
+	ref.pix = e.pix
+	pred := make([]byte, mbSize*mbSize)
+	res := make([]int32, mbSize*mbSize)
+	for f := 0; f < e.frames; f++ {
+		ref.recon = append(ref.recon, make([]byte, e.w*e.h))
+		ref.modes = append(ref.modes, make([]uint8, e.mbW*e.mbH))
+		ref.out = append(ref.out, make([][]byte, e.mbW*e.mbH))
+	}
+	for f := 0; f < e.frames; f++ {
+		for mb := 0; mb < e.mbW*e.mbH; mb++ {
+			ref.encodeMB(f, mb, pred, res)
+			got, want := e.out[f][mb], ref.out[f][mb]
+			if len(got) != len(want) {
+				return fmt.Errorf("h264: frame %d mb %d output %d bytes, want %d", f, mb, len(got), len(want))
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					return fmt.Errorf("h264: frame %d mb %d byte %d differs", f, mb, k)
+				}
+			}
+			if e.modes[f][mb] != ref.modes[f][mb] {
+				return fmt.Errorf("h264: frame %d mb %d mode %d, want %d", f, mb, e.modes[f][mb], ref.modes[f][mb])
+			}
+		}
+	}
+	return nil
+}

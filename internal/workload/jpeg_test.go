@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestDCTRoundTrip(t *testing.T) {
+	var blk, coef, back [64]int32
+	r := newRNG(7)
+	for i := range blk {
+		blk[i] = int32(r.intn(256)) - 128
+	}
+	fdct8(&blk, &coef)
+	idct8(&coef, &back)
+	for i := range blk {
+		d := blk[i] - back[i]
+		if d < -1 || d > 1 {
+			t.Fatalf("DCT round trip error at %d: %d vs %d", i, blk[i], back[i])
+		}
+	}
+}
+
+func TestDCTDCCoefficient(t *testing.T) {
+	var blk, coef [64]int32
+	for i := range blk {
+		blk[i] = 100
+	}
+	fdct8(&blk, &coef)
+	if coef[0] != 800 { // 8 * mean
+		t.Errorf("DC coefficient = %d, want 800", coef[0])
+	}
+	for i := 1; i < 64; i++ {
+		if coef[i] != 0 {
+			t.Errorf("AC coefficient %d = %d, want 0 for flat block", i, coef[i])
+		}
+	}
+}
+
+func TestRLERoundTrip(t *testing.T) {
+	var coef [64]int32
+	coef[0] = 42
+	coef[8] = -7
+	coef[63] = 3
+	data := rleEncode(&coef, nil)
+	var back [64]int32
+	rest := rleDecode(data, &back)
+	if len(rest) != 0 {
+		t.Errorf("%d bytes left after decode", len(rest))
+	}
+	for i := range coef {
+		if coef[i] != back[i] {
+			t.Fatalf("RLE round trip differs at %d: %d vs %d", i, coef[i], back[i])
+		}
+	}
+}
+
+func TestQuantizeRounds(t *testing.T) {
+	var c [64]int32
+	c[0] = 33 // /16 -> 2.06 -> 2
+	c[1] = -28
+	quantize(&c, &jpegQuant)
+	if c[0] != 2 {
+		t.Errorf("quantize(33/16) = %d, want 2", c[0])
+	}
+	if c[1] != -3 { // -28/11 = -2.55 -> -3
+		t.Errorf("quantize(-28/11) = %d, want -3", c[1])
+	}
+}
+
+func TestJPEGEncodeBothModels(t *testing.T) {
+	for _, model := range []core.Model{core.CC, core.STR} {
+		runWL(t, "jpeg-encode", model, 4, nil)
+	}
+}
+
+func TestJPEGDecodeBothModels(t *testing.T) {
+	for _, model := range []core.Model{core.CC, core.STR} {
+		runWL(t, "jpeg-decode", model, 4, nil)
+	}
+}
+
+func TestJPEGDecodeWriteHeavy(t *testing.T) {
+	enc := runWL(t, "jpeg-encode", core.CC, 2, nil)
+	dec := runWL(t, "jpeg-decode", core.CC, 2, nil)
+	// "Encode reads a lot of data but outputs little; Decode behaves in
+	// the opposite way." Compare L1 write/read mixes.
+	encRatio := float64(enc.L1.Writes) / float64(enc.L1.Reads+1)
+	decRatio := float64(dec.L1.Writes) / float64(dec.L1.Reads+1)
+	if decRatio <= encRatio {
+		t.Errorf("decode write/read ratio %.2f <= encode %.2f", decRatio, encRatio)
+	}
+}
+
+func TestJPEGDecodeSTRSavesRefills(t *testing.T) {
+	cc := runWL(t, "jpeg-decode", core.CC, 4, nil)
+	str := runWL(t, "jpeg-decode", core.STR, 4, nil)
+	// CC refills output frames on store misses; STR writes full lines
+	// via DMA. Compare memory-system read requests.
+	if cc.Unc.ReadRequests <= str.Unc.ReadRequests {
+		t.Errorf("CC read requests %d <= STR %d; expected output refills", cc.Unc.ReadRequests, str.Unc.ReadRequests)
+	}
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestH264BothModelsVerify(t *testing.T) {
+	for _, model := range []core.Model{core.CC, core.STR} {
+		for _, n := range []int{1, 4} {
+			runWL(t, "h264", model, n, nil)
+		}
+	}
+}
+
+func TestH264LimitedParallelism(t *testing.T) {
+	// Wavefront dependencies limit available parallelism; sync stalls
+	// grow with core count on both models (Figure 2 H.264/MergeSort).
+	r2 := runWL(t, "h264", core.CC, 2, nil)
+	r8 := runWL(t, "h264", core.CC, 8, nil)
+	frac2 := float64(r2.Breakdown.Sync) / float64(r2.Breakdown.Total())
+	frac8 := float64(r8.Breakdown.Sync) / float64(r8.Breakdown.Total())
+	if frac8 <= frac2 {
+		t.Errorf("sync fraction %.3f at 8 cores <= %.3f at 2", frac8, frac2)
+	}
+	// And speedup is sublinear.
+	if float64(r8.Wall) < float64(r2.Wall)/3.9 {
+		t.Errorf("8-core h264 scaled too perfectly: %v vs %v", r8.Wall, r2.Wall)
+	}
+}
+
+func TestRaytracerBothModelsVerify(t *testing.T) {
+	for _, model := range []core.Model{core.CC, core.STR} {
+		for _, n := range []int{1, 4} {
+			runWL(t, "raytracer", model, n, nil)
+		}
+	}
+}
+
+func TestRaytracerTreeCachesWell(t *testing.T) {
+	// The KD-tree's hot upper levels should hit in the L1: high hit
+	// rate despite the irregular traversal (Table 3 raytracer L1 miss
+	// rate ~1%).
+	rep := runWL(t, "raytracer", core.CC, 2, nil)
+	if mr := rep.L1MissRate(); mr > 0.10 {
+		t.Errorf("L1 miss rate %.3f; the tree should cache well", mr)
+	}
+}
+
+func TestRaytracerSTRUsesSmallCache(t *testing.T) {
+	rep := runWL(t, "raytracer", core.STR, 2, nil)
+	// The streaming version reads the tree through its 8 KB cache, not
+	// via DMA gathers.
+	if rep.L1.Reads == 0 {
+		t.Error("STR raytracer never used its small cache")
+	}
+	if rep.DMAGetBytes != 0 {
+		t.Errorf("STR raytracer DMA-read %d bytes; the tree should come through the cache", rep.DMAGetBytes)
+	}
+	if rep.DMAPutBytes == 0 {
+		t.Error("framebuffer should be written with DMA")
+	}
+}

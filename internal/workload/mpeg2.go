@@ -1,0 +1,542 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dma"
+	"repro/internal/mem"
+	"repro/internal/stream"
+	"repro/internal/syncprim"
+)
+
+func init() {
+	Register("mpeg2", func(s Scale) core.Workload { return newMpeg2(s, mpegFused) })
+	// Section 6 / Figure 9: the original parallel code runs each kernel
+	// over a whole frame before the next is invoked, with frame-sized
+	// temporaries in between.
+	Register("mpeg2-orig", func(s Scale) core.Workload { return newMpeg2(s, mpegOrig) })
+	// Section 5.5 / Figure 8: fused version with Prepare-For-Store
+	// output.
+	Register("mpeg2-pfs", func(s Scale) core.Workload { return newMpeg2(s, mpegPFS) })
+}
+
+type mpegVariant int
+
+const (
+	mpegFused mpegVariant = iota // stream-programmed: all kernels per macroblock
+	mpegOrig                     // kernel-per-frame passes with temporaries
+	mpegPFS                      // fused + non-allocating output stores
+)
+
+const (
+	mbSize    = 16
+	meRange   = 7    // +/- motion search range
+	mbOutSlot = 1024 // reserved output bytes per macroblock
+)
+
+// mpeg2 is the MPEG-2 encoder: macroblock motion estimation against the
+// previous frame (three-step search), residual DCT, quantization and
+// run-length coding. Macroblocks are dynamically assigned from a task
+// queue; they are entirely data-parallel within a frame (Section 4.2).
+type mpeg2 struct {
+	variant mpegVariant
+	frames  int
+	w, h    int
+	mbW     int
+	mbH     int
+
+	pix [][]byte // per frame luma
+
+	// Per frame per macroblock outputs.
+	mvX, mvY [][]int8
+	out      [][][]byte
+
+	// Frame-sized temporaries for the unfused original code.
+	resid []int32 // residual pixels
+	coefT []int32 // DCT coefficients
+
+	pixR    []mem.Region
+	outR    []mem.Region
+	residR  mem.Region
+	coefR   mem.Region
+	cores   int
+	wq      *syncprim.TaskQueue
+	barrier *syncprim.Barrier
+}
+
+func newMpeg2(s Scale, v mpegVariant) *mpeg2 {
+	m := &mpeg2{variant: v, frames: 4, w: 176, h: 144}
+	switch s {
+	case ScaleSmall:
+		m.frames, m.w, m.h = 2, 96, 80
+	case ScalePaper:
+		m.frames, m.w, m.h = 10, 352, 288 // "10 CIF frames"
+	}
+	m.mbW, m.mbH = m.w/mbSize, m.h/mbSize
+	return m
+}
+
+func (m *mpeg2) Name() string {
+	switch m.variant {
+	case mpegOrig:
+		return "mpeg2-orig"
+	case mpegPFS:
+		return "mpeg2-pfs"
+	}
+	return "mpeg2"
+}
+
+func (m *mpeg2) Setup(sys *core.System) {
+	m.cores = sys.Cores()
+	rg := newRNG(0x3E62)
+	as := sys.AddressSpace()
+	for f := 0; f < m.frames; f++ {
+		pix := make([]byte, m.w*m.h)
+		for y := 0; y < m.h; y++ {
+			for x := 0; x < m.w; x++ {
+				// A pattern moving 2 px right / 1 px down per frame,
+				// with static noise.
+				sx, sy := x+2*f, y+f
+				pix[y*m.w+x] = byte(23*(sx/4)+31*(sy/4)) ^ rg.byte()&0x07
+			}
+		}
+		m.pix = append(m.pix, pix)
+		m.pixR = append(m.pixR, as.Alloc(fmt.Sprintf("mpeg2.f%d", f), uint64(m.w*m.h)))
+		m.outR = append(m.outR, as.Alloc(fmt.Sprintf("mpeg2.out%d", f), uint64(m.mbW*m.mbH*mbOutSlot)))
+		m.mvX = append(m.mvX, make([]int8, m.mbW*m.mbH))
+		m.mvY = append(m.mvY, make([]int8, m.mbW*m.mbH))
+		m.out = append(m.out, make([][]byte, m.mbW*m.mbH))
+	}
+	m.resid = make([]int32, m.w*m.h)
+	m.coefT = make([]int32, m.w*m.h)
+	m.residR = as.AllocArray("mpeg2.resid", m.w*m.h, 4)
+	m.coefR = as.AllocArray("mpeg2.coef", m.w*m.h, 4)
+	m.wq = syncprim.NewTaskQueue("mpeg2.mbs", 0)
+	m.barrier = syncprim.NewBarrier("mpeg2.bar", m.cores)
+
+	// MPEG-2's code footprint exceeds the 16 KB I-cache ("MPEG-2
+	// suffers a moderate number of instruction cache misses due the
+	// cache's limited size"); the fused loop body is bigger, so the
+	// stream-optimized code misses more (Figure 9 discussion).
+	if m.variant == mpegOrig {
+		sys.SetICacheProfile(5000)
+	} else {
+		sys.SetICacheProfile(2500)
+	}
+}
+
+// sad16 computes the 16x16 sum of absolute differences between the
+// macroblock at (x,y) in cur and the block at (x+dx, y+dy) in ref.
+func (m *mpeg2) sad16(cur, ref []byte, x, y, dx, dy int) int {
+	rx, ry := x+dx, y+dy
+	if rx < 0 || ry < 0 || rx+mbSize > m.w || ry+mbSize > m.h {
+		return 1 << 30
+	}
+	s := 0
+	for j := 0; j < mbSize; j++ {
+		co := (y+j)*m.w + x
+		ro := (ry+j)*m.w + rx
+		for i := 0; i < mbSize; i++ {
+			d := int(cur[co+i]) - int(ref[ro+i])
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+	}
+	return s
+}
+
+// motionSearch runs a three-step search and returns the best vector and
+// the number of SADs evaluated.
+func (m *mpeg2) motionSearch(cur, ref []byte, x, y int) (bx, by, sads int) {
+	bestSAD := m.sad16(cur, ref, x, y, 0, 0)
+	sads = 1
+	step := 4
+	for step >= 1 {
+		improved := true
+		for improved {
+			improved = false
+			for _, d := range [8][2]int{{-1, -1}, {0, -1}, {1, -1}, {-1, 0}, {1, 0}, {-1, 1}, {0, 1}, {1, 1}} {
+				dx, dy := bx+d[0]*step, by+d[1]*step
+				if dx < -meRange || dx > meRange || dy < -meRange || dy > meRange {
+					continue
+				}
+				s := m.sad16(cur, ref, x, y, dx, dy)
+				sads++
+				if s < bestSAD {
+					bestSAD, bx, by = s, dx, dy
+					improved = true
+				}
+			}
+		}
+		step /= 2
+	}
+	return bx, by, sads
+}
+
+// residualMB computes the prediction residual of one macroblock into a
+// 16x16 buffer (intra blocks subtract 128).
+func (m *mpeg2) residualMB(f, mbx, mby, dx, dy int, dst []int32) {
+	cur := m.pix[f]
+	x, y := mbx*mbSize, mby*mbSize
+	if f == 0 {
+		for j := 0; j < mbSize; j++ {
+			for i := 0; i < mbSize; i++ {
+				dst[j*mbSize+i] = int32(cur[(y+j)*m.w+x+i]) - 128
+			}
+		}
+		return
+	}
+	ref := m.pix[f-1]
+	for j := 0; j < mbSize; j++ {
+		for i := 0; i < mbSize; i++ {
+			dst[j*mbSize+i] = int32(cur[(y+j)*m.w+x+i]) - int32(ref[(y+dy+j)*m.w+x+dx+i])
+		}
+	}
+}
+
+// codeMB transforms and entropy-codes a 16x16 residual into bytes.
+func codeMB(res []int32) []byte {
+	var out []byte
+	var blk, coef [64]int32
+	for b := 0; b < 4; b++ {
+		ox, oy := (b%2)*8, (b/2)*8
+		for y := 0; y < 8; y++ {
+			for x := 0; x < 8; x++ {
+				blk[y*8+x] = res[(oy+y)*mbSize+ox+x]
+			}
+		}
+		fdct8(&blk, &coef)
+		quantize(&coef, &jpegQuant)
+		out = rleEncode(&coef, out)
+	}
+	return out
+}
+
+// encodeMB runs the full fused pipeline for one macroblock, returning
+// the SAD count for instruction accounting.
+func (m *mpeg2) encodeMB(f, mb int, res []int32) int {
+	mbx, mby := mb%m.mbW, mb/m.mbW
+	sads := 0
+	dx, dy := 0, 0
+	if f > 0 {
+		dx, dy, sads = m.motionSearch(m.pix[f], m.pix[f-1], mbx*mbSize, mby*mbSize)
+	}
+	m.mvX[f][mb], m.mvY[f][mb] = int8(dx), int8(dy)
+	m.residualMB(f, mbx, mby, dx, dy, res)
+	m.out[f][mb] = codeMB(res)
+	return sads
+}
+
+// Work constants: a 16x16 SAD is 256 absolute differences at 2 per
+// cycle; the residual is 256 subtractions.
+const (
+	workSAD16  = 140
+	workResid  = 160
+	workMBMisc = 80
+)
+
+// issueMBInput queues the strided DMA gets for one macroblock's current
+// pixels and (for P frames) its reference window, without waiting —
+// the caller overlaps them with the previous macroblock's computation
+// (double-buffering).
+func (m *mpeg2) issueMBInput(p *cpu.Proc, sm *stream.Mem, f, mbx, mby int) []dma.Tag {
+	x, y := mbx*mbSize, mby*mbSize
+	tags := []dma.Tag{
+		sm.GetStrided(p, m.pixR[f].At(uint64(y*m.w+x)), mbSize, uint64(m.w), mbSize),
+	}
+	if f > 0 {
+		wx, wy := max(0, x-meRange), max(0, y-meRange)
+		ww := min(x+mbSize+meRange, m.w) - wx
+		wh := min(y+mbSize+meRange, m.h) - wy
+		tags = append(tags, sm.GetStrided(p, m.pixR[f-1].At(uint64(wy*m.w+wx)), uint64(ww), uint64(m.w), uint64(wh)))
+	}
+	return tags
+}
+
+// chargeMBInput charges the loads for one macroblock's current pixels
+// and (for P frames) its reference window (cache-based path).
+func (m *mpeg2) chargeMBInput(p *cpu.Proc, sm *stream.Mem, f, mbx, mby int) {
+	x, y := mbx*mbSize, mby*mbSize
+	if sm != nil {
+		panic("mpeg2: streaming path uses issueMBInput")
+	}
+	for j := 0; j < mbSize; j++ {
+		p.LoadN(m.pixR[f].At(uint64((y+j)*m.w+x)), 4, mbSize/4)
+	}
+	if f > 0 {
+		wx, wy := max(0, x-meRange), max(0, y-meRange)
+		wEnd := min(x+mbSize+meRange, m.w)
+		hEnd := min(y+mbSize+meRange, m.h)
+		for j := wy; j < hEnd; j++ {
+			p.LoadN(m.pixR[f-1].At(uint64(j*m.w+wx)), 4, uint64(wEnd-wx+3)/4)
+		}
+	}
+}
+
+func (m *mpeg2) Run(p *cpu.Proc) {
+	sm, isSTR := streamMem(p)
+	res := make([]int32, mbSize*mbSize)
+	nMB := m.mbW * m.mbH
+	for f := 0; f < m.frames; f++ {
+		if m.variant == mpegOrig && !isSTR {
+			m.runFrameOrig(p, f, res)
+			continue
+		}
+		// Fused: one task-queue pass over the frame's macroblocks (the
+		// streaming version strip-mines half-rows of macroblocks so
+		// that overlapping search windows are fetched once).
+		if p.ID() == 0 {
+			if isSTR {
+				m.wq.Reset(m.strSplits() * m.mbH)
+			} else {
+				m.wq.Reset(nMB)
+			}
+		}
+		m.barrier.Wait(p)
+		if isSTR {
+			m.runFrameSTR(p, sm, f, res)
+		} else {
+			for {
+				mb := m.wq.Next(p)
+				if mb < 0 {
+					break
+				}
+				mbx, mby := mb%m.mbW, mb/m.mbW
+				m.chargeMBInput(p, nil, f, mbx, mby)
+				sads := m.encodeMB(f, mb, res)
+				p.Work(uint64(sads*workSAD16 + workResid + 4*(workFDCT+workQuant+workRLE) + workMBMisc))
+				n := uint64(len(m.out[f][mb]))
+				if m.variant == mpegPFS {
+					p.StorePFSN(m.outR[f].At(uint64(mb*mbOutSlot)), 4, (n+3)/4)
+				} else {
+					p.StoreN(m.outR[f].At(uint64(mb*mbOutSlot)), 4, (n+3)/4)
+				}
+			}
+		}
+		m.barrier.Wait(p)
+	}
+}
+
+// strSplits returns how many strip tasks each macroblock row is divided
+// into for the streaming pass: enough that the task queue keeps all
+// cores busy (~2 tasks per core), at least two macroblocks per strip so
+// overlapping search windows are still fetched once, and narrow enough
+// that two tasks' strips fit the 24 KB local store at CIF width.
+func (m *mpeg2) strSplits() int {
+	splits := (2*m.cores + m.mbH - 1) / m.mbH
+	if splits < 2 {
+		splits = 2
+	}
+	if max := m.mbW / 2; splits > max {
+		splits = max
+	}
+	if splits < 1 {
+		splits = 1
+	}
+	return splits
+}
+
+// runFrameSTR is the streaming fused pass, strip-mined: a task is a
+// fraction of a macroblock row; its current-frame strip and
+// reference-window strip are fetched with two wide strided transfers
+// (so overlapping search windows within the strip are fetched exactly
+// once), and the next task's strips stream in while the current one
+// computes — software double-buffering, the paper's macroscopic
+// prefetching.
+func (m *mpeg2) runFrameSTR(p *cpu.Proc, sm *stream.Mem, f int, res []int32) {
+	splits := m.strSplits()
+	issueStrips := func(task int) []dma.Tag {
+		row, half := task/splits, task%splits
+		x0, x1 := span(m.mbW, splits, half)
+		px0, px1 := x0*mbSize, x1*mbSize
+		y := row * mbSize
+		// Extend by the search range for the reference strip.
+		wx := max(0, px0-meRange)
+		wEnd := min(px1+meRange, m.w)
+		tags := []dma.Tag{
+			sm.GetStrided(p, m.pixR[f].At(uint64(y*m.w+px0)), uint64(px1-px0), uint64(m.w), mbSize),
+		}
+		if f > 0 {
+			wy := max(0, y-meRange)
+			wh := min(y+mbSize+meRange, m.h) - wy
+			tags = append(tags, sm.GetStrided(p, m.pixR[f-1].At(uint64(wy*m.w+wx)), uint64(wEnd-wx), uint64(m.w), uint64(wh)))
+		}
+		return tags
+	}
+	cur := m.wq.Next(p)
+	if cur < 0 {
+		return
+	}
+	curTags := issueStrips(cur)
+	var puts []dma.Tag
+	for cur >= 0 {
+		next := m.wq.Next(p)
+		var nextTags []dma.Tag
+		if next >= 0 {
+			nextTags = issueStrips(next)
+		}
+		for _, tg := range curTags {
+			sm.Wait(p, tg)
+		}
+		row, half := cur/splits, cur%splits
+		x0, x1 := span(m.mbW, splits, half)
+		for mbx := x0; mbx < x1; mbx++ {
+			mb := row*m.mbW + mbx
+			sm.LSLoadN(p, mbSize*mbSize/4)
+			sads := m.encodeMB(f, mb, res)
+			p.Work(uint64(sads*workSAD16 + workResid + 4*(workFDCT+workQuant+workRLE) + workMBMisc))
+			n := uint64(len(m.out[f][mb]))
+			sm.LSStoreN(p, (n+3)/4)
+			for len(puts) > 2 {
+				sm.Wait(p, puts[0])
+				puts = puts[1:]
+			}
+			puts = append(puts, sm.Put(p, m.outR[f].At(uint64(mb*mbOutSlot)), n))
+		}
+		cur, curTags = next, nextTags
+	}
+	for _, tg := range puts {
+		sm.Wait(p, tg)
+	}
+}
+
+// runFrameOrig is the original kernel-per-frame structure: motion
+// estimation over the whole frame writing a frame-sized residual
+// temporary, then a DCT pass writing a coefficient temporary, then
+// quantization + coding — with barriers and temporary traffic between.
+func (m *mpeg2) runFrameOrig(p *cpu.Proc, f int, res []int32) {
+	nMB := m.mbW * m.mbH
+	// Pass 1: motion estimation + residual into m.resid.
+	if p.ID() == 0 {
+		m.wq.Reset(nMB)
+	}
+	m.barrier.Wait(p)
+	for {
+		mb := m.wq.Next(p)
+		if mb < 0 {
+			break
+		}
+		mbx, mby := mb%m.mbW, mb/m.mbW
+		m.chargeMBInput(p, nil, f, mbx, mby)
+		sads := 0
+		dx, dy := 0, 0
+		if f > 0 {
+			dx, dy, sads = m.motionSearch(m.pix[f], m.pix[f-1], mbx*mbSize, mby*mbSize)
+		}
+		m.mvX[f][mb], m.mvY[f][mb] = int8(dx), int8(dy)
+		m.residualMB(f, mbx, mby, dx, dy, res)
+		for j := 0; j < mbSize; j++ {
+			copy(m.resid[((mby*mbSize+j)*m.w+mbx*mbSize):], res[j*mbSize:(j+1)*mbSize])
+		}
+		p.Work(uint64(sads*workSAD16 + workResid + workMBMisc))
+		// Residual temporary written to memory.
+		for j := 0; j < mbSize; j++ {
+			p.StoreN(m.residR.Index((mby*mbSize+j)*m.w+mbx*mbSize, 4), 4, mbSize)
+		}
+	}
+	m.barrier.Wait(p)
+
+	// Pass 2: DCT of the residual temporary into the coefficient
+	// temporary.
+	if p.ID() == 0 {
+		m.wq.Reset(nMB)
+	}
+	m.barrier.Wait(p)
+	var blk, coef [64]int32
+	for {
+		mb := m.wq.Next(p)
+		if mb < 0 {
+			break
+		}
+		mbx, mby := mb%m.mbW, mb/m.mbW
+		for j := 0; j < mbSize; j++ {
+			p.LoadN(m.residR.Index((mby*mbSize+j)*m.w+mbx*mbSize, 4), 4, mbSize)
+		}
+		for b := 0; b < 4; b++ {
+			ox, oy := (b%2)*8, (b/2)*8
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					blk[y*8+x] = m.resid[(mby*mbSize+oy+y)*m.w+mbx*mbSize+ox+x]
+				}
+			}
+			fdct8(&blk, &coef)
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					m.coefT[(mby*mbSize+oy+y)*m.w+mbx*mbSize+ox+x] = coef[y*8+x]
+				}
+			}
+		}
+		p.Work(uint64(4 * workFDCT))
+		for j := 0; j < mbSize; j++ {
+			p.StoreN(m.coefR.Index((mby*mbSize+j)*m.w+mbx*mbSize, 4), 4, mbSize)
+		}
+	}
+	m.barrier.Wait(p)
+
+	// Pass 3: quantize + entropy-code from the coefficient temporary.
+	if p.ID() == 0 {
+		m.wq.Reset(nMB)
+	}
+	m.barrier.Wait(p)
+	for {
+		mb := m.wq.Next(p)
+		if mb < 0 {
+			break
+		}
+		mbx, mby := mb%m.mbW, mb/m.mbW
+		for j := 0; j < mbSize; j++ {
+			p.LoadN(m.coefR.Index((mby*mbSize+j)*m.w+mbx*mbSize, 4), 4, mbSize)
+		}
+		var out []byte
+		for b := 0; b < 4; b++ {
+			ox, oy := (b%2)*8, (b/2)*8
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					coef[y*8+x] = m.coefT[(mby*mbSize+oy+y)*m.w+mbx*mbSize+ox+x]
+				}
+			}
+			quantize(&coef, &jpegQuant)
+			out = rleEncode(&coef, out)
+		}
+		m.out[f][mb] = out
+		p.Work(uint64(4 * (workQuant + workRLE)))
+		p.StoreN(m.outR[f].At(uint64(mb*mbOutSlot)), 4, (uint64(len(out))+3)/4)
+	}
+	m.barrier.Wait(p)
+}
+
+func (m *mpeg2) Verify() error {
+	res := make([]int32, mbSize*mbSize)
+	for f := 0; f < m.frames; f++ {
+		for mb := 0; mb < m.mbW*m.mbH; mb++ {
+			if m.out[f][mb] == nil {
+				return fmt.Errorf("mpeg2: frame %d mb %d never encoded", f, mb)
+			}
+			mbx, mby := mb%m.mbW, mb/m.mbW
+			dx, dy := 0, 0
+			if f > 0 {
+				dx, dy, _ = m.motionSearch(m.pix[f], m.pix[f-1], mbx*mbSize, mby*mbSize)
+			}
+			if int8(dx) != m.mvX[f][mb] || int8(dy) != m.mvY[f][mb] {
+				return fmt.Errorf("mpeg2: frame %d mb %d mv (%d,%d), want (%d,%d)",
+					f, mb, m.mvX[f][mb], m.mvY[f][mb], dx, dy)
+			}
+			m.residualMB(f, mbx, mby, dx, dy, res)
+			want := codeMB(res)
+			got := m.out[f][mb]
+			if len(got) != len(want) {
+				return fmt.Errorf("mpeg2: frame %d mb %d output %d bytes, want %d", f, mb, len(got), len(want))
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					return fmt.Errorf("mpeg2: frame %d mb %d byte %d differs", f, mb, k)
+				}
+			}
+		}
+	}
+	return nil
+}

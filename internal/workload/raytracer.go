@@ -1,0 +1,380 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/syncprim"
+)
+
+func init() {
+	Register("raytracer", func(s Scale) core.Workload { return newRaytracer(s) })
+}
+
+// vec3 is a 3-component vector for the raytracer's geometry.
+type vec3 struct{ x, y, z float64 }
+
+func (a vec3) sub(b vec3) vec3 { return vec3{a.x - b.x, a.y - b.y, a.z - b.z} }
+func (a vec3) cross(b vec3) vec3 {
+	return vec3{a.y*b.z - a.z*b.y, a.z*b.x - a.x*b.z, a.x*b.y - a.y*b.x}
+}
+func (a vec3) dot(b vec3) float64 { return a.x*b.x + a.y*b.y + a.z*b.z }
+func (a vec3) norm() vec3 {
+	l := math.Sqrt(a.dot(a))
+	return vec3{a.x / l, a.y / l, a.z / l}
+}
+
+type triangle struct {
+	a, b, c vec3
+	normal  vec3
+}
+
+type kdNode struct {
+	axis     int8 // 0,1,2; 3 = leaf
+	split    float64
+	left     int32 // child index; for leaves, start into triIdx
+	right    int32 // child index; for leaves, end into triIdx
+	min, max vec3  // node bounds
+}
+
+// raytracer is the KD-tree ray tracer, parallelized across camera rays
+// in chunks ("We assign rays to processors in chunks to improve
+// locality"). Tree traversal is irregular pointer-chasing over the node
+// array. Per the paper, the streaming version also "reads the KD-tree
+// from the cache instead of streaming it with a DMA controller" — its
+// accesses go through the small 8 KB cache — while the framebuffer is
+// written with DMA.
+type raytracer struct {
+	size  int // image is size x size
+	nTris int
+
+	tris   []triangle
+	triIdx []int32
+	nodes  []kdNode
+	img    []byte
+
+	nodeR mem.Region
+	triR  mem.Region
+	imgR  mem.Region
+
+	cores int
+	wq    *syncprim.TaskQueue
+}
+
+func newRaytracer(s Scale) *raytracer {
+	r := &raytracer{size: 64, nTris: 2048}
+	switch s {
+	case ScaleSmall:
+		r.size, r.nTris = 32, 384
+	case ScalePaper:
+		r.size, r.nTris = 128, 16371 // "128x128, 16371 triangles"
+	}
+	return r
+}
+
+func (r *raytracer) Name() string { return "raytracer" }
+
+const kdLeafTris = 8
+
+func (r *raytracer) Setup(sys *core.System) {
+	r.cores = sys.Cores()
+	rg := newRNG(0x3A7)
+	for i := 0; i < r.nTris; i++ {
+		c := vec3{rg.float01(), rg.float01(), rg.float01()}
+		e1 := vec3{(rg.float01() - 0.5) * 0.1, (rg.float01() - 0.5) * 0.1, (rg.float01() - 0.5) * 0.1}
+		e2 := vec3{(rg.float01() - 0.5) * 0.1, (rg.float01() - 0.5) * 0.1, (rg.float01() - 0.5) * 0.1}
+		t := triangle{a: c, b: vec3{c.x + e1.x, c.y + e1.y, c.z + e1.z}, c: vec3{c.x + e2.x, c.y + e2.y, c.z + e2.z}}
+		n := e1.cross(e2)
+		if n.dot(n) < 1e-12 {
+			n = vec3{0, 0, 1}
+		}
+		t.normal = n.norm()
+		r.tris = append(r.tris, t)
+	}
+	idx := make([]int32, r.nTris)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	r.buildKD(idx, 0)
+	r.img = make([]byte, r.size*r.size)
+	as := sys.AddressSpace()
+	r.nodeR = as.AllocArray("rt.nodes", len(r.nodes), 32)
+	r.triR = as.AllocArray("rt.tris", len(r.triIdx), 48)
+	r.imgR = as.Alloc("rt.img", uint64(r.size*r.size))
+	// 8x8 ray tiles dispensed dynamically: plenty of chunks per core so
+	// the task queue absorbs per-tile cost variance.
+	tiles := (r.size / rtTile) * (r.size / rtTile)
+	if tiles == 0 {
+		tiles = 1
+	}
+	r.wq = syncprim.NewTaskQueue("rt.tiles", tiles)
+}
+
+// triBounds returns the tight bounding box of a triangle set.
+func (r *raytracer) triBounds(idx []int32) (lo, hi vec3) {
+	inf := math.Inf(1)
+	lo, hi = vec3{inf, inf, inf}, vec3{-inf, -inf, -inf}
+	grow := func(v vec3) {
+		lo.x = math.Min(lo.x, v.x)
+		lo.y = math.Min(lo.y, v.y)
+		lo.z = math.Min(lo.z, v.z)
+		hi.x = math.Max(hi.x, v.x)
+		hi.y = math.Max(hi.y, v.y)
+		hi.z = math.Max(hi.z, v.z)
+	}
+	for _, ti := range idx {
+		t := &r.tris[ti]
+		grow(t.a)
+		grow(t.b)
+		grow(t.c)
+	}
+	return lo, hi
+}
+
+// buildKD builds a median-split spatial tree, returning the node index.
+// Triangles are partitioned by centroid and each child keeps the tight
+// bounds of its own triangles (a triangle straddling the split plane
+// stays fully inside one child's box), so traversal never misses
+// geometry — the robust variant of the paper's KD-tree acceleration
+// structure, with the same irregular pointer-chasing access pattern.
+func (r *raytracer) buildKD(idx []int32, depth int) int32 {
+	me := int32(len(r.nodes))
+	lo, hi := r.triBounds(idx)
+	r.nodes = append(r.nodes, kdNode{min: lo, max: hi})
+	if len(idx) <= kdLeafTris || depth >= 16 {
+		start := int32(len(r.triIdx))
+		r.triIdx = append(r.triIdx, idx...)
+		r.nodes[me] = kdNode{axis: 3, left: start, right: start + int32(len(idx)), min: lo, max: hi}
+		return me
+	}
+	ext := hi.sub(lo)
+	axis := 0
+	if ext.y > ext.x {
+		axis = 1
+	}
+	if ext.z > ext.x && ext.z > ext.y {
+		axis = 2
+	}
+	centroid := func(t triangle) float64 {
+		switch axis {
+		case 0:
+			return (t.a.x + t.b.x + t.c.x) / 3
+		case 1:
+			return (t.a.y + t.b.y + t.c.y) / 3
+		}
+		return (t.a.z + t.b.z + t.c.z) / 3
+	}
+	sorted := append([]int32(nil), idx...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return centroid(r.tris[sorted[i]]) < centroid(r.tris[sorted[j]])
+	})
+	mid := len(sorted) / 2
+	split := centroid(r.tris[sorted[mid]])
+	left := r.buildKD(sorted[:mid], depth+1)
+	right := r.buildKD(sorted[mid:], depth+1)
+	r.nodes[me] = kdNode{axis: int8(axis), split: split, left: left, right: right, min: lo, max: hi}
+	return me
+}
+
+// intersect runs Möller–Trumbore, returning the hit distance or +Inf.
+func intersect(t *triangle, orig, dir vec3) float64 {
+	e1 := t.b.sub(t.a)
+	e2 := t.c.sub(t.a)
+	p := dir.cross(e2)
+	det := e1.dot(p)
+	if det > -1e-12 && det < 1e-12 {
+		return math.Inf(1)
+	}
+	inv := 1 / det
+	tv := orig.sub(t.a)
+	u := tv.dot(p) * inv
+	if u < 0 || u > 1 {
+		return math.Inf(1)
+	}
+	q := tv.cross(e1)
+	v := dir.dot(q) * inv
+	if v < 0 || u+v > 1 {
+		return math.Inf(1)
+	}
+	d := e2.dot(q) * inv
+	if d < 1e-9 {
+		return math.Inf(1)
+	}
+	return d
+}
+
+// tracePixel traces one primary ray, returning the shade. When the
+// visit slices are non-nil it records the node and triangle indices
+// actually touched, which the caller replays as memory accesses.
+func (r *raytracer) tracePixel(px, py int, vNodes, vTris *[]int32) byte {
+	u := (float64(px) + 0.5) / float64(r.size)
+	v := (float64(py) + 0.5) / float64(r.size)
+	orig := vec3{u, v, -1.5}
+	dir := vec3{(u - 0.5) * 0.2, (v - 0.5) * 0.2, 1}.norm()
+	light := vec3{0.3, 0.8, -0.5}.norm()
+
+	type stackEnt struct{ node int32 }
+	var stack [32]stackEnt
+	sp := 0
+	stack[sp] = stackEnt{0}
+	sp++
+	best := math.Inf(1)
+	bestTri := -1
+	for sp > 0 {
+		sp--
+		ni := stack[sp].node
+		n := &r.nodes[ni]
+		if vNodes != nil {
+			*vNodes = append(*vNodes, ni)
+		}
+		if !rayBoxHit(orig, dir, n.min, n.max, best) {
+			continue
+		}
+		if n.axis == 3 {
+			for _, ti := range r.triIdx[n.left:n.right] {
+				if vTris != nil {
+					*vTris = append(*vTris, ti)
+				}
+				if d := intersect(&r.tris[ti], orig, dir); d < best {
+					best = d
+					bestTri = int(ti)
+				}
+			}
+			continue
+		}
+		// Push far child first so the near one pops first.
+		var o, dd float64
+		switch n.axis {
+		case 0:
+			o, dd = orig.x, dir.x
+		case 1:
+			o, dd = orig.y, dir.y
+		default:
+			o, dd = orig.z, dir.z
+		}
+		near, far := n.left, n.right
+		if o > n.split || (o == n.split && dd < 0) {
+			near, far = far, near
+		}
+		_ = dd
+		stack[sp] = stackEnt{far}
+		sp++
+		stack[sp] = stackEnt{near}
+		sp++
+	}
+	if bestTri < 0 {
+		return 0
+	}
+	shade := r.tris[bestTri].normal.dot(light)
+	if shade < 0 {
+		shade = -shade
+	}
+	return byte(40 + shade*200)
+}
+
+// rayBoxHit is a slab test bounded by the current best hit.
+func rayBoxHit(orig, dir, lo, hi vec3, best float64) bool {
+	tmin, tmax := 0.0, best
+	for a := 0; a < 3; a++ {
+		var o, d, l, h float64
+		switch a {
+		case 0:
+			o, d, l, h = orig.x, dir.x, lo.x, hi.x
+		case 1:
+			o, d, l, h = orig.y, dir.y, lo.y, hi.y
+		default:
+			o, d, l, h = orig.z, dir.z, lo.z, hi.z
+		}
+		if d > -1e-12 && d < 1e-12 {
+			if o < l || o > h {
+				return false
+			}
+			continue
+		}
+		t0 := (l - o) / d
+		t1 := (h - o) / d
+		if t0 > t1 {
+			t0, t1 = t1, t0
+		}
+		if t0 > tmin {
+			tmin = t0
+		}
+		if t1 < tmax {
+			tmax = t1
+		}
+		if tmin > tmax {
+			return false
+		}
+	}
+	return true
+}
+
+// Issue costs per traversal event.
+const (
+	workPerNode  = 14
+	workPerTri   = 45
+	workPerRay   = 30
+	workPerShade = 12
+)
+
+// rtTile is the ray-chunk edge length.
+const rtTile = 8
+
+func (r *raytracer) Run(p *cpu.Proc) {
+	sm, isSTR := streamMem(p)
+	tilesPerRow := r.size / rtTile
+	if tilesPerRow == 0 {
+		tilesPerRow = 1
+	}
+	tile := min(rtTile, r.size)
+	var vNodes, vTris []int32
+	for {
+		ti := r.wq.Next(p)
+		if ti < 0 {
+			return
+		}
+		tx, ty := (ti%tilesPerRow)*tile, (ti/tilesPerRow)*tile
+		for py := ty; py < ty+tile; py++ {
+			for px := tx; px < tx+tile; px++ {
+				vNodes, vTris = vNodes[:0], vTris[:0]
+				r.img[py*r.size+px] = r.tracePixel(px, py, &vNodes, &vTris)
+				// Both models read the tree through their cache (the
+				// paper's streaming version does not DMA the KD-tree),
+				// so the hot top of the tree stays resident.
+				for _, ni := range vNodes {
+					p.Load(r.nodeR.Index(int(ni), 32))
+				}
+				for _, ti := range vTris {
+					p.LoadN(r.triR.Index(int(ti), 48), 16, 3)
+				}
+				p.Work(uint64(len(vNodes)*workPerNode + len(vTris)*workPerTri + workPerRay + workPerShade))
+			}
+			// Framebuffer row of the tile.
+			if isSTR {
+				sm.LSStoreN(p, uint64(tile)/4)
+				pt := sm.Put(p, r.imgR.At(uint64(py*r.size+tx)), uint64(tile))
+				if py == ty+tile-1 {
+					sm.Wait(p, pt)
+				}
+			} else {
+				p.StoreN(r.imgR.At(uint64(py*r.size+tx)), 4, uint64(tile)/4)
+			}
+		}
+	}
+}
+
+func (r *raytracer) Verify() error {
+	for py := 0; py < r.size; py++ {
+		for px := 0; px < r.size; px++ {
+			want := r.tracePixel(px, py, nil, nil)
+			if got := r.img[py*r.size+px]; got != want {
+				return fmt.Errorf("raytracer: pixel (%d,%d) = %d, want %d", px, py, got, want)
+			}
+		}
+	}
+	return nil
+}

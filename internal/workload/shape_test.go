@@ -1,0 +1,268 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// This file asserts, at small scale, the per-application "shapes" the
+// paper's evaluation reports: which model wins, roughly by how much,
+// and which execution-time component dominates. Absolute numbers are
+// not compared (our substrate is a rebuilt simulator); the relations
+// are.
+
+// shapeRun is a memoizing runner for the shape tests (many assertions
+// share configurations).
+var shapeCache = map[string]*core.Report{}
+
+func shapeRep(t *testing.T, name string, model core.Model, cores int, mut func(*core.Config)) *core.Report {
+	t.Helper()
+	key := name + model.String() + string(rune('0'+cores))
+	if mut != nil {
+		key = "" // uncacheable
+	}
+	if key != "" {
+		if rep, ok := shapeCache[key]; ok {
+			return rep
+		}
+	}
+	rep := runWL(t, name, model, cores, mut)
+	if key != "" {
+		shapeCache[key] = rep
+	}
+	return rep
+}
+
+// TestFigure2ComputeBoundAppsModelAgnostic: "For 7 out of 11
+// applications the two models perform almost identically for all
+// processor counts."
+func TestFigure2ComputeBoundAppsModelAgnostic(t *testing.T) {
+	apps := []string{"mpeg2", "raytracer", "depth", "fem", "jpeg-encode", "jpeg-decode", "h264"}
+	for _, app := range apps {
+		for _, cores := range []int{2, 8} {
+			cc := shapeRep(t, app, core.CC, cores, nil)
+			str := shapeRep(t, app, core.STR, cores, nil)
+			ratio := float64(cc.Wall) / float64(str.Wall)
+			if ratio < 0.60 || ratio > 1.67 {
+				t.Errorf("%s @%d cores: CC/STR = %.2f, want ~1 (compute-bound)", app, cores, ratio)
+			}
+		}
+	}
+}
+
+// TestFigure2ScalableAppsScale: the data-parallel applications speed up
+// substantially from 2 to 8 cores on both models.
+func TestFigure2ScalableAppsScale(t *testing.T) {
+	// depth and raytracer have only 4 blocks/tiles at small scale, so
+	// their scaling is asserted over 1 -> 4 cores instead of 2 -> 8.
+	cases := []struct {
+		app      string
+		lo, hi   int
+		expected float64
+	}{
+		{"depth", 1, 4, 2.8},
+		{"raytracer", 1, 4, 2.4},
+		{"fem", 2, 8, 2.0},
+		{"jpeg-encode", 2, 8, 2.0},
+		{"mpeg2", 2, 8, 2.0},
+	}
+	for _, c := range cases {
+		for _, model := range []core.Model{core.CC, core.STR} {
+			tLo := shapeRep(t, c.app, model, c.lo, nil).Wall
+			tHi := shapeRep(t, c.app, model, c.hi, nil).Wall
+			speedup := float64(tLo) / float64(tHi)
+			if speedup < c.expected {
+				t.Errorf("%s/%v: %d->%d core speedup %.2f, want >= %.1f",
+					c.app, model, c.lo, c.hi, speedup, c.expected)
+			}
+		}
+	}
+}
+
+// TestFigure2LimitedParallelismApps: H.264 and MergeSort scale
+// sublinearly with substantial synchronization ("H.264 and MergeSort
+// have synchronization stalls with both models due to limited
+// parallelism").
+func TestFigure2LimitedParallelismApps(t *testing.T) {
+	for _, app := range []string{"h264", "mergesort"} {
+		for _, model := range []core.Model{core.CC, core.STR} {
+			t2 := shapeRep(t, app, model, 2, nil)
+			t8 := shapeRep(t, app, model, 8, nil)
+			speedup := float64(t2.Wall) / float64(t8.Wall)
+			if speedup > 3.6 {
+				t.Errorf("%s/%v: 2->8 speedup %.2f too perfect for a limited-parallelism app", app, model, speedup)
+			}
+			frac := float64(t8.Breakdown.Sync) / float64(t8.Breakdown.Total())
+			if frac < 0.02 {
+				t.Errorf("%s/%v @8 cores: sync fraction %.3f, want visible sync stalls", app, model, frac)
+			}
+		}
+	}
+}
+
+// TestFigure2DataBoundSTRHidesStalls: for the data-bound applications,
+// the streaming versions eliminate load stalls through double-buffering
+// ("Streaming versions eliminate many of these stalls using
+// double-buffering (macroscopic prefetching)").
+func TestFigure2DataBoundSTRHidesStalls(t *testing.T) {
+	for _, app := range []string{"fir", "art"} {
+		cc := shapeRep(t, app, core.CC, 8, nil)
+		str := shapeRep(t, app, core.STR, 8, nil)
+		ccStall := float64(cc.Breakdown.LoadStall+cc.Breakdown.StoreStall) / float64(cc.Breakdown.Total())
+		strStall := float64(str.Breakdown.LoadStall+str.Breakdown.StoreStall) / float64(str.Breakdown.Total())
+		if strStall > ccStall/2 {
+			t.Errorf("%s: STR stall fraction %.3f not well below CC's %.3f", app, strStall, ccStall)
+		}
+	}
+}
+
+// TestFigure4EnergyAdvantageApps: "For 5 out of 11 applications
+// (JPEG Encode, JPEG Decode, FIR, 179.art, and MergeSort), streaming
+// consistently consumes less energy than cache-coherence, typically 10%
+// to 25%. The energy differential in nearly every case comes from the
+// DRAM system."
+func TestFigure4EnergyAdvantageApps(t *testing.T) {
+	for _, app := range []string{"jpeg-decode", "fir", "art", "mergesort"} {
+		cc := shapeRep(t, app, core.CC, 8, nil)
+		str := shapeRep(t, app, core.STR, 8, nil)
+		if str.Energy.Total() >= cc.Energy.Total() {
+			t.Errorf("%s: STR energy %.3g >= CC %.3g", app, str.Energy.Total(), cc.Energy.Total())
+			continue
+		}
+		// The differential comes mostly from DRAM for the streaming
+		// workloads (at small scale jpeg-decode's images sit in the L2,
+		// so its refill savings show up on-chip instead).
+		if app == "jpeg-decode" {
+			continue
+		}
+		dramDelta := cc.Energy.DRAM - str.Energy.DRAM
+		totalDelta := cc.Energy.Total() - str.Energy.Total()
+		if dramDelta < totalDelta/3 {
+			t.Errorf("%s: DRAM saves %.3g of %.3g total; expected DRAM-driven gap",
+				app, dramDelta, totalDelta)
+		}
+	}
+}
+
+// TestFigure5ClockScalingShapes: at 6.4 GHz the streaming MPEG-2 pulls
+// ahead (latency tolerance) while BitonicSort favors the cache-based
+// system (write-back of unmodified data saturates the STR channel).
+func TestFigure5ClockScalingShapes(t *testing.T) {
+	fast := func(c *core.Config) { c.CoreMHz = 6400 }
+	mCC := runWL(t, "mpeg2", core.CC, 8, fast)
+	mSTR := runWL(t, "mpeg2", core.STR, 8, fast)
+	if mSTR.Wall > mCC.Wall*105/100 {
+		t.Errorf("mpeg2 @6.4GHz: STR (%v) should not trail CC (%v) by >5%%", mSTR.Wall, mCC.Wall)
+	}
+	bCC := runWL(t, "bitonicsort", core.CC, 8, fast)
+	bSTR := runWL(t, "bitonicsort", core.STR, 8, fast)
+	if bCC.Wall >= bSTR.Wall {
+		t.Errorf("bitonicsort @6.4GHz: CC (%v) should beat STR (%v)", bCC.Wall, bSTR.Wall)
+	}
+}
+
+// TestFigure7PrefetchLatencyTolerance: "a small degree of prefetching
+// is sufficient to hide over 200 cycles of memory latency" — with depth
+// 4 at a high clock, CC load stalls on the sorts collapse.
+func TestFigure7PrefetchLatencyTolerance(t *testing.T) {
+	base := func(c *core.Config) {
+		c.CoreMHz = 3200
+		c.DRAMBandwidthMBps = 12800
+	}
+	pf := func(c *core.Config) {
+		base(c)
+		c.PrefetchDepth = 4
+	}
+	for _, app := range []string{"mergesort", "art"} {
+		plain := runWL(t, app, core.CC, 2, base)
+		pref := runWL(t, app, core.CC, 2, pf)
+		if pref.Breakdown.LoadStall > plain.Breakdown.LoadStall/2 {
+			t.Errorf("%s: P4 left %v of %v load stall", app,
+				pref.Breakdown.LoadStall, plain.Breakdown.LoadStall)
+		}
+		if pref.Wall >= plain.Wall {
+			t.Errorf("%s: prefetching did not improve wall time (%v vs %v)", app, pref.Wall, plain.Wall)
+		}
+	}
+}
+
+// TestWallClockSanity: no run's wall time may exceed the sequential
+// baseline (adding cores never hurts in these regular workloads).
+func TestWallClockSanity(t *testing.T) {
+	for _, app := range []string{"fir", "depth", "fem", "mpeg2"} {
+		for _, model := range []core.Model{core.CC, core.STR} {
+			t2 := shapeRep(t, app, model, 2, nil).Wall
+			t8 := shapeRep(t, app, model, 8, nil).Wall
+			if t8 > t2 {
+				t.Errorf("%s/%v: 8 cores (%v) slower than 2 (%v)", app, model, t8, t2)
+			}
+		}
+	}
+}
+
+// TestEnergyNeverFree: every run consumes energy and the components
+// stay positive (guards the accounting plumbing end to end).
+func TestEnergyNeverFree(t *testing.T) {
+	for _, app := range []string{"fir", "depth"} {
+		for _, model := range []core.Model{core.CC, core.STR} {
+			rep := shapeRep(t, app, model, 2, nil)
+			if rep.Energy.Total() <= 0 {
+				t.Errorf("%s/%v: energy %.3g", app, model, rep.Energy.Total())
+			}
+			if rep.Energy.Core <= 0 || rep.Energy.DRAM <= 0 {
+				t.Errorf("%s/%v: missing component energies: %+v", app, model, rep.Energy)
+			}
+		}
+	}
+}
+
+// TestBreakdownBucketsConsistent: for every app and model, the per-core
+// breakdown buckets sum to at most the wall time, and the dominant
+// bucket matches the app's class.
+func TestBreakdownBucketsConsistent(t *testing.T) {
+	classes := map[string]string{
+		"depth": "useful", // compute-bound
+		"fir":   "",       // data-bound: no constraint on which stall
+	}
+	for app, dominant := range classes {
+		for _, model := range []core.Model{core.CC, core.STR} {
+			rep := shapeRep(t, app, model, 8, nil)
+			for i, bd := range rep.PerCore {
+				if bd.Total() > rep.Wall+sim.Nanosecond {
+					t.Errorf("%s/%v core %d: buckets %v exceed wall %v", app, model, i, bd.Total(), rep.Wall)
+				}
+			}
+			if dominant == "useful" {
+				bd := rep.Breakdown
+				if bd.Useful < bd.Sync || bd.Useful < bd.LoadStall || bd.Useful < bd.StoreStall {
+					t.Errorf("%s/%v: useful not dominant: %+v", app, model, bd)
+				}
+			}
+		}
+	}
+}
+
+// TestInstructionRatios: Section 5.1's instruction-count observations.
+// "FIR executes 14% more instructions in the streaming model ... In the
+// streaming MergeSort, the inner loop executes extra comparisons ...
+// The streaming H.264 takes advantage of some boundary-condition
+// optimizations ... This resulted in a slight reduction in instruction
+// count when streaming."
+func TestInstructionRatios(t *testing.T) {
+	ratio := func(app string) float64 {
+		cc := shapeRep(t, app, core.CC, 2, nil)
+		str := shapeRep(t, app, core.STR, 2, nil)
+		return float64(str.Instructions) / float64(cc.Instructions)
+	}
+	if r := ratio("fir"); r < 1.05 || r > 1.30 {
+		t.Errorf("fir STR/CC instructions = %.3f, want ~1.14", r)
+	}
+	if r := ratio("mergesort"); r <= 1.0 {
+		t.Errorf("mergesort STR/CC instructions = %.3f, want > 1 (buffer drain checks)", r)
+	}
+	if r := ratio("h264"); r >= 1.0 {
+		t.Errorf("h264 STR/CC instructions = %.3f, want < 1 (boundary optimizations)", r)
+	}
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/dma"
+	"repro/internal/mem"
+	"repro/internal/stream"
+)
+
+// dmaTag aliases dma.Tag for brevity in workload code.
+type dmaTag = dma.Tag
+
+// strIn is a double-buffered sequential DMA input stream: the next block
+// is always in flight while the current one is consumed, the
+// "macroscopic prefetching" of Section 2.3.
+type strIn struct {
+	p          *cpu.Proc
+	sm         *stream.Mem
+	base       mem.Addr
+	elemSize   uint64
+	count      int // total elements
+	blockElems int
+
+	fetched  int // elements covered by issued DMAs
+	avail    int // elements arrived and not yet consumed
+	pos      int // consumed elements
+	tags     []dma.Tag
+	tagElems []int
+}
+
+// newStrIn starts a stream over count elements of elemSize at base,
+// fetched in blocks of blockElems, and issues the first two transfers.
+func newStrIn(p *cpu.Proc, sm *stream.Mem, base mem.Addr, elemSize uint64, count, blockElems int) *strIn {
+	s := &strIn{p: p, sm: sm, base: base, elemSize: elemSize, count: count, blockElems: blockElems}
+	s.issue()
+	s.issue()
+	return s
+}
+
+func (s *strIn) issue() {
+	if s.fetched >= s.count {
+		return
+	}
+	n := min(s.blockElems, s.count-s.fetched)
+	tag := s.sm.Get(s.p, s.base+mem.Addr(uint64(s.fetched)*s.elemSize), uint64(n)*s.elemSize)
+	s.fetched += n
+	s.tags = append(s.tags, tag)
+	s.tagElems = append(s.tagElems, n)
+}
+
+// ensure blocks until at least n unconsumed elements are resident,
+// keeping one transfer in flight beyond them.
+func (s *strIn) ensure(n int) {
+	if left := s.count - s.pos; n > left {
+		n = left
+	}
+	for s.avail < n {
+		if len(s.tags) == 0 {
+			panic("workload: stream input underflow")
+		}
+		s.sm.Wait(s.p, s.tags[0])
+		s.avail += s.tagElems[0]
+		s.tags = s.tags[1:]
+		s.tagElems = s.tagElems[1:]
+		s.issue()
+	}
+}
+
+// consume charges n local-store element reads and marks them consumed.
+func (s *strIn) consume(n int) {
+	s.ensure(n)
+	s.avail -= n
+	s.pos += n
+	s.sm.LSLoadN(s.p, uint64(n))
+}
+
+// strOut is a double-buffered sequential DMA output stream: blocks are
+// written back while the next one is produced.
+type strOut struct {
+	p          *cpu.Proc
+	sm         *stream.Mem
+	base       mem.Addr
+	elemSize   uint64
+	blockElems int
+
+	pos      int // elements written back or buffered
+	buffered int
+	pending  []dma.Tag
+}
+
+// newStrOut starts an output stream of elemSize elements at base,
+// drained in blocks of blockElems.
+func newStrOut(p *cpu.Proc, sm *stream.Mem, base mem.Addr, elemSize uint64, blockElems int) *strOut {
+	return &strOut{p: p, sm: sm, base: base, elemSize: elemSize, blockElems: blockElems}
+}
+
+// produce charges n local-store writes and drains full blocks.
+func (s *strOut) produce(n int) {
+	s.sm.LSStoreN(s.p, uint64(n))
+	s.buffered += n
+	for s.buffered >= s.blockElems {
+		s.drain(s.blockElems)
+	}
+}
+
+func (s *strOut) drain(n int) {
+	// Keep at most two puts outstanding (two LS buffers).
+	for len(s.pending) >= 2 {
+		s.sm.Wait(s.p, s.pending[0])
+		s.pending = s.pending[1:]
+	}
+	tag := s.sm.Put(s.p, s.base+mem.Addr(uint64(s.pos)*s.elemSize), uint64(n)*s.elemSize)
+	s.pending = append(s.pending, tag)
+	s.pos += n
+	s.buffered -= n
+}
+
+// flush writes out any partial block and waits for all puts.
+func (s *strOut) flush() {
+	if s.buffered > 0 {
+		s.drain(s.buffered)
+	}
+	for len(s.pending) > 0 {
+		s.sm.Wait(s.p, s.pending[0])
+		s.pending = s.pending[1:]
+	}
+}

@@ -1,0 +1,182 @@
+// Package memsys is the public API of this repository: a reproduction of
+// "Comparing Memory Systems for Chip Multiprocessors" (Leverich et al.,
+// ISCA 2007) as an execution-driven CMP simulator with both of the
+// paper's on-chip memory models.
+//
+// The typical flow is:
+//
+//	cfg := memsys.DefaultConfig(memsys.CC, 16)
+//	cfg.PrefetchDepth = 4
+//	rep, err := memsys.Run(cfg, "fir", memsys.ScaleDefault)
+//	fmt.Println(rep)
+//
+// Run builds a machine (Table 2 of the paper: Tensilica-class 3-way
+// VLIW cores in clusters of four, hierarchical interconnect, shared
+// 512 KB L2, one DRAM channel), instantiates the named workload at the
+// requested dataset scale, executes it on every core, verifies the
+// computed result against an independent reference, and returns the
+// measurement report (Figure 2 execution breakdown, Figure 3 traffic,
+// Figure 4 energy, Table 3 metrics).
+//
+// Lower-level access — assembling systems by hand, writing custom
+// workloads — is available through NewSystem and the Workload interface.
+package memsys
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/stream"
+	"repro/internal/syncprim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Model selects the on-chip memory model.
+type Model = core.Model
+
+// The two memory models of the study.
+const (
+	// CC is the hardware-coherent cache-based model: 32 KB 2-way L1
+	// data caches with MESI snooping over the hierarchical network.
+	CC = core.CC
+	// STR is the software-managed streaming model: 24 KB local stores
+	// with DMA engines plus an 8 KB cache for stack/global data.
+	STR = core.STR
+	// INC is the incoherent cache-based model, the third practical point
+	// of the paper's Table 1 design space (an extension beyond the
+	// paper's two evaluated models): caches without a coherence
+	// protocol; software flushes and invalidates at synchronization
+	// points.
+	INC = core.INC
+)
+
+// Config describes one experimental machine; see core.Config for the
+// field documentation.
+type Config = core.Config
+
+// System is an assembled machine.
+type System = core.System
+
+// Report is the measurement record of one run.
+type Report = core.Report
+
+// Workload is a program for the machine. The built-in implementations
+// live in internal/workload; external users implement it against the
+// aliases below (Proc, Region, Barrier, ...), which expose everything a
+// workload needs without importing internal packages.
+type Workload = core.Workload
+
+// Proc is one simulated core as seen by workload code: Work/Load/Store
+// issue accounting, bulk LoadN/StoreN/StorePFSN helpers, and the
+// execution-time breakdown.
+type Proc = cpu.Proc
+
+// StreamMem is the streaming model's first level; workload code obtains
+// it with p.Mem().(*memsys.StreamMem) to reach the local store and DMA
+// engine on STR machines.
+type StreamMem = stream.Mem
+
+// Addr is a simulated physical address; Region a named allocation from
+// System.AddressSpace().
+type (
+	Addr   = mem.Addr
+	Region = mem.Region
+)
+
+// Synchronization primitives for workloads, in simulated time.
+type (
+	Barrier   = syncprim.Barrier
+	Lock      = syncprim.Lock
+	TaskQueue = syncprim.TaskQueue
+)
+
+// NewBarrier returns a reusable barrier for n participants.
+func NewBarrier(name string, n int) *Barrier { return syncprim.NewBarrier(name, n) }
+
+// NewLock returns a FIFO mutex in simulated time.
+func NewLock(name string) *Lock { return syncprim.NewLock(name) }
+
+// NewTaskQueue returns a dynamic work-item dispenser over [0, limit).
+func NewTaskQueue(name string, limit int) *TaskQueue { return syncprim.NewTaskQueue(name, limit) }
+
+// Scale selects workload dataset sizes.
+type Scale = workload.Scale
+
+// Dataset scales: Small for quick runs, Default for benchmarks (same
+// shape as the paper at lower cost), Paper for paper-scale inputs.
+const (
+	ScaleSmall   = workload.ScaleSmall
+	ScaleDefault = workload.ScaleDefault
+	ScalePaper   = workload.ScalePaper
+)
+
+// ParseModel converts a string ("cc", "str", "inc", case-insensitive)
+// to a Model.
+func ParseModel(s string) (Model, error) {
+	switch strings.ToLower(s) {
+	case "cc":
+		return CC, nil
+	case "str":
+		return STR, nil
+	case "inc":
+		return INC, nil
+	}
+	return CC, fmt.Errorf("memsys: unknown model %q (want cc, str or inc)", s)
+}
+
+// ParseScale converts a string ("small", "default", "paper") to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch strings.ToLower(s) {
+	case "small":
+		return ScaleSmall, nil
+	case "default":
+		return ScaleDefault, nil
+	case "paper":
+		return ScalePaper, nil
+	}
+	return ScaleSmall, fmt.Errorf("memsys: unknown scale %q (want small, default or paper)", s)
+}
+
+// DefaultConfig returns the paper's default machine for the given model
+// and core count: 800 MHz cores, 1.6 GB/s memory channel, no prefetch.
+func DefaultConfig(model Model, cores int) Config {
+	return core.DefaultConfig(model, cores)
+}
+
+// NewSystem assembles a machine.
+func NewSystem(cfg Config) *System { return core.New(cfg) }
+
+// Workloads lists the registered workload names: the paper's eleven
+// applications plus the pre-optimization and PFS variants.
+func Workloads() []string { return workload.Names() }
+
+// NewWorkload instantiates a registered workload at the given scale.
+func NewWorkload(name string, scale Scale) (Workload, error) {
+	f, err := workload.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(scale), nil
+}
+
+// Trace collects per-core stall/sync timeline spans; attach one via
+// Config.Trace and export it with WriteChrome for chrome://tracing.
+type Trace = trace.Collector
+
+// NewTrace returns an empty span collector with the default cap.
+func NewTrace() *Trace { return trace.New() }
+
+// Run builds a machine, runs the named workload, verifies its output
+// and returns the report. A verification failure returns the report
+// alongside the error.
+func Run(cfg Config, name string, scale Scale) (*Report, error) {
+	w, err := NewWorkload(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	return NewSystem(cfg).Run(w)
+}

@@ -1,0 +1,33 @@
+package memsys_test
+
+import (
+	"testing"
+
+	memsys "repro"
+)
+
+// TestPaperScaleSmoke runs a representative subset of workloads at the
+// paper's dataset sizes on the full 16-core machines. It is skipped in
+// -short mode (these runs take minutes); CI and the final validation
+// pass run it to prove the paper-scale inputs hold up end to end.
+func TestPaperScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale runs are slow")
+	}
+	apps := []string{"fir", "depth", "mpeg2", "mergesort", "fem"}
+	for _, app := range apps {
+		for _, model := range []memsys.Model{memsys.CC, memsys.STR} {
+			app, model := app, model
+			t.Run(app+"/"+model.String(), func(t *testing.T) {
+				t.Parallel()
+				rep, err := memsys.Run(memsys.DefaultConfig(model, 16), app, memsys.ScalePaper)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Wall == 0 || rep.Instructions == 0 {
+					t.Fatalf("empty report: %+v", rep)
+				}
+			})
+		}
+	}
+}
