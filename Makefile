@@ -1,0 +1,34 @@
+# Tier-1 verification and CI entry points (see ROADMAP.md).
+
+.PHONY: verify build test race bench paperbench-determinism
+
+# verify is the tier-1 gate: build + full test suite.
+verify: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# race runs the race detector over the concurrent experiment runner and
+# the engine it parallelizes; required for any change to either. The
+# bench run is scoped to the runner's concurrency tests (the figure-
+# shape tests exercise single-threaded model code and are ~20x slower
+# under race, blowing the go test timeout).
+race:
+	go test -race -timeout 20m -run 'Runner|Parallel|Prefetch|Progress|CfgKey' ./internal/bench/...
+	go test -race -timeout 20m ./internal/sim/...
+
+# bench regenerates the perf numbers tracked in BENCH_runner.json.
+bench:
+	go test -bench 'BenchmarkAccessHit|BenchmarkLookupMiss|BenchmarkInsertEvict' -run xxx ./internal/cache/
+	go test -bench BenchmarkRegionFilter -run xxx ./internal/coher/
+	go test -bench BenchmarkRunner -run xxx -benchtime 3x ./internal/bench/
+
+# paperbench-determinism is the end-to-end check that figure output is
+# byte-identical at any -j (the sweep is embarrassingly parallel).
+paperbench-determinism:
+	go run ./cmd/paperbench -only fig2 -scale small -q -j 1 > /tmp/pb-j1.txt
+	go run ./cmd/paperbench -only fig2 -scale small -q -j 8 > /tmp/pb-j8.txt
+	cmp /tmp/pb-j1.txt /tmp/pb-j8.txt && echo "fig2 output identical at -j 1 and -j 8"

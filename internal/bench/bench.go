@@ -8,7 +8,9 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -22,53 +24,188 @@ var AllApps = []string{
 	"depth", "fem", "fir", "art", "bitonicsort", "mergesort",
 }
 
-// Runner executes workload/configuration pairs with memoization, so
-// shared baselines (e.g. the 1-core CC run every figure normalizes to)
-// are simulated once.
+// Job names one simulation: a machine configuration and a workload.
+type Job struct {
+	Cfg  core.Config
+	Name string
+}
+
+// cfgKey identifies a simulation in the memo table. Embedding the whole
+// Config keeps the key collision-free by construction: every field —
+// including ones added later — participates in equality, so two distinct
+// configurations can never alias one cache slot.
+type cfgKey struct {
+	name string
+	cfg  core.Config
+}
+
+func keyOf(cfg core.Config, name string) cfgKey {
+	// The tracer is a run-scoped observer, not part of the machine's
+	// identity; nil it so the struct stays comparable.
+	cfg.Trace = nil
+	return cfgKey{name: name, cfg: cfg}
+}
+
+// flight is one simulation's singleflight slot: the first requester of a
+// key becomes its leader and simulates; everyone else waits on done.
+type flight struct {
+	done chan struct{}
+	rep  *core.Report
+	err  error
+}
+
+// Runner executes workload/configuration pairs on a bounded worker pool
+// with memoization, so shared baselines (e.g. the 1-core CC run every
+// figure normalizes to) are simulated once. Each simulation is an
+// isolated sim.Engine world, so independent keys run concurrently;
+// requests for a key already in flight wait for the running simulation
+// instead of repeating it. All methods are safe for concurrent use.
+//
+// Two-phase usage: Prefetch fans a figure's whole grid out to the pool
+// without blocking, then the figure generator collects results with the
+// blocking Run in its usual deterministic order. Because simulations are
+// deterministic and memoized, figure output is byte-identical at any
+// worker count.
 type Runner struct {
 	Scale workload.Scale
-	// Progress, when non-nil, receives one line per fresh simulation.
+	// Progress, when non-nil, receives one line per fresh simulation,
+	// serialized through a single collector goroutine and prefixed with
+	// a completed-count [12/88]. Set it before the first Run or Prefetch.
 	Progress io.Writer
-	cache    map[string]*core.Report
+	// Workers bounds concurrent simulations; 0 means
+	// runtime.GOMAXPROCS(0). Set it before the first Run or Prefetch.
+	Workers int
+
+	initOnce sync.Once
+	sem      chan struct{} // worker slots
+	progCh   chan string
+	progWG   sync.WaitGroup
+
+	mu        sync.Mutex
+	cache     map[cfgKey]*flight
+	scheduled int // simulations admitted to the pool (the "/88")
+	completed int // simulations finished (the "12")
 }
 
 // NewRunner returns a Runner at the given dataset scale.
 func NewRunner(scale workload.Scale) *Runner {
-	return &Runner{Scale: scale, cache: map[string]*core.Report{}}
+	return &Runner{Scale: scale, cache: map[cfgKey]*flight{}}
 }
 
-func cfgKey(cfg core.Config, name string) string {
-	return fmt.Sprintf("%s|%v|%d|%d|%d|%d|%v|%v|%d|%d|%d", name, cfg.Model, cfg.Cores,
-		cfg.CoreMHz, cfg.DRAMBandwidthMBps, cfg.PrefetchDepth, cfg.NoWriteAllocate,
-		cfg.SnoopFilter, cfg.L2SizeKB, cfg.CoresPerCluster, cfg.DMAOutstanding+cfg.L2Banks*100+cfg.DRAMChannels*10000)
+// init sizes the pool and starts the progress collector on first use.
+func (r *Runner) init() {
+	r.initOnce.Do(func() {
+		n := r.Workers
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		r.sem = make(chan struct{}, n)
+		if r.Progress != nil {
+			r.progCh = make(chan string, 64)
+			r.progWG.Add(1)
+			go func() {
+				defer r.progWG.Done()
+				for line := range r.progCh {
+					io.WriteString(r.Progress, line)
+				}
+			}()
+		}
+	})
 }
 
-// Run simulates (or recalls) one configuration.
+// Close drains the progress collector. Call it after the last Run when
+// Progress is set; the Runner must not be used afterwards.
+func (r *Runner) Close() {
+	r.init()
+	if r.progCh != nil {
+		close(r.progCh)
+		r.progWG.Wait()
+		r.progCh = nil
+	}
+}
+
+// admit returns the flight for a key, creating it (leader=true) if this
+// caller is the first to request it.
+func (r *Runner) admit(cfg core.Config, name string) (fl *flight, leader bool) {
+	r.init()
+	key := keyOf(cfg, name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if fl, ok := r.cache[key]; ok {
+		return fl, false
+	}
+	fl = &flight{done: make(chan struct{})}
+	r.cache[key] = fl
+	r.scheduled++
+	return fl, true
+}
+
+// simulate runs one admitted job and publishes its result.
+func (r *Runner) simulate(fl *flight, cfg core.Config, name string) {
+	defer close(fl.done)
+	var rep *core.Report
+	var err error
+	if f, ferr := workload.Get(name); ferr != nil {
+		err = ferr
+	} else if rep, err = core.New(cfg).Run(f(r.Scale)); err != nil {
+		rep, err = nil, fmt.Errorf("%s %v/%d: verification failed: %w", name, cfg.Model, cfg.Cores, err)
+	}
+	fl.rep, fl.err = rep, err
+
+	r.mu.Lock()
+	r.completed++
+	done, total := r.completed, r.scheduled
+	r.mu.Unlock()
+	if r.progCh != nil {
+		r.progCh <- fmt.Sprintf("# [%d/%d] %-14s %v %2d cores @%4d MHz bw=%d pf=%d\n",
+			done, total, name, cfg.Model, cfg.Cores, cfg.CoreMHz, cfg.DRAMBandwidthMBps, cfg.PrefetchDepth)
+	}
+}
+
+// Prefetch fans jobs out to the worker pool without blocking. Keys
+// already cached or in flight are skipped; errors surface when the
+// corresponding Run collects the result. The whole grid is admitted
+// before any worker starts, so the progress denominator covers it.
+func (r *Runner) Prefetch(jobs []Job) {
+	type admitted struct {
+		job Job
+		fl  *flight
+	}
+	var fresh []admitted
+	for _, j := range jobs {
+		if fl, leader := r.admit(j.Cfg, j.Name); leader {
+			fresh = append(fresh, admitted{j, fl})
+		}
+	}
+	for _, a := range fresh {
+		go func(a admitted) {
+			r.sem <- struct{}{}
+			defer func() { <-r.sem }()
+			r.simulate(a.fl, a.job.Cfg, a.job.Name)
+		}(a)
+	}
+}
+
+// Run simulates (or recalls, or awaits) one configuration.
 func (r *Runner) Run(cfg core.Config, name string) (*core.Report, error) {
-	key := cfgKey(cfg, name)
-	if rep, ok := r.cache[key]; ok {
-		return rep, nil
+	fl, leader := r.admit(cfg, name)
+	if leader {
+		r.sem <- struct{}{}
+		r.simulate(fl, cfg, name)
+		<-r.sem
+	} else {
+		<-fl.done
 	}
-	f, err := workload.Get(name)
-	if err != nil {
-		return nil, err
-	}
-	if r.Progress != nil {
-		fmt.Fprintf(r.Progress, "# running %-14s %v %2d cores @%4d MHz bw=%d pf=%d\n",
-			name, cfg.Model, cfg.Cores, cfg.CoreMHz, cfg.DRAMBandwidthMBps, cfg.PrefetchDepth)
-	}
-	rep, err := core.New(cfg).Run(f(r.Scale))
-	if err != nil {
-		return nil, fmt.Errorf("%s %v/%d: verification failed: %w", name, cfg.Model, cfg.Cores, err)
-	}
-	r.cache[key] = rep
-	return rep, nil
+	return fl.rep, fl.err
 }
 
-// baseline returns the sequential cache-based run the paper normalizes
-// to: one 800 MHz CC core, default bandwidth.
+// baselineCfg is the run the paper normalizes to: one 800 MHz CC core,
+// default bandwidth.
+func baselineCfg() core.Config { return core.DefaultConfig(core.CC, 1) }
+
+// baseline returns the sequential cache-based baseline run.
 func (r *Runner) baseline(name string) (*core.Report, error) {
-	return r.Run(core.DefaultConfig(core.CC, 1), name)
+	return r.Run(baselineCfg(), name)
 }
 
 // Bar is one stacked execution-time bar, normalized to a baseline run.
@@ -211,6 +348,11 @@ type Table3Row struct {
 // Table3 measures the memory characteristics of all applications on the
 // cache-based model with 16 cores at 800 MHz, as the paper's Table 3.
 func (r *Runner) Table3(w io.Writer) ([]Table3Row, error) {
+	var jobs []Job
+	for _, app := range AllApps {
+		jobs = append(jobs, Job{core.DefaultConfig(core.CC, 16), app})
+	}
+	r.Prefetch(jobs)
 	var rows []Table3Row
 	for _, app := range AllApps {
 		rep, err := r.Run(core.DefaultConfig(core.CC, 16), app)
@@ -246,6 +388,16 @@ func (r *Runner) Figure2(w io.Writer, apps []string) (map[string][]Bar, error) {
 	if apps == nil {
 		apps = AllApps
 	}
+	var jobs []Job
+	for _, app := range apps {
+		jobs = append(jobs, Job{baselineCfg(), app})
+		for _, n := range coreCounts {
+			for _, model := range []core.Model{core.CC, core.STR} {
+				jobs = append(jobs, Job{core.DefaultConfig(model, n), app})
+			}
+		}
+	}
+	r.Prefetch(jobs)
 	out := map[string][]Bar{}
 	for _, app := range apps {
 		base, err := r.baseline(app)
@@ -274,6 +426,7 @@ var fig34Apps = []string{"fem", "mpeg2", "fir", "bitonicsort"}
 // Figure3 produces off-chip traffic at 16 cores, normalized to one
 // caching core.
 func (r *Runner) Figure3(w io.Writer) (map[string][]TrafficBar, error) {
+	r.Prefetch(fig34Jobs())
 	out := map[string][]TrafficBar{}
 	for _, app := range fig34Apps {
 		base, err := r.baseline(app)
@@ -297,6 +450,7 @@ func (r *Runner) Figure3(w io.Writer) (map[string][]TrafficBar, error) {
 // Figure4 produces the energy comparison at 16 cores, normalized to one
 // caching core.
 func (r *Runner) Figure4(w io.Writer) (map[string][]EnergyBar, error) {
+	r.Prefetch(fig34Jobs())
 	out := map[string][]EnergyBar{}
 	for _, app := range fig34Apps {
 		base, err := r.baseline(app)
@@ -317,6 +471,19 @@ func (r *Runner) Figure4(w io.Writer) (map[string][]EnergyBar, error) {
 	return out, nil
 }
 
+// fig34Jobs is the shared grid of Figures 3 and 4: both models at 16
+// cores plus the baseline, per reported app.
+func fig34Jobs() []Job {
+	var jobs []Job
+	for _, app := range fig34Apps {
+		jobs = append(jobs, Job{baselineCfg(), app})
+		for _, model := range []core.Model{core.CC, core.STR} {
+			jobs = append(jobs, Job{core.DefaultConfig(model, 16), app})
+		}
+	}
+	return jobs
+}
+
 // fig5Apps are the computational-scaling applications of Figure 5.
 var fig5Apps = []string{"mpeg2", "fir", "bitonicsort"}
 
@@ -325,6 +492,18 @@ var clockSweep = []uint64{800, 1600, 3200, 6400}
 
 // Figure5 sweeps the core clock at 16 cores.
 func (r *Runner) Figure5(w io.Writer) (map[string][]Bar, error) {
+	var jobs []Job
+	for _, app := range fig5Apps {
+		jobs = append(jobs, Job{baselineCfg(), app})
+		for _, mhz := range clockSweep {
+			for _, model := range []core.Model{core.CC, core.STR} {
+				cfg := core.DefaultConfig(model, 16)
+				cfg.CoreMHz = mhz
+				jobs = append(jobs, Job{cfg, app})
+			}
+		}
+	}
+	r.Prefetch(jobs)
 	out := map[string][]Bar{}
 	for _, app := range fig5Apps {
 		base, err := r.baseline(app)
@@ -356,6 +535,22 @@ var bwSweep = []uint64{1600, 3200, 6400, 12800}
 // 12.8 GB/s the cache-based system is additionally run with hardware
 // prefetching, as in the paper.
 func (r *Runner) Figure6(w io.Writer) ([]Bar, error) {
+	jobs := []Job{{baselineCfg(), "fir"}}
+	for _, bw := range bwSweep {
+		for _, model := range []core.Model{core.CC, core.STR} {
+			cfg := core.DefaultConfig(model, 16)
+			cfg.CoreMHz = 3200
+			cfg.DRAMBandwidthMBps = bw
+			jobs = append(jobs, Job{cfg, "fir"})
+		}
+	}
+	pcfg := core.DefaultConfig(core.CC, 16)
+	pcfg.CoreMHz = 3200
+	pcfg.DRAMBandwidthMBps = 12800
+	pcfg.PrefetchDepth = 4
+	jobs = append(jobs, Job{pcfg, "fir"})
+	r.Prefetch(jobs)
+
 	base, err := r.baseline("fir")
 	if err != nil {
 		return nil, err
@@ -389,6 +584,21 @@ func (r *Runner) Figure6(w io.Writer) ([]Bar, error) {
 // Figure7 shows the effect of hardware prefetching (depth 4) on
 // MergeSort and 179.art: 2 cores at 3.2 GHz with a 12.8 GB/s channel.
 func (r *Runner) Figure7(w io.Writer) (map[string][]Bar, error) {
+	var jobs []Job
+	for _, app := range []string{"mergesort", "art"} {
+		jobs = append(jobs, Job{baselineCfg(), app})
+		for _, c := range []struct {
+			model core.Model
+			pf    int
+		}{{core.CC, 0}, {core.CC, 4}, {core.STR, 0}} {
+			cfg := core.DefaultConfig(c.model, 2)
+			cfg.CoreMHz = 3200
+			cfg.DRAMBandwidthMBps = 12800
+			cfg.PrefetchDepth = c.pf
+			jobs = append(jobs, Job{cfg, app})
+		}
+	}
+	r.Prefetch(jobs)
 	out := map[string][]Bar{}
 	for _, app := range []string{"mergesort", "art"} {
 		base, err := r.baseline(app)
@@ -430,6 +640,15 @@ func (r *Runner) Figure8(w io.Writer) (map[string][]TrafficBar, []EnergyBar, err
 	out := map[string][]TrafficBar{}
 	apps := map[string]string{"fir": "fir-pfs", "mergesort": "mergesort-pfs", "mpeg2": "mpeg2-pfs"}
 	order := []string{"fir", "mergesort", "mpeg2"}
+	var jobs []Job
+	for _, app := range order {
+		jobs = append(jobs,
+			Job{baselineCfg(), app},
+			Job{core.DefaultConfig(core.CC, 16), app},
+			Job{core.DefaultConfig(core.CC, 16), apps[app]},
+			Job{core.DefaultConfig(core.STR, 16), app})
+	}
+	r.Prefetch(jobs)
 	for _, app := range order {
 		pfsApp := apps[app]
 		base, err := r.baseline(app)
@@ -481,6 +700,7 @@ func (r *Runner) Figure8(w io.Writer) (map[string][]TrafficBar, []EnergyBar, err
 // Figure9 compares the original and stream-optimized cache-based MPEG-2
 // encoders: traffic and execution time at 2-16 cores.
 func (r *Runner) Figure9(w io.Writer) (bars []Bar, traffic []TrafficBar, err error) {
+	r.Prefetch(origOptJobs("mpeg2-orig", "mpeg2"))
 	base, err := r.baseline("mpeg2-orig")
 	if err != nil {
 		return nil, nil, err
@@ -504,6 +724,7 @@ func (r *Runner) Figure9(w io.Writer) (bars []Bar, traffic []TrafficBar, err err
 // Figure10 compares the original and stream-optimized cache-based
 // 179.art at 2-16 cores.
 func (r *Runner) Figure10(w io.Writer) ([]Bar, error) {
+	r.Prefetch(origOptJobs("art-orig", "art"))
 	base, err := r.baseline("art-orig")
 	if err != nil {
 		return nil, err
@@ -521,6 +742,19 @@ func (r *Runner) Figure10(w io.Writer) ([]Bar, error) {
 	}
 	writeBars(w, "Figure 10 [179.art]: stream-programming optimizations", bars)
 	return bars, nil
+}
+
+// origOptJobs is the grid Figures 9 and 10 share: the original and
+// stream-optimized variants on the CC model at 2-16 cores, plus the
+// original's baseline.
+func origOptJobs(orig, opt string) []Job {
+	jobs := []Job{{baselineCfg(), orig}}
+	for _, n := range coreCounts {
+		for _, app := range []string{orig, opt} {
+			jobs = append(jobs, Job{core.DefaultConfig(core.CC, n), app})
+		}
+	}
+	return jobs
 }
 
 // Speedup returns total(b)/total(a) for two bars (how much faster b is).

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestCfgKeyNoCollisions is the regression test for the old string key,
+// which packed DMAOutstanding+L2Banks*100+DRAMChannels*10000 into one
+// integer (so e.g. DMAOutstanding=100 collided with L2Banks=1) and
+// omitted fields like StoreBuffer entirely. The struct key must separate
+// every pair of configs that differ in any field.
+func TestCfgKeyNoCollisions(t *testing.T) {
+	base := core.DefaultConfig(core.CC, 4)
+	mutate := []struct {
+		name string
+		fn   func(*core.Config)
+	}{
+		{"Model", func(c *core.Config) { c.Model = core.STR }},
+		{"Cores", func(c *core.Config) { c.Cores = 8 }},
+		{"CoreMHz", func(c *core.Config) { c.CoreMHz = 3200 }},
+		{"DRAMBandwidthMBps", func(c *core.Config) { c.DRAMBandwidthMBps = 12800 }},
+		{"PrefetchDepth", func(c *core.Config) { c.PrefetchDepth = 4 }},
+		{"NoWriteAllocate", func(c *core.Config) { c.NoWriteAllocate = true }},
+		{"SnoopFilter", func(c *core.Config) { c.SnoopFilter = true }},
+		{"InstrPerIMiss", func(c *core.Config) { c.InstrPerIMiss = 100 }},
+		{"IMissPenalty", func(c *core.Config) { c.IMissPenalty = 40 * sim.Nanosecond }},
+		{"MaxSimTime", func(c *core.Config) { c.MaxSimTime = sim.Second }},
+		{"L2SizeKB", func(c *core.Config) { c.L2SizeKB = 1024 }},
+		{"L2Banks", func(c *core.Config) { c.L2Banks = 2 }},
+		{"DRAMChannels", func(c *core.Config) { c.DRAMChannels = 2 }},
+		{"CoresPerCluster", func(c *core.Config) { c.CoresPerCluster = 2 }},
+		{"DMAOutstanding", func(c *core.Config) { c.DMAOutstanding = 4 }},
+		{"StoreBuffer", func(c *core.Config) { c.StoreBuffer = 1 }},
+	}
+	for _, m := range mutate {
+		cfg := base
+		m.fn(&cfg)
+		if keyOf(cfg, "fir") == keyOf(base, "fir") {
+			t.Errorf("configs differing in %s share a key", m.name)
+		}
+	}
+	// The historical packed-int collisions specifically.
+	a, b := base, base
+	a.DMAOutstanding = 100
+	b.L2Banks = 1
+	if keyOf(a, "fir") == keyOf(b, "fir") {
+		t.Error("DMAOutstanding=100 and L2Banks=1 share a key (the old packed-int bug)")
+	}
+	a, b = base, base
+	a.L2Banks = 100
+	b.DRAMChannels = 1
+	if keyOf(a, "fir") == keyOf(b, "fir") {
+		t.Error("L2Banks=100 and DRAMChannels=1 share a key (the old packed-int bug)")
+	}
+	if keyOf(base, "fir") == keyOf(base, "art") {
+		t.Error("different workloads share a key")
+	}
+	// The tracer is a run-scoped observer, not machine identity: it must
+	// not defeat memoization.
+	c := base
+	c.Trace = cpu.Tracer(nil)
+	if keyOf(c, "fir") != keyOf(base, "fir") {
+		t.Error("Trace field leaked into the memo key")
+	}
+}
+
+// figureGrid renders the Figure 2 grid for two apps with the given
+// worker count, returning the exact bytes written.
+func figureGrid(t *testing.T, workers int) []byte {
+	t.Helper()
+	r := NewRunner(workload.ScaleSmall)
+	r.Workers = workers
+	var out bytes.Buffer
+	if _, err := r.Figure2(&out, []string{"fir", "depth"}); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// TestParallelDeterminism runs the same figure grid at -j 1 and -j 8 and
+// requires byte-identical reports. Every simulation is a deterministic
+// isolated engine, so any divergence here is a data race in the runner.
+func TestParallelDeterminism(t *testing.T) {
+	seq := figureGrid(t, 1)
+	par := figureGrid(t, 8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("figure output differs between -j 1 (%d bytes) and -j 8 (%d bytes)", len(seq), len(par))
+	}
+}
+
+// TestPrefetchSingleflight checks that concurrent requests for one key
+// simulate once: Prefetch plus many concurrent Runs must return the same
+// report pointer.
+func TestPrefetchSingleflight(t *testing.T) {
+	r := NewRunner(workload.ScaleSmall)
+	r.Workers = 4
+	cfg := core.DefaultConfig(core.CC, 2)
+	r.Prefetch([]Job{{cfg, "fir"}, {cfg, "fir"}})
+	const callers = 8
+	reps := make([]*core.Report, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rep, err := r.Run(cfg, "fir")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			reps[i] = rep
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if reps[i] != reps[0] {
+			t.Fatal("concurrent Runs returned different reports for one key")
+		}
+	}
+	r.mu.Lock()
+	scheduled := r.scheduled
+	r.mu.Unlock()
+	if scheduled != 1 {
+		t.Fatalf("scheduled %d simulations for one key, want 1", scheduled)
+	}
+}
+
+// TestProgressCollector checks that progress lines are serialized through
+// the collector with a completed-count prefix.
+func TestProgressCollector(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(workload.ScaleSmall)
+	r.Workers = 4
+	r.Progress = &buf
+	r.Prefetch([]Job{
+		{core.DefaultConfig(core.CC, 1), "fir"},
+		{core.DefaultConfig(core.CC, 2), "fir"},
+		{core.DefaultConfig(core.STR, 2), "fir"},
+	})
+	if _, err := r.Run(core.DefaultConfig(core.CC, 2), "fir"); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the whole grid, then drain the collector.
+	for _, cfg := range []core.Config{core.DefaultConfig(core.CC, 1), core.DefaultConfig(core.STR, 2)} {
+		if _, err := r.Run(cfg, "fir"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Close()
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 3 {
+		t.Fatalf("got %d progress lines, want 3:\n%s", len(lines), buf.String())
+	}
+	seen := map[string]bool{}
+	for _, ln := range lines {
+		if !bytes.HasPrefix(ln, []byte("# [")) {
+			t.Errorf("progress line missing completed-count prefix: %q", ln)
+		}
+		seen[string(ln[:6])] = true
+	}
+	for _, want := range []string{"# [1/3", "# [2/3", "# [3/3"} {
+		if !seen[want] {
+			t.Errorf("no progress line with prefix %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -75,13 +75,20 @@ type Config struct {
 	LineSize uint64 // must be mem.LineSize for this study
 }
 
-// Cache is a set-associative tag array.
+// Cache is a set-associative tag array. The ways of all sets live in
+// one flat set-major array and the set index is a mask when the set
+// count is a power of two (it always is for the study's Table 2
+// geometries), keeping the per-access lookup free of divisions and
+// pointer chasing — it is the hottest path of the whole simulator.
 type Cache struct {
-	cfg   Config
-	sets  [][]Line
-	nsets uint64
-	tick  uint64
-	stats Stats
+	cfg     Config
+	lines   []Line // nsets * assoc entries, set-major
+	assoc   uint64
+	nsets   uint64
+	setMask uint64 // nsets-1; valid only when pow2
+	pow2    bool
+	tick    uint64
+	stats   Stats
 }
 
 // New returns an empty cache.
@@ -100,13 +107,14 @@ func New(cfg Config) *Cache {
 	if nsets == 0 || nlines%uint64(cfg.Assoc) != 0 {
 		panic(fmt.Sprintf("cache %s: %d lines not divisible into %d-way sets", cfg.Name, nlines, cfg.Assoc))
 	}
-	c := &Cache{cfg: cfg, nsets: nsets}
-	c.sets = make([][]Line, nsets)
-	backing := make([]Line, nlines)
-	for i := range c.sets {
-		c.sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	return &Cache{
+		cfg:     cfg,
+		lines:   make([]Line, nlines),
+		assoc:   uint64(cfg.Assoc),
+		nsets:   nsets,
+		setMask: nsets - 1,
+		pow2:    nsets&(nsets-1) == 0,
 	}
-	return c
 }
 
 // Config returns the cache geometry.
@@ -116,7 +124,14 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) Stats() Stats { return c.stats }
 
 func (c *Cache) set(a mem.Addr) []Line {
-	return c.sets[(uint64(a)>>mem.LineShift)%c.nsets]
+	idx := uint64(a) >> mem.LineShift
+	if c.pow2 {
+		idx &= c.setMask
+	} else {
+		idx %= c.nsets
+	}
+	base := idx * c.assoc
+	return c.lines[base : base+c.assoc]
 }
 
 // Lookup probes the tag array for the line holding a, without updating
@@ -260,17 +275,15 @@ func (c *Cache) Downgrade(a mem.Addr) *Line {
 // model cache cleaning.
 func (c *Cache) FlushAll() []mem.Addr {
 	var dirty []mem.Addr
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			ln := &c.sets[si][wi]
-			if ln.State == Invalid {
-				continue
-			}
-			if ln.Dirty {
-				dirty = append(dirty, ln.Addr)
-			}
-			*ln = Line{}
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if ln.State == Invalid {
+			continue
 		}
+		if ln.Dirty {
+			dirty = append(dirty, ln.Addr)
+		}
+		*ln = Line{}
 	}
 	return dirty
 }
@@ -278,11 +291,9 @@ func (c *Cache) FlushAll() []mem.Addr {
 // Lines returns the addresses of all valid lines, in set order.
 func (c *Cache) Lines() []mem.Addr {
 	var out []mem.Addr
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			if c.sets[si][wi].State != Invalid {
-				out = append(out, c.sets[si][wi].Addr)
-			}
+	for i := range c.lines {
+		if c.lines[i].State != Invalid {
+			out = append(out, c.lines[i].Addr)
 		}
 	}
 	return out
@@ -291,11 +302,9 @@ func (c *Cache) Lines() []mem.Addr {
 // Occupancy returns the number of valid lines.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			if c.sets[si][wi].State != Invalid {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].State != Invalid {
+			n++
 		}
 	}
 	return n

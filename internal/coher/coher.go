@@ -99,29 +99,35 @@ type Domain struct {
 	pref  []*prefetch.Prefetcher
 	gath  []*gatherBuffer
 	stats Stats
-	// regions[i] counts core i's resident lines per region, backing the
-	// RegionScout filter. nil when the filter is disabled.
-	regions []map[mem.Addr]int
+	// The RegionScout filter state, array-backed (see table.go):
+	// regions[i] counts core i's resident lines per region, and
+	// regionOwners counts, per region, how many cores hold at least one
+	// line there — making the shared-region query O(1) instead of a map
+	// probe per core. regions is nil when the filter is disabled.
+	regions      []regionTable
+	regionOwners regionTable
+	regShift     uint // log2(RegionBytes), rounded up to a power of two
 }
 
-// region returns the filter region of an address.
-func (d *Domain) region(a mem.Addr) mem.Addr {
-	return a &^ (mem.Addr(d.cfg.RegionBytes) - 1)
+// regionIndex returns the filter-region index of an address.
+func (d *Domain) regionIndex(a mem.Addr) uint64 {
+	return uint64(a) >> d.regShift
 }
 
-// regionTrack updates core i's region population by delta lines.
-func (d *Domain) regionTrack(i int, a mem.Addr, delta int) {
+// regionTrack updates core i's region population by delta lines,
+// keeping the per-region owner count in step.
+func (d *Domain) regionTrack(i int, a mem.Addr, delta int32) {
 	if d.regions == nil {
 		return
 	}
-	r := d.region(a)
-	m := d.regions[i]
-	n := m[r] + delta
-	if n <= 0 {
-		delete(m, r)
-		return
+	r := d.regionIndex(a)
+	old, now := d.regions[i].add(r, delta)
+	switch {
+	case old == 0 && now > 0:
+		d.regionOwners.add(r, 1)
+	case old > 0 && now == 0:
+		d.regionOwners.add(r, -1)
 	}
-	m[r] = n
 }
 
 // regionShared reports whether any core other than self holds lines in
@@ -130,16 +136,12 @@ func (d *Domain) regionShared(self int, a mem.Addr) bool {
 	if d.regions == nil {
 		return true
 	}
-	r := d.region(a)
-	for i, m := range d.regions {
-		if i == self {
-			continue
-		}
-		if m[r] > 0 {
-			return true
-		}
+	r := d.regionIndex(a)
+	holders := d.regionOwners.get(r)
+	if d.regions[self].get(r) > 0 {
+		return holders > 1
 	}
-	return false
+	return holders > 0
 }
 
 // NewDomain builds the coherent L1 level for the given cores.
@@ -158,10 +160,8 @@ func NewDomain(cfg Config, unc *uncore.Uncore, procs []*cpu.Proc) *Domain {
 		d.gath = append(d.gath, newGatherBuffer())
 	}
 	if cfg.SnoopFilter {
-		d.regions = make([]map[mem.Addr]int, len(procs))
-		for i := range d.regions {
-			d.regions[i] = map[mem.Addr]int{}
-		}
+		d.regShift = regionShift(cfg.RegionBytes)
+		d.regions = make([]regionTable, len(procs))
 	}
 	return d
 }
@@ -519,34 +519,31 @@ func (d *Domain) pfsMiss(at sim.Time, i int, a mem.Addr) sim.Time {
 // Modified or Exclusive anywhere has exactly one copy. Tests call it
 // after workloads run.
 func (d *Domain) CheckInvariants() error {
-	type state struct {
-		owners  int
-		sharers int
+	total := 0
+	for _, c := range d.l1s {
+		total += c.Occupancy()
 	}
-	lines := make(map[mem.Addr]*state)
+	lines := newLineTable(total)
 	for _, c := range d.l1s {
 		for _, a := range c.Lines() {
-			ln := c.Lookup(a)
-			s := lines[a]
-			if s == nil {
-				s = &state{}
-				lines[a] = s
-			}
-			switch ln.State {
+			switch c.Lookup(a).State {
 			case cache.Modified, cache.Exclusive:
-				s.owners++
+				lines.addOwner(a)
 			case cache.Shared:
-				s.sharers++
+				lines.addSharer(a)
 			}
 		}
 	}
-	for a, s := range lines {
-		if s.owners > 1 {
-			return fmt.Errorf("line %v has %d exclusive owners", a, s.owners)
+	var err error
+	lines.each(func(a mem.Addr, owners, sharers uint16) {
+		if err != nil {
+			return
 		}
-		if s.owners == 1 && s.sharers > 0 {
-			return fmt.Errorf("line %v is exclusive with %d sharers", a, s.sharers)
+		if owners > 1 {
+			err = fmt.Errorf("line %v has %d exclusive owners", a, owners)
+		} else if owners == 1 && sharers > 0 {
+			err = fmt.Errorf("line %v is exclusive with %d sharers", a, sharers)
 		}
-	}
-	return nil
+	})
+	return err
 }

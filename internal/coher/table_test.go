@@ -1,0 +1,92 @@
+package coher
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestRegionTableCounts(t *testing.T) {
+	var rt regionTable
+	if got := rt.get(42); got != 0 {
+		t.Fatalf("empty table get = %d", got)
+	}
+	if old, now := rt.add(1024, 1); old != 0 || now != 1 {
+		t.Fatalf("add = (%d,%d), want (0,1)", old, now)
+	}
+	if old, now := rt.add(1024, 1); old != 1 || now != 2 {
+		t.Fatalf("second add = (%d,%d), want (1,2)", old, now)
+	}
+	// Far above: table grows upward.
+	rt.add(5000, 3)
+	if got := rt.get(5000); got != 3 {
+		t.Fatalf("get(5000) = %d, want 3", got)
+	}
+	// Below base: table grows downward.
+	rt.add(12, 7)
+	if got := rt.get(12); got != 7 {
+		t.Fatalf("get(12) = %d, want 7", got)
+	}
+	if got := rt.get(1024); got != 2 {
+		t.Fatalf("get(1024) after growth = %d, want 2", got)
+	}
+	// Counts clamp at zero, as the old map semantics deleted entries.
+	if _, now := rt.add(1024, -5); now != 0 {
+		t.Fatalf("clamped count = %d, want 0", now)
+	}
+}
+
+func TestRegionShift(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want uint
+	}{{1, 0}, {2, 1}, {1024, 10}, {1000, 10}, {1025, 11}}
+	for _, c := range cases {
+		if got := regionShift(c.n); got != c.want {
+			t.Errorf("regionShift(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestLineTableCounts(t *testing.T) {
+	lt := newLineTable(8)
+	a := mem.Addr(1 << 20)
+	b := a + mem.LineSize
+	lt.addOwner(a)
+	lt.addSharer(b)
+	lt.addSharer(b)
+	got := map[mem.Addr][2]uint16{}
+	lt.each(func(addr mem.Addr, owners, sharers uint16) {
+		got[addr] = [2]uint16{owners, sharers}
+	})
+	if len(got) != 2 {
+		t.Fatalf("%d lines recorded, want 2", len(got))
+	}
+	if got[a] != [2]uint16{1, 0} {
+		t.Errorf("line a = %v, want {1 0}", got[a])
+	}
+	if got[b] != [2]uint16{0, 2} {
+		t.Errorf("line b = %v, want {0 2}", got[b])
+	}
+}
+
+// BenchmarkRegionFilter tracks the RegionScout hot path: the per-fill
+// region bookkeeping plus the shared-region query every global broadcast
+// consults (formerly one map probe per core).
+func BenchmarkRegionFilter(b *testing.B) {
+	d := &Domain{
+		regShift: regionShift(1024),
+		regions:  make([]regionTable, 16),
+	}
+	const span = 1 << 22 // 4 MB working set
+	for i := 0; i < b.N; i++ {
+		a := mem.Addr(1<<20 + (i*mem.LineSize)%span)
+		core := i & 15
+		d.regionTrack(core, a, 1)
+		if d.regionShared(core, a) {
+			// Typical outcome once regions warm up; keep the branch live.
+			_ = a
+		}
+		d.regionTrack(core, a, -1)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Engine is a conservative discrete-event engine. Every simulated agent
@@ -14,13 +15,24 @@ import (
 // resumes the runnable task with the smallest local time, which keeps
 // mutations of shared model state (caches, resource servers) ordered by
 // timestamp.
+//
+// Concurrency contract: an Engine and its Tasks form one isolated
+// scheduling domain driven by the single goroutine that calls Run — the
+// handshake on sched/resume guarantees at most one goroutine of the
+// domain executes at a time, so within a domain model code is
+// effectively single-threaded. An Engine owns no process-global state,
+// so any number of independent Engines may Run concurrently from
+// different goroutines (the experiment runner in internal/bench relies
+// on this); what is forbidden is sharing one Engine, Task, or any model
+// object across domains. Run enforces the one-driver rule with an
+// atomic guard so a violation fails loudly rather than racing.
 type Engine struct {
 	queue   taskQueue
 	tasks   []*Task
 	now     Time
 	sched   chan yieldMsg
 	live    int // tasks spawned and not yet finished
-	started bool
+	started atomic.Bool
 	// MaxTime, when non-zero, aborts the run if simulated time passes it.
 	// It is a safety net against model-level livelock.
 	MaxTime Time
@@ -96,11 +108,13 @@ func (e *Engine) push(t *Task) {
 // Run dispatches events until every task has finished. It panics on
 // deadlock (live tasks remain but none is runnable) because a deadlock is
 // always a bug in a model or workload, never a recoverable condition.
+// It must be called exactly once, and only one goroutine may drive an
+// Engine: the compare-and-swap below asserts it, making concurrent
+// engines provably non-interfering (each is driven by its own caller).
 func (e *Engine) Run() {
-	if e.started {
-		panic("sim: Engine.Run called twice")
+	if !e.started.CompareAndSwap(false, true) {
+		panic("sim: Engine.Run called twice or from two goroutines")
 	}
-	e.started = true
 	for e.live > 0 {
 		if e.queue.Len() == 0 {
 			panic("sim: deadlock: " + e.describeBlocked())

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEnginesRunConcurrently exercises the one-goroutine-per-engine
+// contract: independent engines driven from separate goroutines must not
+// interfere (run it under -race to prove the isolation, which the
+// parallel experiment runner in internal/bench depends on).
+func TestEnginesRunConcurrently(t *testing.T) {
+	const engines = 8
+	results := make([]Time, engines)
+	var wg sync.WaitGroup
+	for i := 0; i < engines; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := NewEngine()
+			srv := NewServer("srv")
+			for c := 0; c < 4; c++ {
+				e.Spawn("worker", Time(c), func(tk *Task) {
+					for n := 0; n < 50; n++ {
+						tk.AdvanceTo(srv.Acquire(tk.Time(), 5))
+					}
+				})
+			}
+			e.Run()
+			results[i] = e.Now()
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < engines; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("engine %d finished at %v, engine 0 at %v: identical worlds diverged",
+				i, results[i], results[0])
+		}
+	}
+}
+
+// TestEngineRunTwicePanics pins the atomic double-Run guard.
+func TestEngineRunTwicePanics(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("noop", 0, func(tk *Task) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Run did not panic")
+		}
+	}()
+	e.Run()
+}
