@@ -1,6 +1,6 @@
 # Tier-1 verification and CI entry points (see ROADMAP.md).
 
-.PHONY: verify build test race bench paperbench-determinism
+.PHONY: verify build test race bench bench-engine paperbench-determinism
 
 # verify is the tier-1 gate: build + full test suite.
 verify: build test
@@ -24,6 +24,13 @@ race:
 bench:
 	go test -bench 'BenchmarkAccessHit|BenchmarkLookupMiss|BenchmarkInsertEvict' -run xxx ./internal/cache/
 	go test -bench BenchmarkRegionFilter -run xxx ./internal/coher/
+	go test -bench BenchmarkRunner -run xxx -benchtime 3x ./internal/bench/
+
+# bench-engine regenerates the event-engine numbers tracked in
+# BENCH_engine.json (Sync fast path, scheduler dispatch, server
+# calendar, plus the end-to-end runner grid).
+bench-engine:
+	go test -bench 'BenchmarkSyncFastPath|BenchmarkDispatch|BenchmarkServerAcquire' -run xxx ./internal/sim/
 	go test -bench BenchmarkRunner -run xxx -benchtime 3x ./internal/bench/
 
 # paperbench-determinism is the end-to-end check that figure output is

@@ -11,6 +11,14 @@ import (
 // are charged locally without an engine round trip; misses, upgrades and
 // prefetch issue synchronize with the engine so that shared-state
 // mutations stay in timestamp order.
+//
+// Sync audit (engine fast path, PR 2): every Sync below is immediately
+// followed by a read or write of cross-core state — the bus/L2 servers
+// via readMiss/writeMiss/upgrade, peer L1s via invalidation, or this
+// core's own L1 tags, which peers mutate through snoops and so count as
+// shared. None can convert to SetTime/Advance. They stay because they
+// are needed, not because they are cheap — though with the engine fast
+// path a Sync by the globally minimal core no longer pays a handshake.
 type Mem struct {
 	d    *Domain
 	core int

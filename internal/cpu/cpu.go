@@ -230,7 +230,10 @@ func (p *Proc) Work(n uint64) { p.chargeUseful(n) }
 // bucket (used by synchronization primitives and DMA waits). It is a
 // full synchronization point: the task yields so that other agents'
 // earlier events execute first, which keeps protocol state transitions
-// at phase boundaries in timestamp order.
+// at phase boundaries in timestamp order. (Sync audit, PR 2: callers
+// read shared primitive or DMA state right after WaitUntil returns, so
+// the yield must stay; the engine elides the handshake itself whenever
+// this core is already globally minimal.)
 func (p *Proc) WaitUntil(t sim.Time) {
 	if now := p.task.Time(); t > now {
 		p.bd.Sync += t - now

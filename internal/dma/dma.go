@@ -243,6 +243,10 @@ func (e *Engine) process(t *sim.Task, cmd command) sim.Time {
 		if prev := ring[beat%e.window]; beat >= e.window && prev > t.Time() {
 			t.SetTime(prev)
 		}
+		// The per-beat Sync cannot convert to a local charge: fn touches
+		// the shared uncore servers. While the DMA task streams behind
+		// its blocked core it is globally minimal, so the engine's Sync
+		// fast path makes this yield handshake-free.
 		t.Sync()
 		done := fn(t.Time())
 		ring[beat%e.window] = done

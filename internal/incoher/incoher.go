@@ -154,9 +154,10 @@ func (m *Mem) StorePFS(p *cpu.Proc, a mem.Addr, nbytes uint64) sim.Time {
 	return p.Now()
 }
 
-// Flush implements cpu.ProcMem.
+// Flush implements cpu.ProcMem. No Sync here: FlushRange syncs before
+// its first shared touch, and a second yield at the same (time, id) is a
+// provable no-op under the engine's dispatch order.
 func (m *Mem) Flush(p *cpu.Proc) sim.Time {
-	p.Task().Sync()
 	return m.FlushRange(p, 0, ^uint64(0))
 }
 

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -26,8 +25,30 @@ import (
 // on this); what is forbidden is sharing one Engine, Task, or any model
 // object across domains. Run enforces the one-driver rule with an
 // atomic guard so a violation fails loudly rather than racing.
+//
+// Fast-path invariant: Sync exists so that a task yields before touching
+// shared state and resumes only once it is the globally minimal runnable
+// task under the engine's (time, id) order. The engine, however, would
+// dispatch the yielding task t immediately — without running anything
+// else — exactly when t already precedes every queued task under that
+// order (blocked tasks cannot become runnable meanwhile: only the single
+// running task could unblock them, and that is t itself). In that case
+// the handshake is a provable no-op, so Sync skips it: it compares t
+// against the scheduler heap's minimum and, if t wins (strictly earlier
+// time, or equal time and smaller spawn id), keeps running after
+// updating the engine clock to t's time. Because the skip condition is
+// precisely "the engine's next pop would return t", the sequence of
+// task-at-time steps — and therefore every simulated timestamp — is
+// identical with the fast path on or off; TestFastPathScheduleEquivalence
+// checks this on randomized schedules. The running task may read and
+// write engine scheduling state without locks because the engine
+// goroutine is parked in a channel receive for the whole interval
+// between resuming the task and the task's next yield (the resume/sched
+// channel pair supplies the happens-before edges, so the race detector
+// agrees). The fast path declines when the task has passed MaxTime so
+// the livelock safety net still trips inside Run.
 type Engine struct {
-	queue   taskQueue
+	queue   taskHeap
 	tasks   []*Task
 	now     Time
 	sched   chan yieldMsg
@@ -36,6 +57,9 @@ type Engine struct {
 	// MaxTime, when non-zero, aborts the run if simulated time passes it.
 	// It is a safety net against model-level livelock.
 	MaxTime Time
+	// noFastPath forces every Sync through the engine handshake; only the
+	// determinism tests set it (the fast path must be unobservable).
+	noFastPath bool
 }
 
 // NewEngine returns an empty engine.
@@ -70,7 +94,6 @@ type Task struct {
 	blocked bool
 	queued  bool
 	done    bool
-	index   int // heap index, -1 when not queued
 }
 
 // Spawn registers fn as a new task starting at time start. It may be called
@@ -82,7 +105,6 @@ func (e *Engine) Spawn(name string, start Time, fn func(*Task)) *Task {
 		id:     len(e.tasks),
 		time:   start,
 		resume: make(chan struct{}),
-		index:  -1,
 	}
 	e.tasks = append(e.tasks, t)
 	e.live++
@@ -102,7 +124,7 @@ func (e *Engine) push(t *Task) {
 	}
 	t.queued = true
 	t.blocked = false
-	heap.Push(&e.queue, t)
+	e.queue.push(t)
 }
 
 // Run dispatches events until every task has finished. It panics on
@@ -116,10 +138,10 @@ func (e *Engine) Run() {
 		panic("sim: Engine.Run called twice or from two goroutines")
 	}
 	for e.live > 0 {
-		if e.queue.Len() == 0 {
+		if e.queue.len() == 0 {
 			panic("sim: deadlock: " + e.describeBlocked())
 		}
-		t := heap.Pop(&e.queue).(*Task)
+		t := e.queue.pop()
 		t.queued = false
 		if t.time < e.now {
 			panic(fmt.Sprintf("sim: task %q scheduled in the past (%v < %v)", t.name, t.time, e.now))
@@ -176,8 +198,20 @@ func (t *Task) Advance(d Time) { t.time += d }
 // Sync yields to the engine and returns once this task is globally minimal
 // again. Call it before touching shared model state so that mutations are
 // applied in timestamp order.
+//
+// When the task is already globally minimal — no queued task precedes it
+// under (time, id) — the engine would dispatch it right back, so Sync
+// returns without the channel round trip (see the fast-path invariant in
+// the Engine doc). The engine clock still advances to the task's time.
 func (t *Task) Sync() {
-	t.engine.sched <- yieldMsg{t, yieldRequeue}
+	e := t.engine
+	if !e.noFastPath && (e.MaxTime == 0 || t.time <= e.MaxTime) {
+		if e.queue.len() == 0 || t.before(e.queue.peek()) {
+			e.now = t.time
+			return
+		}
+	}
+	e.sched <- yieldMsg{t, yieldRequeue}
 	<-t.resume
 }
 
@@ -213,37 +247,80 @@ func (t *Task) Unblock(at Time) {
 	t.engine.push(t)
 }
 
-// taskQueue is a min-heap of tasks ordered by (time, id); the id tiebreak
-// makes dispatch deterministic.
-type taskQueue []*Task
-
-func (q taskQueue) Len() int { return len(q) }
-
-func (q taskQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
+// before reports whether t precedes u in dispatch order: earlier local
+// time, with the spawn id breaking ties so dispatch is deterministic.
+func (t *Task) before(u *Task) bool {
+	if t.time != u.time {
+		return t.time < u.time
 	}
-	return q[i].id < q[j].id
+	return t.id < u.id
 }
 
-func (q taskQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// taskHeap is a 4-ary min-heap of tasks ordered by (time, id). It is
+// hand-specialized rather than using container/heap: no interface boxing
+// on push/pop, and the sift loops compare the (time, id) key directly.
+// 4-ary halves the tree depth of the binary heap, which matters because
+// the heap is touched twice per slow-path dispatch.
+type taskHeap struct {
+	s []*Task
 }
 
-func (q *taskQueue) Push(x any) {
-	t := x.(*Task)
-	t.index = len(*q)
-	*q = append(*q, t)
+const heapArity = 4
+
+func (h *taskHeap) len() int { return len(h.s) }
+
+// peek returns the minimum without removing it. Caller checks len > 0.
+func (h *taskHeap) peek() *Task { return h.s[0] }
+
+func (h *taskHeap) push(t *Task) {
+	h.s = append(h.s, t)
+	s := h.s
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !t.before(s[p]) {
+			break
+		}
+		s[i] = s[p]
+		i = p
+	}
+	s[i] = t
 }
 
-func (q *taskQueue) Pop() any {
-	old := *q
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*q = old[:n-1]
-	return t
+func (h *taskHeap) pop() *Task {
+	s := h.s
+	top := s[0]
+	n := len(s) - 1
+	last := s[n]
+	s[n] = nil
+	h.s = s[:n]
+	if n == 0 {
+		return top
+	}
+	s = h.s
+	// Sift the former tail down from the root.
+	i := 0
+	for {
+		first := i*heapArity + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if s[c].before(s[min]) {
+				min = c
+			}
+		}
+		if !s[min].before(last) {
+			break
+		}
+		s[i] = s[min]
+		i = min
+	}
+	s[i] = last
+	return top
 }

@@ -1,0 +1,54 @@
+package sim
+
+import "testing"
+
+// BenchmarkSyncFastPath measures a lone task repeatedly advancing and
+// syncing. With no peer at an earlier timestamp the task is always
+// globally minimal, so this is the pure cost of one Sync in the common
+// streaming case (the engine fast path, once it exists, should make it
+// channel-free).
+func BenchmarkSyncFastPath(b *testing.B) {
+	e := NewEngine()
+	e.Spawn("solo", 0, func(t *Task) {
+		for i := 0; i < b.N; i++ {
+			t.Advance(10 * Nanosecond)
+			t.Sync()
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkDispatch measures the full scheduler round trip: 8 tasks in
+// lockstep, so every Sync finds a peer at an earlier timestamp and must
+// hand control back to the engine (heap push + pop + two channel
+// operations + two goroutine switches per event).
+func BenchmarkDispatch(b *testing.B) {
+	e := NewEngine()
+	const tasks = 8
+	per := b.N/tasks + 1
+	for i := 0; i < tasks; i++ {
+		e.Spawn("w", 0, func(t *Task) {
+			for j := 0; j < per; j++ {
+				t.Advance(10 * Nanosecond)
+				t.Sync()
+			}
+		})
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkServerAcquire measures the dominant calendar operation:
+// monotone arrivals appending at the end of a busy calendar whose live
+// window holds ~200 reservations (1us steps inside the 200us prune
+// window), so pruning is continuously active.
+func BenchmarkServerAcquire(b *testing.B) {
+	s := NewServer("x")
+	at := Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Acquire(at, 500*Nanosecond)
+		at += Microsecond
+	}
+}

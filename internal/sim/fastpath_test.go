@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestDeadlockMessageNamesBlockedTasks pins the deadlock diagnostic: the
+// panic must name every blocked task, sorted, so a model bug is
+// attributable without a debugger.
+func TestDeadlockMessageNamesBlockedTasks(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected deadlock panic")
+		}
+		msg := fmt.Sprint(r)
+		want := "sim: deadlock: blocked tasks: alpha, beta"
+		if !strings.Contains(msg, want) {
+			t.Fatalf("deadlock panic = %q, want it to contain %q", msg, want)
+		}
+	}()
+	e := NewEngine()
+	e.Spawn("beta", 5, func(tk *Task) { tk.Block() })
+	e.Spawn("alpha", 0, func(tk *Task) { tk.Block() })
+	e.Run()
+}
+
+// step is one observable scheduling event: a task returning from Sync at
+// a local time. The sequence of steps is the engine's event order.
+type step struct {
+	id int
+	tm Time
+}
+
+// runInterleaveStress runs two twin tasks in lockstep (every Sync is a
+// tiebreak on equal timestamps, forcing the slow path) alongside a
+// fine-grained task that stays behind them (its Syncs are all fast-path
+// eligible), so both dispatch paths interleave constantly.
+func runInterleaveStress(disableFastPath bool) []step {
+	e := NewEngine()
+	e.noFastPath = disableFastPath
+	var order []step
+	for i := 0; i < 2; i++ {
+		id := i
+		e.Spawn("twin", 0, func(tk *Task) {
+			for j := 0; j < 500; j++ {
+				tk.Advance(10)
+				tk.Sync()
+				order = append(order, step{id, tk.Time()})
+			}
+		})
+	}
+	e.Spawn("fine", 0, func(tk *Task) {
+		for j := 0; j < 5000; j++ {
+			tk.Advance(1)
+			tk.Sync()
+			order = append(order, step{2, tk.Time()})
+		}
+	})
+	e.Run()
+	return order
+}
+
+// TestFastSlowPathInterleave asserts the stress schedule is deterministic
+// and identical with the fast path enabled and disabled, including the
+// equal-timestamp id tiebreak between the twins.
+func TestFastSlowPathInterleave(t *testing.T) {
+	fast := runInterleaveStress(false)
+	again := runInterleaveStress(false)
+	slow := runInterleaveStress(true)
+	if len(fast) != 2*500+5000 {
+		t.Fatalf("recorded %d steps, want %d", len(fast), 2*500+5000)
+	}
+	for i := range fast {
+		if fast[i] != again[i] {
+			t.Fatalf("step %d differs across identical runs: %v vs %v", i, fast[i], again[i])
+		}
+		if fast[i] != slow[i] {
+			t.Fatalf("step %d differs with fast path off: fast %v, slow %v", i, fast[i], slow[i])
+		}
+	}
+	// The twins' mutual order at equal timestamps must follow spawn id.
+	var twins []step
+	for _, s := range fast {
+		if s.id < 2 {
+			twins = append(twins, s)
+		}
+	}
+	for i := 0; i < len(twins); i += 2 {
+		if twins[i].tm != twins[i+1].tm {
+			t.Fatalf("twin steps %d,%d at different times: %v", i, i+1, twins[i:i+2])
+		}
+	}
+}
+
+// TestFastPathScheduleEquivalence is the randomized-schedule oracle: for
+// many random task sets (random start times, random per-step advances
+// including zero, so equal timestamps are common), the observable event
+// order with the Sync fast path enabled must be byte-for-byte the order
+// with it disabled. This is the determinism proof obligation of the fast
+// path (see the Engine doc comment).
+func TestFastPathScheduleEquivalence(t *testing.T) {
+	runSchedule := func(seed int64, disableFastPath bool) []step {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		e.noFastPath = disableFastPath
+		var order []step
+		nTasks := 2 + rng.Intn(6)
+		for i := 0; i < nTasks; i++ {
+			id := i
+			steps := 20 + rng.Intn(80)
+			deltas := make([]Time, steps)
+			for j := range deltas {
+				deltas[j] = Time(rng.Intn(5)) // zeros exercise the tiebreak
+			}
+			e.Spawn(fmt.Sprintf("t%d", i), Time(rng.Intn(3)), func(tk *Task) {
+				for _, d := range deltas {
+					tk.Advance(d)
+					tk.Sync()
+					order = append(order, step{id, tk.Time()})
+				}
+			})
+		}
+		e.Run()
+		return order
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		on := runSchedule(seed, false)
+		off := runSchedule(seed, true)
+		if len(on) != len(off) {
+			t.Fatalf("seed %d: %d steps with fast path, %d without", seed, len(on), len(off))
+		}
+		for i := range on {
+			if on[i] != off[i] {
+				t.Fatalf("seed %d: step %d diverges: fast path %v, engine path %v",
+					seed, i, on[i], off[i])
+			}
+		}
+	}
+}
+
+// TestTaskHeapOrdering drives the specialized 4-ary heap directly with
+// interleaved pushes and pops and checks it against a sorted reference.
+func TestTaskHeapOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h taskHeap
+	var ref []*Task
+	popRef := func() *Task {
+		sort.SliceStable(ref, func(i, j int) bool { return ref[i].before(ref[j]) })
+		m := ref[0]
+		ref = ref[1:]
+		return m
+	}
+	id := 0
+	for round := 0; round < 2000; round++ {
+		if len(ref) == 0 || rng.Intn(3) != 0 {
+			tk := &Task{id: id, time: Time(rng.Intn(50))}
+			id++
+			h.push(tk)
+			ref = append(ref, tk)
+		} else {
+			want := popRef()
+			if got := h.peek(); got != want {
+				t.Fatalf("round %d: peek = (%d,%d), want (%d,%d)", round, got.time, got.id, want.time, want.id)
+			}
+			if got := h.pop(); got != want {
+				t.Fatalf("round %d: pop = (%d,%d), want (%d,%d)", round, got.time, got.id, want.time, want.id)
+			}
+		}
+	}
+	for len(ref) > 0 {
+		want := popRef()
+		if got := h.pop(); got != want {
+			t.Fatalf("drain: pop = (%d,%d), want (%d,%d)", got.time, got.id, want.time, want.id)
+		}
+	}
+	if h.len() != 0 {
+		t.Fatalf("heap not empty after drain: %d left", h.len())
+	}
+}
+
+// TestServerNextFreeSurvivesPruning pins the post-prune semantics: the
+// interval ring may forget old bookings (Reservations shrinks), but
+// NextFree keeps answering with the end of the latest-ending reservation
+// ever granted.
+func TestServerNextFreeSurvivesPruning(t *testing.T) {
+	s := NewServer("x")
+	if s.NextFree() != 0 {
+		t.Fatalf("fresh server NextFree = %v, want 0", s.NextFree())
+	}
+	s.Acquire(0, 10)
+	if s.NextFree() != 10 {
+		t.Fatalf("NextFree = %v, want 10", s.NextFree())
+	}
+	// A zero-duration arrival far in the future books nothing but
+	// advances the prune horizon past the only reservation.
+	s.Acquire(5*pruneWindow, 0)
+	if n := len(s.Reservations()); n != 0 {
+		t.Fatalf("%d reservations tracked after pruning, want 0", n)
+	}
+	if s.NextFree() != 10 {
+		t.Fatalf("NextFree after pruning = %v, want 10 (pruning must not forget bookings)", s.NextFree())
+	}
+	// A real booking after the wipe restarts the ring and NextFree moves.
+	at := 5*pruneWindow + 3
+	s.Acquire(at, 7)
+	if s.NextFree() != at+7 {
+		t.Fatalf("NextFree = %v, want %v", s.NextFree(), at+7)
+	}
+	if n := len(s.Reservations()); n != 1 {
+		t.Fatalf("%d reservations tracked, want 1", n)
+	}
+}
+
+// TestServerBackfillWithPrunedSlack exercises the middle-insert path that
+// shifts the short head side into pruned slack instead of memmoving the
+// tail.
+func TestServerBackfillWithPrunedSlack(t *testing.T) {
+	s := NewServer("x")
+	// 1us bookings every 2us: the live window holds ~100 of them and the
+	// ring accumulates pruned slack at the front as arrivals march on.
+	for i := Time(0); i < 200; i++ {
+		s.Acquire(i*2*Microsecond, Microsecond)
+	}
+	ivs := s.Reservations()
+	live := len(ivs)
+	if live >= 200 {
+		t.Fatalf("pruning kept %d reservations, want far fewer", live)
+	}
+	// Backfill a sliver into the gap right after the first live interval.
+	// The insertion point is one slot past the ring head with pruned
+	// slack in front, so this takes the head-shift branch of insert.
+	at := ivs[0][1] + 100 // strictly inside the gap, touching neither neighbor
+	got := s.Acquire(at, 100)
+	if got != at {
+		t.Fatalf("backfill grant = %v, want %v", got, at)
+	}
+	ivs = s.Reservations()
+	if len(ivs) != live+1 {
+		t.Fatalf("%d reservations after backfill, want %d", len(ivs), live+1)
+	}
+	// The calendar must remain sorted and disjoint after the shift.
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i][0] < ivs[i-1][1] {
+			t.Fatalf("intervals overlap after head-shift insert: %v then %v", ivs[i-1], ivs[i])
+		}
+	}
+}

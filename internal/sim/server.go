@@ -10,13 +10,26 @@ package sim
 // A single next-free-time scalar would let those future bookings block
 // earlier requests; the calendar instead backfills gaps, which is what a
 // real arbiter does with requests that are actually present at the time.
+//
+// The calendar is kept as a ring: busy[head:] are the live reservations,
+// sorted by start and disjoint. Pruning advances head instead of copying
+// the slice, and the dead prefix is reclaimed in one amortized
+// compaction once it dominates, so both the dominant append-at-end
+// Acquire and prune are O(1) amortized; only the rare backfill insert
+// still shifts elements.
 type Server struct {
 	name string
-	// busy holds non-overlapping reservations sorted by start time.
+	// busy[head:] holds the live, non-overlapping reservations sorted by
+	// start time; busy[:head] is pruned garbage awaiting compaction.
 	busy    []interval
+	head    int
 	busyAcc Time // total reserved time, for utilization
 	uses    uint64
 	maxAt   Time // latest arrival seen, for safe pruning
+	// lastEnd is the end of the latest-ending reservation ever granted.
+	// Unlike the ring it survives pruning, so NextFree stays truthful
+	// after old bookings are discarded.
+	lastEnd Time
 }
 
 type interval struct{ start, end Time }
@@ -46,11 +59,32 @@ func (s *Server) Acquire(at, dur Time) (start Time) {
 	if dur == 0 {
 		return at
 	}
-	// Find the first gap of length dur at or after `at`.
-	// Binary search for the first interval ending after `at`.
-	lo, hi := 0, len(s.busy)
+	n := len(s.busy)
+	if s.head == n {
+		// Ring empty (fresh server, or everything pruned): restart it.
+		s.busy = append(s.busy[:0], interval{at, at + dur})
+		s.head = 0
+		s.grow(at + dur)
+		return at
+	}
+	// Fast path: the request lands at or after the calendar's last
+	// reservation — the dominant case on a busy resource with (mostly)
+	// monotone arrivals. Append, merging when contiguous.
+	if last := &s.busy[n-1]; at >= last.end {
+		if at == last.end {
+			last.end = at + dur
+		} else {
+			s.busy = append(s.busy, interval{at, at + dur})
+		}
+		s.grow(at + dur)
+		return at
+	}
+	// General path: find the first gap of length dur at or after `at`.
+	// Binary search the live window for the first interval ending after
+	// `at`.
+	lo, hi := s.head, n
 	for lo < hi {
-		mid := (lo + hi) / 2
+		mid := int(uint(lo+hi) >> 1)
 		if s.busy[mid].end <= at {
 			lo = mid + 1
 		} else {
@@ -59,7 +93,7 @@ func (s *Server) Acquire(at, dur Time) (start Time) {
 	}
 	start = at
 	idx := lo
-	for idx < len(s.busy) {
+	for idx < n {
 		iv := s.busy[idx]
 		if start+dur <= iv.start {
 			break // fits in the gap before this interval
@@ -70,12 +104,23 @@ func (s *Server) Acquire(at, dur Time) (start Time) {
 		idx++
 	}
 	s.insert(idx, interval{start, start + dur})
+	s.grow(start + dur)
 	return start
 }
 
-// insert places iv at position idx, merging with contiguous neighbors.
+// grow records a new reservation end time for NextFree.
+func (s *Server) grow(end Time) {
+	if end > s.lastEnd {
+		s.lastEnd = end
+	}
+}
+
+// insert places iv at position idx of busy (idx >= head), merging with
+// contiguous neighbors. When the ring has pruned slack at the front and
+// the insertion point is nearer the head, the shorter head side shifts
+// left into the slack instead of memmoving the tail right.
 func (s *Server) insert(idx int, iv interval) {
-	mergeLeft := idx > 0 && s.busy[idx-1].end == iv.start
+	mergeLeft := idx > s.head && s.busy[idx-1].end == iv.start
 	mergeRight := idx < len(s.busy) && s.busy[idx].start == iv.end
 	switch {
 	case mergeLeft && mergeRight:
@@ -85,6 +130,10 @@ func (s *Server) insert(idx int, iv interval) {
 		s.busy[idx-1].end = iv.end
 	case mergeRight:
 		s.busy[idx].start = iv.start
+	case s.head > 0 && idx-s.head < len(s.busy)-idx:
+		copy(s.busy[s.head-1:], s.busy[s.head:idx])
+		s.head--
+		s.busy[idx-1] = iv
 	default:
 		s.busy = append(s.busy, interval{})
 		copy(s.busy[idx+1:], s.busy[idx:])
@@ -92,30 +141,32 @@ func (s *Server) insert(idx int, iv interval) {
 	}
 }
 
-// prune drops reservations that ended long before any possible future
-// arrival.
+// prune advances the ring head past reservations that ended long before
+// any possible future arrival, compacting the slice only once the dead
+// prefix is both large and the majority of it.
 func (s *Server) prune() {
 	if s.maxAt < pruneWindow {
 		return
 	}
 	cut := s.maxAt - pruneWindow
-	n := 0
-	for n < len(s.busy) && s.busy[n].end < cut {
-		n++
+	h := s.head
+	for h < len(s.busy) && s.busy[h].end < cut {
+		h++
 	}
-	if n > 0 {
-		s.busy = append(s.busy[:0], s.busy[n:]...)
+	s.head = h
+	if h > 64 && 2*h >= len(s.busy) {
+		live := copy(s.busy, s.busy[h:])
+		s.busy = s.busy[:live]
+		s.head = 0
 	}
 }
 
-// NextFree returns the end of the last reservation (idle time after all
-// current bookings).
-func (s *Server) NextFree() Time {
-	if len(s.busy) == 0 {
-		return 0
-	}
-	return s.busy[len(s.busy)-1].end
-}
+// NextFree returns the time the server falls idle after every
+// reservation granted so far: the end of the latest-ending booking.
+// Unlike Reservations it is not affected by pruning — the answer is
+// remembered even after the booking itself has been discarded — so a
+// fresh server returns 0 and a used one never forgets its last grant.
+func (s *Server) NextFree() Time { return s.lastEnd }
 
 // BusyTime returns the total time reserved on the server.
 func (s *Server) BusyTime() Time { return s.busyAcc }
@@ -132,9 +183,13 @@ func (s *Server) Utilization(end Time) float64 {
 }
 
 // Reservations returns the currently tracked busy intervals (tests).
+// Reservations older than the prune window may already have been
+// dropped; aggregate accounting (BusyTime, Uses, NextFree) survives
+// pruning, the interval list does not.
 func (s *Server) Reservations() [][2]Time {
-	out := make([][2]Time, len(s.busy))
-	for i, iv := range s.busy {
+	live := s.busy[s.head:]
+	out := make([][2]Time, len(live))
+	for i, iv := range live {
 		out[i] = [2]Time{iv.start, iv.end}
 	}
 	return out

@@ -2,6 +2,13 @@
 // memory-system models: simulated time, a conservative coroutine-based
 // event engine, and contended resource servers.
 //
+// The engine dispatches the runnable task with the smallest (time, id)
+// key. A task that yields while it still holds that minimum skips the
+// scheduler handshake entirely and keeps running — the fast path that
+// makes fine-grained Sync calls in the model hot paths nearly free; see
+// the Engine documentation for the invariant and why the resulting event
+// order (and therefore every simulated timestamp) is unchanged.
+//
 // Time is kept in femtoseconds so that every clock frequency used by the
 // study (800 MHz through 6.4 GHz, plus network and DRAM timings) has an
 // exact integer period. A uint64 femtosecond counter covers more than

@@ -41,6 +41,13 @@ func DefaultConfig() Config {
 // Mem is the per-core cpu.ProcMem of the streaming model. Workloads
 // type-assert p.Mem() to *stream.Mem to reach the local store and DMA
 // engine.
+//
+// Sync audit (engine fast path, PR 2): local-store accesses (LSLoadN,
+// LSStoreN) and small-cache hits never yield — they touch only per-core
+// state. Every remaining Sync precedes a genuinely shared touch: the
+// uncore on the miss paths, or the DMA engine's command queue and done
+// map, which the engine task mutates concurrently in simulated time.
+// None can convert to SetTime/Advance.
 type Mem struct {
 	core    int
 	cluster int

@@ -9,6 +9,14 @@
 // store — the paper: "The L2 cache avoids refills on write misses when DMA
 // transfers overwrite entire lines"), and refills from DRAM before merging
 // a partial-line write.
+//
+// Nothing in this package yields to the simulation engine: every entry
+// point assumes the calling task has already Synced (it is the globally
+// minimal task), so the bank and channel calendars here are mutated in
+// timestamp order by construction. That assumption is what the Sync
+// calls audited in internal/coher, internal/stream and internal/dma
+// establish — keep it in mind before adding a call path that reaches
+// the uncore without a preceding Sync.
 package uncore
 
 import (
