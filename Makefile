@@ -1,6 +1,6 @@
 # Tier-1 verification and CI entry points (see ROADMAP.md).
 
-.PHONY: verify build test race bench bench-engine paperbench-determinism
+.PHONY: verify build test race bench bench-engine bench-check paperbench-determinism
 
 # verify is the tier-1 gate: build + full test suite.
 verify: build test
@@ -32,6 +32,15 @@ bench:
 bench-engine:
 	go test -bench 'BenchmarkSyncFastPath|BenchmarkDispatch|BenchmarkServerAcquire' -run xxx ./internal/sim/
 	go test -bench BenchmarkRunner -run xxx -benchtime 3x ./internal/bench/
+
+# bench-check fails if the engine microbenchmarks regress more than 25%
+# against the 'after' values recorded in BENCH_engine.json. After an
+# intentional engine change, regenerate the record with bench-engine and
+# update the file.
+bench-check:
+	go test -bench 'BenchmarkSyncFastPath|BenchmarkDispatch|BenchmarkServerAcquire' -run xxx ./internal/sim/ > /tmp/bench-engine-check.txt
+	go test -bench BenchmarkRunner -run xxx -benchtime 3x ./internal/bench/ >> /tmp/bench-engine-check.txt
+	go run ./cmd/benchcheck -baseline BENCH_engine.json -max-regress 25 < /tmp/bench-engine-check.txt
 
 # paperbench-determinism is the end-to-end check that figure output is
 # byte-identical at any -j (the sweep is embarrassingly parallel).

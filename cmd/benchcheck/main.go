@@ -1,0 +1,153 @@
+// Command benchcheck compares `go test -bench` output (on stdin)
+// against the recorded engine perf baseline (BENCH_engine.json) and
+// fails when any benchmark regressed beyond the threshold. It is the
+// guard that keeps the event-engine fast path fast:
+//
+//	go test -bench 'BenchmarkSyncFastPath|...' -run xxx ./internal/sim/ \
+//	    | benchcheck -baseline BENCH_engine.json -max-regress 25
+//
+// Benchmarks present in the baseline but missing from stdin are
+// warnings, not failures, so a scoped bench run still checks what it
+// ran.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// baselineFile mirrors the slice of BENCH_engine.json this tool needs:
+// per-package benchmark entries whose "after" field is the recorded
+// ns/op of the current engine. Entries that are not objects with an
+// "after" number (annotations like grid_sims_per_op) are ignored.
+type baselineFile struct {
+	Results map[string]map[string]json.RawMessage `json:"results"`
+}
+
+// afterOf extracts an entry's "after" ns/op, or 0 when the entry is not
+// a benchmark record.
+func afterOf(raw json.RawMessage) float64 {
+	var e struct {
+		After float64 `json:"after"`
+	}
+	if json.Unmarshal(raw, &e) != nil {
+		return 0
+	}
+	return e.After
+}
+
+// parseBench extracts "BenchmarkName ns/op" pairs from `go test -bench`
+// output. The -N GOMAXPROCS suffix is stripped, so entries match the
+// baseline's keys regardless of the host's core count.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// "BenchmarkX-8   12345   67.8 ns/op [...]"
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		idx := -1
+		for i, f := range fields {
+			if f == "ns/op" {
+				idx = i
+				break
+			}
+		}
+		if idx < 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[idx-1], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if dash := strings.LastIndexByte(name, '-'); dash > 0 {
+			name = name[:dash]
+		}
+		out[name] = v
+	}
+	return out, sc.Err()
+}
+
+// check compares measured ns/op against the baseline "after" values.
+// It returns human-readable result lines and whether any benchmark
+// regressed more than maxRegressPct.
+func check(base baselineFile, got map[string]float64, maxRegressPct float64) (lines []string, failed bool) {
+	for _, pkg := range sortedKeys(base.Results) {
+		for _, key := range sortedKeys(base.Results[pkg]) {
+			name := strings.TrimSuffix(key, "_ns_op")
+			want := afterOf(base.Results[pkg][key])
+			if want <= 0 {
+				continue
+			}
+			v, ok := got[name]
+			if !ok {
+				lines = append(lines, fmt.Sprintf("warn: %s/%s not in input (baseline %.4g ns/op)", pkg, name, want))
+				continue
+			}
+			deltaPct := (v - want) / want * 100
+			status := "ok"
+			if deltaPct > maxRegressPct {
+				status = "FAIL"
+				failed = true
+			}
+			lines = append(lines, fmt.Sprintf("%-4s %s/%s: %.4g ns/op vs baseline %.4g (%+.1f%%, limit +%.0f%%)",
+				status, pkg, name, v, want, deltaPct, maxRegressPct))
+		}
+	}
+	return lines, failed
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_engine.json", "recorded perf baseline")
+	maxRegress := flag.Float64("max-regress", 25, "max tolerated slowdown in percent")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	got, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+	lines, failed := check(base, got, *maxRegress)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

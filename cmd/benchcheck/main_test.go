@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSyncFastPath-8   	837002847	         1.40 ns/op
+BenchmarkDispatch-8       	  2270961	       530.0 ns/op
+BenchmarkServerAcquire 	164103818	         20.0 ns/op
+PASS
+ok  	repro/internal/sim	4.5s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkSyncFastPath":  1.40,
+		"BenchmarkDispatch":      530.0,
+		"BenchmarkServerAcquire": 20.0,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v", got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func mkBase() baselineFile {
+	var b baselineFile
+	if err := json.Unmarshal([]byte(`{"results": {"internal/sim": {
+		"BenchmarkSyncFastPath_ns_op":  {"after": 1.35},
+		"BenchmarkDispatch_ns_op":      {"after": 527.0},
+		"BenchmarkServerAcquire_ns_op": {"after": 7.3},
+		"BenchmarkAbsent_ns_op":        {"after": 100.0},
+		"grid_sims_per_op":             9
+	}}}`), &b); err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func TestCheckFailsOnRegression(t *testing.T) {
+	got, _ := parseBench(strings.NewReader(sampleBenchOutput))
+	// ServerAcquire: 20.0 vs 7.3 baseline = +174% -> fail at 25%.
+	lines, failed := check(mkBase(), got, 25)
+	if !failed {
+		t.Fatalf("regression not flagged:\n%s", strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "FAIL internal/sim/BenchmarkServerAcquire") {
+		t.Errorf("missing FAIL line:\n%s", joined)
+	}
+	if !strings.Contains(joined, "warn: internal/sim/BenchmarkAbsent not in input") {
+		t.Errorf("missing-benchmark warning absent:\n%s", joined)
+	}
+	// SyncFastPath at +3.7% and Dispatch at +0.6% must pass.
+	if strings.Contains(joined, "FAIL internal/sim/BenchmarkSyncFastPath") ||
+		strings.Contains(joined, "FAIL internal/sim/BenchmarkDispatch") {
+		t.Errorf("within-threshold benchmarks flagged:\n%s", joined)
+	}
+}
+
+func TestCheckPassesWithinThreshold(t *testing.T) {
+	got := map[string]float64{
+		"BenchmarkSyncFastPath":  1.60, // +18.5%
+		"BenchmarkDispatch":      500.0,
+		"BenchmarkServerAcquire": 8.0,
+	}
+	if lines, failed := check(mkBase(), got, 25); failed {
+		t.Errorf("false positive:\n%s", strings.Join(lines, "\n"))
+	}
+}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	memsim -w fir -model str -cores 16 -mhz 3200 -bw 6400 -pf 4 -scale default
+//	memsim -w fir -model str -sample 1us          # per-epoch time series
 //	memsim -list
 package main
 
@@ -16,7 +17,93 @@ import (
 	"strings"
 
 	memsys "repro"
+	"repro/internal/probe"
+	"repro/internal/stats"
+	"repro/internal/trace"
 )
+
+// ccOnlyFlags validates flag combinations that silently do nothing
+// outside the cache-coherent model: the prefetcher, the no-write-
+// allocate policy and the snoop filter all live in the CC protocol
+// layer, so asking for them on STR or INC machines is a mistake, not a
+// no-op to shrug off.
+func ccOnlyFlags(m memsys.Model, pf int, nwa, snoopFilter bool) error {
+	if m == memsys.CC {
+		return nil
+	}
+	var bad []string
+	if pf != 0 {
+		bad = append(bad, "-pf")
+	}
+	if nwa {
+		bad = append(bad, "-nwa")
+	}
+	if snoopFilter {
+		bad = append(bad, "-snoopfilter")
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%s only applies to -model cc (got -model %s)",
+		strings.Join(bad, ", "), strings.ToLower(m.String()))
+}
+
+// headlineSeries are the probe metrics rendered as text and merged into
+// the Chrome trace as counter tracks. Counters are differentiated into
+// per-epoch increments; levels are plotted as-is. Metrics absent from a
+// run (model-specific sources) are skipped.
+var headlineSeries = []string{
+	"dram.read_bytes",
+	"dram.write_bytes",
+	"cpu.instructions",
+	"cpu.storebuf",
+	"engine.heap_depth",
+	"dma.get_bytes",
+	"dma.put_bytes",
+	"dma.queued",
+	"coher.c2c_cluster",
+	"coher.c2c_remote",
+}
+
+// seriesOf returns a headline metric's plottable view: the per-epoch
+// delta for counters, the raw samples for levels. nil if absent.
+func seriesOf(pr *probe.Recorder, name string) []float64 {
+	for i, n := range pr.Names() {
+		if n == name {
+			return pr.Delta(i)
+		}
+	}
+	return nil
+}
+
+// writeProbeText renders the headline series as sparklines and a
+// heatmap, one intensity row per metric.
+func writeProbeText(pr *probe.Recorder) {
+	fmt.Printf("probe: %d epochs of %v", pr.Epochs(), memsys.Time(pr.Interval()))
+	if d := pr.Dropped(); d > 0 {
+		fmt.Printf(" (%d dropped past cap)", d)
+	}
+	fmt.Println()
+	hm := stats.Heatmap{Width: 72}
+	for _, name := range headlineSeries {
+		if s := seriesOf(pr, name); s != nil {
+			hm.AddRow(name, s)
+		}
+	}
+	hm.Write(os.Stdout)
+}
+
+// mergeProbeCounters adds the headline series to the trace as Chrome
+// "C" counter events, so Perfetto draws them above the span timeline.
+func mergeProbeCounters(tr *trace.Collector, pr *probe.Recorder) {
+	times := pr.Times()
+	for _, name := range headlineSeries {
+		s := seriesOf(pr, name)
+		for k, v := range s {
+			tr.AddCounter(name, times[k], v)
+		}
+	}
+}
 
 func main() {
 	name := flag.String("w", "fir", "workload name (see -list)")
@@ -32,6 +119,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print detailed counters")
 	asJSON := flag.Bool("json", false, "print the full report as JSON")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+	sample := flag.String("sample", "", "sample the machine every simulated interval (e.g. 1us, 500ns)")
+	sampleCSV := flag.String("sample-csv", "", "write the per-epoch samples as CSV to this file (requires -sample)")
 	flag.Parse()
 
 	if *list {
@@ -48,6 +137,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "memsim:", err)
 		os.Exit(2)
 	}
+	if err := ccOnlyFlags(m, *pf, *nwa, *filter); err != nil {
+		fmt.Fprintln(os.Stderr, "memsim:", err)
+		os.Exit(2)
+	}
+	if *sampleCSV != "" && *sample == "" {
+		fmt.Fprintln(os.Stderr, "memsim: -sample-csv requires -sample")
+		os.Exit(2)
+	}
 
 	cfg := memsys.DefaultConfig(m, *cores)
 	cfg.CoreMHz = *mhz
@@ -60,6 +157,16 @@ func main() {
 		tr = memsys.NewTrace()
 		cfg.Trace = tr
 	}
+	var pr *memsys.Probe
+	if *sample != "" {
+		interval, perr := memsys.ParseTime(*sample)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "memsim:", perr)
+			os.Exit(2)
+		}
+		pr = memsys.NewProbe(interval)
+		cfg.Probe = pr
+	}
 
 	rep, err := memsys.Run(cfg, *name, scale)
 	if err != nil {
@@ -69,14 +176,42 @@ func main() {
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
+		out := any(rep)
+		if pr != nil {
+			out = struct {
+				Report *memsys.Report `json:"report"`
+				Probe  *memsys.Probe  `json:"probe"`
+			}{rep, pr}
+		}
+		if err := enc.Encode(out); err != nil {
 			fmt.Fprintf(os.Stderr, "memsim: %v\n", err)
 			os.Exit(1)
 		}
 	} else {
 		fmt.Print(rep)
+		if pr != nil {
+			writeProbeText(pr)
+		}
+	}
+	if pr != nil && *sampleCSV != "" {
+		f, ferr := os.Create(*sampleCSV)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "memsim: %v\n", ferr)
+			os.Exit(1)
+		}
+		if werr := pr.WriteCSV(f); werr != nil {
+			fmt.Fprintf(os.Stderr, "memsim: %v\n", werr)
+			os.Exit(1)
+		}
+		f.Close()
+		if !*asJSON {
+			fmt.Printf("samples: %d epochs written to %s\n", pr.Epochs(), *sampleCSV)
+		}
 	}
 	if tr != nil {
+		if pr != nil {
+			mergeProbeCounters(tr, pr)
+		}
 		f, ferr := os.Create(*traceOut)
 		if ferr != nil {
 			fmt.Fprintf(os.Stderr, "memsim: %v\n", ferr)
@@ -87,7 +222,9 @@ func main() {
 			os.Exit(1)
 		}
 		f.Close()
-		fmt.Printf("trace: %d spans written to %s (%d dropped)\n", tr.Len(), *traceOut, tr.Dropped())
+		if !*asJSON {
+			fmt.Printf("trace: %d spans written to %s (%d dropped)\n", tr.Len(), *traceOut, tr.Dropped())
+		}
 	}
 	if *verbose {
 		fmt.Printf("L1:    %+v\n", rep.L1)
@@ -103,5 +240,8 @@ func main() {
 		fmt.Printf("Energy: core=%.3g i$=%.3g d$=%.3g lmem=%.3g net=%.3g l2=%.3g dram=%.3g J\n",
 			rep.Energy.Core, rep.Energy.ICache, rep.Energy.DCache, rep.Energy.LMem,
 			rep.Energy.Network, rep.Energy.L2, rep.Energy.DRAM)
+		fmt.Printf("Engine: dispatches=%d fastpath=%.1f%% heap<=%d srv pruned=%d\n",
+			rep.Engine.Dispatches, 100*rep.Engine.FastPathRate(), rep.Engine.HeapMax,
+			rep.Servers.Pruned)
 	}
 }

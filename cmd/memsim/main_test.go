@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	memsys "repro"
+)
+
+func TestCCOnlyFlags(t *testing.T) {
+	cases := []struct {
+		model   memsys.Model
+		pf      int
+		nwa     bool
+		filter  bool
+		wantErr string
+	}{
+		{memsys.CC, 4, true, true, ""},
+		{memsys.STR, 0, false, false, ""},
+		{memsys.INC, 0, false, false, ""},
+		{memsys.STR, 4, false, false, "-pf"},
+		{memsys.STR, 0, true, false, "-nwa"},
+		{memsys.INC, 0, false, true, "-snoopfilter"},
+		{memsys.STR, 4, true, true, "-pf, -nwa, -snoopfilter"},
+	}
+	for _, tc := range cases {
+		err := ccOnlyFlags(tc.model, tc.pf, tc.nwa, tc.filter)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%v/pf=%d: unexpected error %v", tc.model, tc.pf, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%v/pf=%d nwa=%v filter=%v: err = %v, want mention of %q",
+				tc.model, tc.pf, tc.nwa, tc.filter, err, tc.wantErr)
+		}
+	}
+}
+
+func TestHeadlineSeriesMerge(t *testing.T) {
+	pr := memsys.NewProbe(100 * 1000 * 1000 * 1000) // 100ns
+	cfg := memsys.DefaultConfig(memsys.STR, 2)
+	cfg.Probe = pr
+	tr := memsys.NewTrace()
+	cfg.Trace = tr
+	if _, err := memsys.Run(cfg, "fir", memsys.ScaleSmall); err != nil {
+		t.Fatal(err)
+	}
+	mergeProbeCounters(tr, pr)
+	if len(tr.Counters()) == 0 {
+		t.Fatal("no counter samples merged into trace")
+	}
+	seen := map[string]bool{}
+	for _, c := range tr.Counters() {
+		seen[c.Name] = true
+	}
+	for _, want := range []string{"dram.read_bytes", "cpu.instructions", "dma.get_bytes"} {
+		if !seen[want] {
+			t.Errorf("counter track %q missing; have %v", want, seen)
+		}
+	}
+	if seen["coher.c2c_cluster"] {
+		t.Error("CC-only series merged on an STR run")
+	}
+}

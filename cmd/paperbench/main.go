@@ -15,12 +15,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
@@ -28,12 +31,80 @@ import (
 	"repro/internal/workload"
 )
 
+// gitDescribe identifies the tree the artifacts were produced from;
+// "unknown" when git or the repository is unavailable (e.g. a released
+// binary run outside a checkout).
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// manifestRun is one simulation's record in manifest.jsonl: the bench
+// record (full config, report, host duration) plus the headline
+// numbers a reader wants without digging into the report.
+type manifestRun struct {
+	Kind string `json:"kind"` // "run"
+	bench.Record
+	WallFS       uint64  `json:"wall_fs"`
+	FastPathRate float64 `json:"fastpath_rate"`
+}
+
+// manifestWriter serializes concurrent OnRecord callbacks into one
+// append-only JSONL stream.
+type manifestWriter struct {
+	mu  sync.Mutex
+	f   *os.File
+	enc *json.Encoder
+}
+
+func newManifestWriter(dir string, scale string) (*manifestWriter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, "manifest.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	m := &manifestWriter{f: f, enc: json.NewEncoder(f)}
+	header := struct {
+		Kind    string `json:"kind"` // "header"
+		Git     string `json:"git"`
+		Scale   string `json:"scale"`
+		Started string `json:"started"`
+	}{"header", gitDescribe(), scale, time.Now().UTC().Format(time.RFC3339)}
+	if err := m.enc.Encode(header); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// record is the bench.Runner.OnRecord callback.
+func (m *manifestWriter) record(rec bench.Record) {
+	run := manifestRun{Kind: "run", Record: rec}
+	if rec.Report != nil {
+		run.WallFS = uint64(rec.Report.Wall)
+		run.FastPathRate = rec.Report.Engine.FastPathRate()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.enc.Encode(run); err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: manifest: %v\n", err)
+	}
+}
+
+func (m *manifestWriter) close() error { return m.f.Close() }
+
 func main() {
 	scaleFlag := flag.String("scale", "default", "dataset scale: small, default or paper")
 	onlyFlag := flag.String("only", "", "comma-separated subset: table2,table3,fig2,...,fig10")
 	appsFlag := flag.String("apps", "", "restrict fig2 to these comma-separated apps")
 	quiet := flag.Bool("q", false, "suppress per-run progress lines")
 	csvDir := flag.String("csv", "", "also write each figure's series as CSV files into this directory")
+	artifactsDir := flag.String("artifacts", "", "write a machine-readable manifest.jsonl (one record per simulation) into this directory")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (output is identical at any -j)")
 	flag.Parse()
 
@@ -107,6 +178,15 @@ func main() {
 	r.Workers = *jobs
 	if !*quiet {
 		r.Progress = os.Stderr
+	}
+	var manifest *manifestWriter
+	if *artifactsDir != "" {
+		var err error
+		if manifest, err = newManifestWriter(*artifactsDir, *scaleFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+		r.OnRecord = manifest.record
 	}
 	out := os.Stdout
 	start := time.Now()
@@ -218,5 +298,11 @@ func main() {
 		fmt.Fprintln(out)
 	}
 	r.Close() // drain pending progress lines before the summary
+	if manifest != nil {
+		if err := manifest.close(); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: manifest: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "# paperbench finished in %v\n", time.Since(start).Round(time.Millisecond))
 }

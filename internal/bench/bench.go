@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -40,10 +41,24 @@ type cfgKey struct {
 }
 
 func keyOf(cfg core.Config, name string) cfgKey {
-	// The tracer is a run-scoped observer, not part of the machine's
-	// identity; nil it so the struct stays comparable.
+	// Tracer and probe are run-scoped observers, not part of the
+	// machine's identity; nil them so the struct stays comparable.
 	cfg.Trace = nil
+	cfg.Probe = nil
 	return cfgKey{name: name, cfg: cfg}
+}
+
+// Record describes one fresh simulation for machine-readable run
+// artifacts (paperbench's manifest.jsonl): the full configuration, the
+// measurement report, and how long the simulation took on the host.
+// Memoized cache hits do not produce records — a record is one actual
+// engine run.
+type Record struct {
+	Name   string       `json:"workload"`
+	Cfg    core.Config  `json:"config"`
+	Report *core.Report `json:"report,omitempty"`
+	Err    string       `json:"error,omitempty"`
+	HostNS int64        `json:"host_ns"`
 }
 
 // flight is one simulation's singleflight slot: the first requester of a
@@ -75,6 +90,11 @@ type Runner struct {
 	// Workers bounds concurrent simulations; 0 means
 	// runtime.GOMAXPROCS(0). Set it before the first Run or Prefetch.
 	Workers int
+	// OnRecord, when non-nil, receives one Record per fresh simulation
+	// as it completes. It is called from worker goroutines concurrently;
+	// the callback must be safe for concurrent use. Set it before the
+	// first Run or Prefetch.
+	OnRecord func(Record)
 
 	initOnce sync.Once
 	sem      chan struct{} // worker slots
@@ -145,12 +165,20 @@ func (r *Runner) simulate(fl *flight, cfg core.Config, name string) {
 	defer close(fl.done)
 	var rep *core.Report
 	var err error
+	started := time.Now()
 	if f, ferr := workload.Get(name); ferr != nil {
 		err = ferr
 	} else if rep, err = core.New(cfg).Run(f(r.Scale)); err != nil {
 		rep, err = nil, fmt.Errorf("%s %v/%d: verification failed: %w", name, cfg.Model, cfg.Cores, err)
 	}
 	fl.rep, fl.err = rep, err
+	if r.OnRecord != nil {
+		rec := Record{Name: name, Cfg: cfg, Report: rep, HostNS: time.Since(started).Nanoseconds()}
+		if err != nil {
+			rec.Err = err.Error()
+		}
+		r.OnRecord(rec)
+	}
 
 	r.mu.Lock()
 	r.completed++

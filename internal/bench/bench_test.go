@@ -3,6 +3,7 @@ package bench
 import (
 	"io"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -238,5 +239,42 @@ func TestFigure8Shape(t *testing.T) {
 	}
 	if energy[1].Total >= energy[0].Total {
 		t.Errorf("PFS energy %.3f >= CC %.3f", energy[1].Total, energy[0].Total)
+	}
+}
+
+func TestOnRecordFiresPerFreshSimulation(t *testing.T) {
+	r := NewRunner(workload.ScaleSmall)
+	var mu sync.Mutex
+	var recs []Record
+	r.OnRecord = func(rec Record) {
+		mu.Lock()
+		recs = append(recs, rec)
+		mu.Unlock()
+	}
+	cfg := core.DefaultConfig(core.CC, 2)
+	if _, err := r.Run(cfg, "fir"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(cfg, "fir"); err != nil { // memo hit: no record
+		t.Fatal(err)
+	}
+	if _, err := r.Run(core.DefaultConfig(core.STR, 2), "fir"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2 (one per fresh simulation)", len(recs))
+	}
+	for _, rec := range recs {
+		if rec.Name != "fir" || rec.Report == nil || rec.Err != "" {
+			t.Errorf("bad record %+v", rec)
+		}
+		if rec.HostNS <= 0 {
+			t.Errorf("host duration not measured: %d", rec.HostNS)
+		}
+		if rec.Report.Engine.Dispatches == 0 {
+			t.Errorf("engine metrics missing from report")
+		}
 	}
 }

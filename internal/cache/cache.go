@@ -67,6 +67,37 @@ type Stats struct {
 	PrefetchHits uint64 // demand hits on prefetched lines
 }
 
+// Add accumulates src into s (aggregating per-core caches).
+func (s *Stats) Add(src Stats) {
+	s.Reads += src.Reads
+	s.Writes += src.Writes
+	s.ReadHits += src.ReadHits
+	s.WriteHits += src.WriteHits
+	s.Fills += src.Fills
+	s.Writebacks += src.Writebacks
+	s.Evictions += src.Evictions
+	s.Invalidates += src.Invalidates
+	s.SnoopLookups += src.SnoopLookups
+	s.PFSAllocs += src.PFSAllocs
+	s.PrefetchHits += src.PrefetchHits
+}
+
+// Snapshot emits the counters in a fixed order; the probe layer
+// (internal/probe) samples it every epoch to build miss-rate and
+// writeback-burst series.
+func (s Stats) Snapshot(put func(name string, value float64)) {
+	put("reads", float64(s.Reads))
+	put("writes", float64(s.Writes))
+	put("read_hits", float64(s.ReadHits))
+	put("write_hits", float64(s.WriteHits))
+	put("fills", float64(s.Fills))
+	put("writebacks", float64(s.Writebacks))
+	put("evictions", float64(s.Evictions))
+	put("invalidates", float64(s.Invalidates))
+	put("snoop_lookups", float64(s.SnoopLookups))
+	put("prefetch_hits", float64(s.PrefetchHits))
+}
+
 // Config sizes a cache.
 type Config struct {
 	Name     string

@@ -73,6 +73,24 @@ type Stats struct {
 	DebugStage [4]sim.Time
 }
 
+// Snapshot emits the headline protocol counters in a fixed order (probe
+// layer); the per-epoch C2C deltas are the communication-phase series.
+// Latency accumulators and DebugStage stay out: they are diagnostics,
+// not time series.
+func (s Stats) Snapshot(put func(name string, value float64)) {
+	put("read_misses", float64(s.ReadMisses))
+	put("write_misses", float64(s.WriteMisses))
+	put("upgrades", float64(s.Upgrades))
+	put("c2c_cluster", float64(s.C2CCluster))
+	put("c2c_remote", float64(s.C2CRemote))
+	put("global_broadcasts", float64(s.GlobalBroadcasts))
+	put("invalidations", float64(s.Invalidations))
+	put("l1_writebacks_l2", float64(s.L1WritebacksL2))
+	put("prefetch_fills", float64(s.PrefetchFills))
+	put("prefetch_useless", float64(s.PrefetchUseless))
+	put("filtered_snoops", float64(s.FilteredSnoops))
+}
+
 // AvgReadMissLatency returns the mean demand read-miss service time.
 func (s Stats) AvgReadMissLatency() sim.Time {
 	if s.ReadMisses == 0 {

@@ -14,6 +14,7 @@ import (
 	"repro/internal/incoher"
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/stream"
 	"repro/internal/uncore"
@@ -85,7 +86,13 @@ type Config struct {
 
 	// Trace, when non-nil, collects per-core stall/sync spans for
 	// timeline export (internal/trace).
-	Trace cpu.Tracer
+	Trace cpu.Tracer `json:"-"`
+
+	// Probe, when non-nil, samples the whole machine every
+	// Probe.Interval() of simulated time (internal/probe). Sampling reads
+	// counters only, so the simulated outcome is identical with it on or
+	// off. Like Trace, a Recorder belongs to exactly one run.
+	Probe *probe.Recorder `json:"-"`
 }
 
 // DefaultConfig is the paper's default machine: 800 MHz cores, 1.6 GB/s
@@ -254,6 +261,10 @@ func (s *System) Run(w Workload) (*Report, error) {
 		for _, m := range s.strs {
 			m.Spawn(s.eng)
 		}
+	}
+	if s.cfg.Probe != nil {
+		s.attachProbe(s.cfg.Probe)
+		s.eng.SetEpoch(s.cfg.Probe.Interval(), s.cfg.Probe.Tick)
 	}
 	s.eng.Run()
 	rep := s.report()

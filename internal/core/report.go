@@ -63,6 +63,14 @@ type Report struct {
 	ChannelUtil float64 // DRAM data pins
 	L2PortUtil  float64
 	AvgBusUtil  float64 // mean across cluster buses
+
+	// Engine is the event engine's self-metrics for the run: fast-path
+	// Sync hit rate, dispatch counts, heap pressure. A simulator-health
+	// record rather than a model measurement.
+	Engine sim.Metrics
+	// Servers aggregates calendar-maintenance counters across the
+	// interconnect, L2-port, DRAM channel and bank servers.
+	Servers sim.ServerMetrics
 }
 
 // report gathers counters after the engine has drained.
@@ -113,16 +121,8 @@ func (s *System) report() *Report {
 		r.PrefetchUseless = st.PrefetchUseless
 		r.GatherFlushes = st.GatherFlushes
 		r.FilteredSnoops = st.FilteredSnoops
-		for i := 0; i < s.cfg.Cores; i++ {
-			addStats(&r.L1, s.dom.L1(i).Stats())
-		}
-	case INC:
-		for i := 0; i < s.cfg.Cores; i++ {
-			addStats(&r.L1, s.inc.L1(i).Stats())
-		}
 	case STR:
 		for _, m := range s.strs {
-			addStats(&r.L1, m.Cache().Stats())
 			ds := m.DMA().Stats()
 			r.DMACommands += ds.Commands
 			r.DMAGetBytes += ds.GetBytes
@@ -131,6 +131,10 @@ func (s *System) report() *Report {
 			r.LSAccesses += ls.Reads + ls.Writes + ls.DMABeats
 		}
 	}
+	r.L1 = s.l1Stats()
+	r.Engine = s.eng.Metrics()
+	s.net.AddServerMetrics(&r.Servers)
+	s.unc.AddServerMetrics(&r.Servers)
 	r.Counts = s.energyCounts(r)
 	r.Energy = energy.Default90nm().Compute(r.Counts, r.Wall, s.cfg.Cores)
 	if r.Wall > 0 {
@@ -139,20 +143,6 @@ func (s *System) report() *Report {
 		r.AvgBusUtil = s.net.AvgBusUtilization(r.Wall)
 	}
 	return r
-}
-
-func addStats(dst *cache.Stats, src cache.Stats) {
-	dst.Reads += src.Reads
-	dst.Writes += src.Writes
-	dst.ReadHits += src.ReadHits
-	dst.WriteHits += src.WriteHits
-	dst.Fills += src.Fills
-	dst.Writebacks += src.Writebacks
-	dst.Evictions += src.Evictions
-	dst.Invalidates += src.Invalidates
-	dst.SnoopLookups += src.SnoopLookups
-	dst.PFSAllocs += src.PFSAllocs
-	dst.PrefetchHits += src.PrefetchHits
 }
 
 func (s *System) energyCounts(r *Report) energy.Counts {

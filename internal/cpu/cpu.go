@@ -93,6 +93,27 @@ type Stats struct {
 	SnoopStalls   uint64 // cycles lost to snoops occupying the D-cache
 }
 
+// Add accumulates src into s (aggregating per-core counters).
+func (s *Stats) Add(src Stats) {
+	s.Instructions += src.Instructions
+	s.Loads += src.Loads
+	s.Stores += src.Stores
+	s.LocalAccesses += src.LocalAccesses
+	s.IMisses += src.IMisses
+	s.SnoopStalls += src.SnoopStalls
+}
+
+// Snapshot emits the counters in a fixed order (probe layer); the
+// per-epoch delta of instructions is the compute-throughput series.
+func (s Stats) Snapshot(put func(name string, value float64)) {
+	put("instructions", float64(s.Instructions))
+	put("loads", float64(s.Loads))
+	put("stores", float64(s.Stores))
+	put("local_accesses", float64(s.LocalAccesses))
+	put("imisses", float64(s.IMisses))
+	put("snoop_stalls", float64(s.SnoopStalls))
+}
+
 // Proc is one simulated core.
 type Proc struct {
 	id      int
@@ -173,6 +194,20 @@ func (p *Proc) Breakdown() Breakdown { return p.bd }
 
 // Stats returns the core's counters.
 func (p *Proc) Stats() Stats { return p.stats }
+
+// StoreBufOccupancy returns how many store-buffer entries hold stores
+// still outstanding at time now (probe-layer gauge; entries whose
+// completion time has passed have logically drained even if the ring has
+// not been popped yet).
+func (p *Proc) StoreBufOccupancy(now sim.Time) int {
+	n := 0
+	for i := 0; i < p.sbLen; i++ {
+		if p.storeBuf[(p.sbHead+i)%len(p.storeBuf)] > now {
+			n++
+		}
+	}
+	return n
+}
 
 // FinishTime returns the core's local time when Finish was called.
 func (p *Proc) FinishTime() sim.Time {

@@ -109,6 +109,36 @@ func (e *Engine) Spawn(eng *sim.Engine, start sim.Time) {
 // Stats returns a snapshot of the counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// QueuedCommands returns the number of commands waiting in the queue
+// (not including the one being processed). A probe-layer gauge: a deep
+// queue means software issued work far ahead of the engine.
+func (e *Engine) QueuedCommands() int { return len(e.queue) }
+
+// Busy reports whether the engine is processing a command (probe-layer
+// gauge; together with cpu instruction deltas it shows the DMA/compute
+// overlap the streaming model's double-buffering is built on).
+func (e *Engine) Busy() bool { return !e.idle }
+
+// Add accumulates src into s (aggregating per-core engines).
+func (s *Stats) Add(src Stats) {
+	s.Commands += src.Commands
+	s.GetBytes += src.GetBytes
+	s.PutBytes += src.PutBytes
+	s.Beats += src.Beats
+	s.SparseElems += src.SparseElems
+	s.BusyTime += src.BusyTime
+}
+
+// Snapshot emits the counters in a fixed order (probe layer).
+func (s Stats) Snapshot(put func(name string, value float64)) {
+	put("commands", float64(s.Commands))
+	put("get_bytes", float64(s.GetBytes))
+	put("put_bytes", float64(s.PutBytes))
+	put("beats", float64(s.Beats))
+	put("sparse_elems", float64(s.SparseElems))
+	put("busy_fs", float64(s.BusyTime))
+}
+
 // enqueue adds a command and wakes the engine. Must be called from a
 // running task (the owning core).
 func (e *Engine) enqueue(at sim.Time, c command) Tag {

@@ -224,5 +224,42 @@ func (c *Channel) ChannelUtilization(end sim.Time) float64 {
 	return c.channel.Utilization(end)
 }
 
+// ChannelBusy returns the cumulative data-pin busy time; the probe layer
+// differentiates it per epoch into a utilization series.
+func (c *Channel) ChannelBusy() sim.Time { return c.channel.BusyTime() }
+
+// AddServerMetrics accumulates the calendar-maintenance counters of the
+// channel and bank servers into m.
+func (c *Channel) AddServerMetrics(m *sim.ServerMetrics) {
+	c.channel.AddMetrics(m)
+	for _, b := range c.banks {
+		b.server.AddMetrics(m)
+	}
+}
+
+// Add accumulates src into s (aggregating channels).
+func (s *Stats) Add(src Stats) {
+	s.Reads += src.Reads
+	s.Writes += src.Writes
+	s.ReadBytes += src.ReadBytes
+	s.WriteBytes += src.WriteBytes
+	s.RowHits += src.RowHits
+	s.RowMisses += src.RowMisses
+	s.Refreshes += src.Refreshes
+}
+
+// Snapshot emits the counters in a fixed order (probe layer); the
+// per-epoch delta of read_bytes/write_bytes is the DRAM bandwidth
+// series behind the paper's bursty-write-back explanations.
+func (s Stats) Snapshot(put func(name string, value float64)) {
+	put("reads", float64(s.Reads))
+	put("writes", float64(s.Writes))
+	put("read_bytes", float64(s.ReadBytes))
+	put("write_bytes", float64(s.WriteBytes))
+	put("row_hits", float64(s.RowHits))
+	put("row_misses", float64(s.RowMisses))
+	put("refreshes", float64(s.Refreshes))
+}
+
 // TotalBytes returns read plus write traffic.
 func (s Stats) TotalBytes() uint64 { return s.ReadBytes + s.WriteBytes }

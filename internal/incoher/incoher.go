@@ -44,6 +44,16 @@ type Stats struct {
 	InvalOps    uint64 // InvalidateRange calls
 }
 
+// Snapshot emits the counters in a fixed order (probe layer).
+func (s Stats) Snapshot(put func(name string, value float64)) {
+	put("read_misses", float64(s.ReadMisses))
+	put("write_misses", float64(s.WriteMisses))
+	put("flushes", float64(s.Flushes))
+	put("invalidates", float64(s.Invalidates))
+	put("flush_ops", float64(s.FlushOps))
+	put("inval_ops", float64(s.InvalOps))
+}
+
 // Domain is the set of incoherent L1s over one uncore.
 type Domain struct {
 	cfg   Config

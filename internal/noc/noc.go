@@ -134,3 +134,48 @@ func (n *Network) AvgBusUtilization(end sim.Time) float64 {
 	}
 	return s / float64(len(n.buses))
 }
+
+// BusBusy returns the cumulative busy time summed over cluster buses;
+// the probe layer differentiates it into a bus-utilization series.
+func (n *Network) BusBusy() sim.Time {
+	var t sim.Time
+	for _, b := range n.buses {
+		t += b.BusyTime()
+	}
+	return t
+}
+
+// XbarBusy returns the cumulative busy time summed over the crossbar
+// ports in both directions.
+func (n *Network) XbarBusy() sim.Time {
+	var t sim.Time
+	for _, p := range n.toL2 {
+		t += p.BusyTime()
+	}
+	for _, p := range n.frL2 {
+		t += p.BusyTime()
+	}
+	return t
+}
+
+// AddServerMetrics accumulates the calendar-maintenance counters of
+// every bus and crossbar port into m.
+func (n *Network) AddServerMetrics(m *sim.ServerMetrics) {
+	for _, b := range n.buses {
+		b.AddMetrics(m)
+	}
+	for _, p := range n.toL2 {
+		p.AddMetrics(m)
+	}
+	for _, p := range n.frL2 {
+		p.AddMetrics(m)
+	}
+}
+
+// Snapshot emits the counters in a fixed order (probe layer).
+func (s Stats) Snapshot(put func(name string, value float64)) {
+	put("bus_data_bytes", float64(s.BusDataBytes))
+	put("bus_control", float64(s.BusControl))
+	put("xbar_bytes", float64(s.XbarBytes))
+	put("xbar_msgs", float64(s.XbarMsgs))
+}

@@ -1,0 +1,290 @@
+// Package probe samples the whole simulated machine on a fixed
+// simulated-time epoch and turns the counters every model already keeps
+// into time-resolved series: DRAM bandwidth over the run, store-buffer
+// fill, DMA queue depth, engine fast-path hit rate, and so on.
+//
+// The Recorder never schedules anything. It is driven by the engine's
+// epoch hook (sim.Engine.SetEpoch), which fires synchronously whenever
+// the event clock first crosses an epoch boundary; a tick only *reads*
+// model counters, so the event order — and therefore every simulated
+// timestamp and aggregate counter — is byte-identical with sampling on
+// or off. That invariant is what lets paperbench figures be regenerated
+// with sampling enabled without changing a single digit.
+package probe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind says how a metric's samples should be read.
+type Kind uint8
+
+// Metric kinds.
+const (
+	// Counter samples are cumulative totals; the per-epoch increment
+	// (Delta) or rate is the interesting view.
+	Counter Kind = iota
+	// Level samples are instantaneous values (queue depths, occupancy);
+	// they are plotted as-is.
+	Level
+)
+
+// String names the kind for JSON export.
+func (k Kind) String() string {
+	if k == Level {
+		return "level"
+	}
+	return "counter"
+}
+
+// SnapshotFunc emits one cumulative counter per call to put. The probe
+// contract: the number and order of put calls must be identical on every
+// invocation (model Stats types satisfy it by emitting their fields in
+// declaration order).
+type SnapshotFunc func(put func(name string, value float64))
+
+// DefaultCap bounds the number of recorded epochs, because a tight
+// epoch on a long run could otherwise grow without bound (cf. the trace
+// collector's span cap). Ticks beyond the cap are counted as dropped.
+const DefaultCap = 1 << 16
+
+// entry is one registered source, in registration order.
+type entry struct {
+	prefix string
+	kind   Kind
+	read   func(now sim.Time) float64 // gauge form (snap == nil)
+	snap   SnapshotFunc               // snapshot form
+}
+
+// Recorder accumulates per-epoch samples of registered sources. It is
+// not safe for concurrent use and belongs to exactly one simulation run,
+// like a trace.Collector.
+type Recorder struct {
+	// Cap bounds recorded epochs (0 = DefaultCap).
+	Cap int
+
+	interval sim.Time
+	entries  []entry
+	sealed   bool
+	names    []string
+	kinds    []Kind
+	times    []sim.Time
+	cols     [][]float64
+	dropped  uint64
+}
+
+// NewRecorder returns a recorder sampling every interval of simulated
+// time.
+func NewRecorder(interval sim.Time) *Recorder {
+	if interval == 0 {
+		panic("probe: zero sampling interval")
+	}
+	return &Recorder{interval: interval, Cap: DefaultCap}
+}
+
+// Interval returns the epoch length.
+func (r *Recorder) Interval() sim.Time { return r.interval }
+
+// AddGauge registers a single named metric read by fn at each tick.
+// `now` is the epoch boundary being sampled, for occupancy computations.
+// Registration must finish before the first Tick.
+func (r *Recorder) AddGauge(name string, kind Kind, fn func(now sim.Time) float64) {
+	if r.sealed {
+		panic("probe: AddGauge after first Tick")
+	}
+	r.entries = append(r.entries, entry{prefix: name, kind: kind, read: fn})
+}
+
+// AddSnapshot registers a snapshot source whose metrics appear as
+// "prefix.name". All snapshot metrics are Counters.
+func (r *Recorder) AddSnapshot(prefix string, snap SnapshotFunc) {
+	if r.sealed {
+		panic("probe: AddSnapshot after first Tick")
+	}
+	r.entries = append(r.entries, entry{prefix: prefix, kind: Counter, snap: snap})
+}
+
+// Tick records one sample row for epoch boundary `now`. The engine's
+// epoch hook calls it; it must never touch simulated time.
+func (r *Recorder) Tick(now sim.Time) {
+	cap := r.Cap
+	if cap <= 0 {
+		cap = DefaultCap
+	}
+	if len(r.times) >= cap {
+		r.dropped++
+		return
+	}
+	if !r.sealed {
+		r.sealColumns()
+	}
+	r.times = append(r.times, now)
+	idx := 0
+	put := func(_ string, v float64) {
+		if idx >= len(r.cols) {
+			panic("probe: source emitted more metrics than on the first tick (unstable snapshot)")
+		}
+		r.cols[idx] = append(r.cols[idx], v)
+		idx++
+	}
+	for _, e := range r.entries {
+		if e.snap != nil {
+			e.snap(put)
+		} else {
+			put(e.prefix, e.read(now))
+		}
+	}
+	if idx != len(r.names) {
+		panic(fmt.Sprintf("probe: source emitted %d metrics, first tick emitted %d (unstable snapshot)", idx, len(r.names)))
+	}
+}
+
+// sealColumns runs the sources once to learn the metric names, then
+// fixes the column layout for the rest of the run.
+func (r *Recorder) sealColumns() {
+	for _, e := range r.entries {
+		if e.snap != nil {
+			prefix := e.prefix
+			e.snap(func(name string, _ float64) {
+				r.names = append(r.names, prefix+"."+name)
+				r.kinds = append(r.kinds, Counter)
+			})
+		} else {
+			r.names = append(r.names, e.prefix)
+			r.kinds = append(r.kinds, e.kind)
+		}
+	}
+	r.cols = make([][]float64, len(r.names))
+	r.sealed = true
+}
+
+// Epochs returns the number of recorded samples.
+func (r *Recorder) Epochs() int { return len(r.times) }
+
+// Dropped returns how many ticks were discarded after the cap.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// Times returns the epoch boundaries of the recorded samples.
+func (r *Recorder) Times() []sim.Time { return r.times }
+
+// Names returns the metric names in column order.
+func (r *Recorder) Names() []string { return r.names }
+
+// KindOf returns column i's kind.
+func (r *Recorder) KindOf(i int) Kind { return r.kinds[i] }
+
+// Series returns column i's raw samples (cumulative for Counters).
+func (r *Recorder) Series(i int) []float64 { return r.cols[i] }
+
+// SeriesByName returns the raw samples of the named metric (nil if the
+// metric does not exist).
+func (r *Recorder) SeriesByName(name string) []float64 {
+	for i, n := range r.names {
+		if n == name {
+			return r.cols[i]
+		}
+	}
+	return nil
+}
+
+// Delta converts a cumulative series into per-epoch increments (the
+// first epoch's increment is measured from zero). Level series are
+// returned as-is.
+func (r *Recorder) Delta(i int) []float64 {
+	col := r.cols[i]
+	if r.kinds[i] == Level {
+		return col
+	}
+	out := make([]float64, len(col))
+	prev := 0.0
+	for k, v := range col {
+		out[k] = v - prev
+		prev = v
+	}
+	return out
+}
+
+// DeltaByName is Delta by metric name (nil if absent).
+func (r *Recorder) DeltaByName(name string) []float64 {
+	for i, n := range r.names {
+		if n == name {
+			return r.Delta(i)
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the raw samples, one row per epoch: a "t_fs" column of
+// epoch boundaries followed by one column per metric.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("t_fs")
+	for _, n := range r.names {
+		b.WriteByte(',')
+		b.WriteString(n)
+	}
+	b.WriteByte('\n')
+	for k, tm := range r.times {
+		b.WriteString(strconv.FormatUint(uint64(tm), 10))
+		for _, col := range r.cols {
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(col[k], 'g', -1, 64))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSONL writes one JSON record per epoch: {"t_fs":..., "v":{...}}.
+// Keys inside "v" are sorted by encoding/json, so output is stable.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for k, tm := range r.times {
+		rec := struct {
+			T uint64             `json:"t_fs"`
+			V map[string]float64 `json:"v"`
+		}{T: uint64(tm), V: make(map[string]float64, len(r.names))}
+		for i, n := range r.names {
+			rec.V[n] = r.cols[i][k]
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonMetric is one metric's column in the MarshalJSON form.
+type jsonMetric struct {
+	Name   string    `json:"name"`
+	Kind   string    `json:"kind"`
+	Values []float64 `json:"values"`
+}
+
+// MarshalJSON renders the whole recording as one object: interval,
+// epoch boundaries, and a column per metric. cmd/memsim embeds it next
+// to the report under -json -sample.
+func (r *Recorder) MarshalJSON() ([]byte, error) {
+	times := make([]uint64, len(r.times))
+	for i, t := range r.times {
+		times[i] = uint64(t)
+	}
+	metrics := make([]jsonMetric, len(r.names))
+	for i, n := range r.names {
+		metrics[i] = jsonMetric{Name: n, Kind: r.kinds[i].String(), Values: r.cols[i]}
+	}
+	return json.Marshal(struct {
+		IntervalFS uint64       `json:"interval_fs"`
+		Epochs     int          `json:"epochs"`
+		Dropped    uint64       `json:"dropped,omitempty"`
+		TimesFS    []uint64     `json:"times_fs"`
+		Metrics    []jsonMetric `json:"metrics"`
+	}{uint64(r.interval), len(r.times), r.dropped, times, metrics})
+}

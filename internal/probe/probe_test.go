@@ -1,0 +1,137 @@
+package probe
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fakeStats mimics a model Stats type implementing the snapshot
+// contract: fixed set and order of names on every call.
+type fakeStats struct{ a, b uint64 }
+
+func (s fakeStats) Snapshot(put func(string, float64)) {
+	put("a", float64(s.a))
+	put("b", float64(s.b))
+}
+
+func TestRecorderColumns(t *testing.T) {
+	st := &fakeStats{}
+	depth := 0
+	r := NewRecorder(sim.Microsecond)
+	r.AddSnapshot("fake", func(put func(string, float64)) { st.Snapshot(put) })
+	r.AddGauge("queue_depth", Level, func(sim.Time) float64 { return float64(depth) })
+
+	st.a, st.b, depth = 10, 1, 3
+	r.Tick(1 * sim.Microsecond)
+	st.a, st.b, depth = 25, 1, 7
+	r.Tick(2 * sim.Microsecond)
+
+	if got := r.Names(); len(got) != 3 || got[0] != "fake.a" || got[2] != "queue_depth" {
+		t.Fatalf("names = %v", got)
+	}
+	if d := r.DeltaByName("fake.a"); d[0] != 10 || d[1] != 15 {
+		t.Errorf("delta fake.a = %v", d)
+	}
+	// Level series pass through Delta untouched.
+	if d := r.DeltaByName("queue_depth"); d[0] != 3 || d[1] != 7 {
+		t.Errorf("delta queue_depth = %v", d)
+	}
+	if s := r.SeriesByName("fake.b"); s[0] != 1 || s[1] != 1 {
+		t.Errorf("series fake.b = %v", s)
+	}
+	if r.SeriesByName("nope") != nil {
+		t.Error("unknown metric should return nil")
+	}
+}
+
+func TestRecorderCapDrops(t *testing.T) {
+	r := NewRecorder(sim.Nanosecond)
+	r.Cap = 3
+	r.AddGauge("x", Level, func(sim.Time) float64 { return 1 })
+	for i := 1; i <= 10; i++ {
+		r.Tick(sim.Time(i) * sim.Nanosecond)
+	}
+	if r.Epochs() != 3 || r.Dropped() != 7 {
+		t.Errorf("epochs=%d dropped=%d", r.Epochs(), r.Dropped())
+	}
+}
+
+func TestCSVAndJSONL(t *testing.T) {
+	r := NewRecorder(sim.Nanosecond)
+	v := 0.0
+	r.AddGauge("v", Counter, func(sim.Time) float64 { return v })
+	v = 1.5
+	r.Tick(sim.Nanosecond)
+	v = 4
+	r.Tick(2 * sim.Nanosecond)
+
+	var csv strings.Builder
+	if err := r.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	want := "t_fs,v\n1000000,1.5\n2000000,4\n"
+	if csv.String() != want {
+		t.Errorf("csv = %q, want %q", csv.String(), want)
+	}
+
+	var jl strings.Builder
+	if err := r.WriteJSONL(&jl); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(jl.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("jsonl lines = %d", len(lines))
+	}
+	var rec struct {
+		T uint64             `json:"t_fs"`
+		V map[string]float64 `json:"v"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.T != 2000000 || rec.V["v"] != 4 {
+		t.Errorf("jsonl record = %+v", rec)
+	}
+
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obj struct {
+		IntervalFS uint64 `json:"interval_fs"`
+		Epochs     int    `json:"epochs"`
+		Metrics    []struct {
+			Name   string    `json:"name"`
+			Kind   string    `json:"kind"`
+			Values []float64 `json:"values"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(b, &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj.IntervalFS != uint64(sim.Nanosecond) || obj.Epochs != 2 ||
+		len(obj.Metrics) != 1 || obj.Metrics[0].Kind != "counter" || obj.Metrics[0].Values[1] != 4 {
+		t.Errorf("marshal = %s", b)
+	}
+}
+
+func TestUnstableSnapshotPanics(t *testing.T) {
+	r := NewRecorder(sim.Nanosecond)
+	n := 1
+	r.AddSnapshot("bad", func(put func(string, float64)) {
+		for i := 0; i < n; i++ {
+			put("x", 0)
+		}
+	})
+	r.Tick(sim.Nanosecond)
+	n = 2
+	defer func() {
+		if recover() == nil {
+			t.Error("unstable snapshot did not panic")
+		}
+	}()
+	r.Tick(2 * sim.Nanosecond)
+}

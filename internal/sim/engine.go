@@ -60,11 +60,99 @@ type Engine struct {
 	// noFastPath forces every Sync through the engine handshake; only the
 	// determinism tests set it (the fast path must be unobservable).
 	noFastPath bool
+
+	// Epoch sampling (SetEpoch). nextEpoch is the first simulated time at
+	// which onEpoch fires; it is kept at the Time sentinel maximum while
+	// sampling is off so the hot paths pay one always-false compare and
+	// nothing else. The hook runs synchronously on whichever goroutine
+	// advanced the clock (the engine in Run, or the running task on the
+	// Sync fast path) — legal because at most one goroutine of the domain
+	// executes at a time — and it must only read model state: it may not
+	// Sync, Spawn, Block or Unblock, so the event order is provably
+	// identical with sampling on or off.
+	epoch     Time
+	nextEpoch Time
+	onEpoch   func(boundary Time)
+
+	met Metrics
+}
+
+// Metrics are the engine's self-observation counters: how often the
+// handshake-free Sync fast path fires, how much work the scheduler heap
+// does, and how deep it gets. They cost one increment on the paths they
+// count and exist so the fast path's effectiveness is continuously
+// measurable in every run instead of one-off benchmarked.
+type Metrics struct {
+	SyncFast   uint64 // Syncs answered without the engine handshake
+	SyncSlow   uint64 // Syncs that yielded through the scheduler
+	Dispatches uint64 // events dispatched by Run (slow-path resumes)
+	Spawns     uint64 // tasks ever spawned
+	Blocks     uint64 // yields that blocked awaiting an Unblock
+	Unblocks   uint64 // wake-ups of blocked tasks
+	HeapPushes uint64
+	HeapPops   uint64
+	HeapMax    int // deepest the scheduler heap has been
+}
+
+// FastPathRate returns the fraction of Syncs served handshake-free.
+func (m Metrics) FastPathRate() float64 {
+	tot := m.SyncFast + m.SyncSlow
+	if tot == 0 {
+		return 0
+	}
+	return float64(m.SyncFast) / float64(tot)
+}
+
+// Snapshot emits the counters in a fixed order; it satisfies the probe
+// layer's snapshot contract (internal/probe).
+func (m Metrics) Snapshot(put func(name string, value float64)) {
+	put("sync_fast", float64(m.SyncFast))
+	put("sync_slow", float64(m.SyncSlow))
+	put("dispatches", float64(m.Dispatches))
+	put("blocks", float64(m.Blocks))
+	put("unblocks", float64(m.Unblocks))
+	put("heap_pushes", float64(m.HeapPushes))
+	put("heap_pops", float64(m.HeapPops))
 }
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
-	return &Engine{sched: make(chan yieldMsg)}
+	return &Engine{sched: make(chan yieldMsg), nextEpoch: ^Time(0)}
+}
+
+// Metrics returns the engine's self-observation counters so far. Safe to
+// call after Run, or from the running task's goroutine.
+func (e *Engine) Metrics() Metrics { return e.met }
+
+// QueueLen returns the current scheduler-heap depth (runnable tasks not
+// being executed right now).
+func (e *Engine) QueueLen() int { return e.queue.len() }
+
+// SetEpoch installs fn to be called the first time simulated time
+// reaches or passes every multiple of interval, with the boundary as
+// argument (a jump across several boundaries fires fn once per boundary,
+// so samples stay regularly spaced). Call it before Run. The hook runs
+// on whichever goroutine advanced the engine clock and must only read
+// model state — never Sync, Spawn, Block, Unblock or advance any clock —
+// which is what makes sampling invisible to the event order; see the
+// field comment.
+func (e *Engine) SetEpoch(interval Time, fn func(boundary Time)) {
+	if interval == 0 || fn == nil {
+		panic("sim: SetEpoch needs a positive interval and a hook")
+	}
+	e.epoch = interval
+	e.nextEpoch = interval
+	e.onEpoch = fn
+}
+
+// epochTick fires the sampling hook for every boundary the clock just
+// crossed. Out of line so the hot paths only inline the compare.
+func (e *Engine) epochTick() {
+	for e.now >= e.nextEpoch {
+		at := e.nextEpoch
+		e.nextEpoch += e.epoch
+		e.onEpoch(at)
+	}
 }
 
 // Now returns the time of the most recently dispatched event.
@@ -108,6 +196,7 @@ func (e *Engine) Spawn(name string, start Time, fn func(*Task)) *Task {
 	}
 	e.tasks = append(e.tasks, t)
 	e.live++
+	e.met.Spawns++
 	go func() {
 		<-t.resume // wait for first dispatch
 		fn(t)
@@ -125,6 +214,10 @@ func (e *Engine) push(t *Task) {
 	t.queued = true
 	t.blocked = false
 	e.queue.push(t)
+	e.met.HeapPushes++
+	if d := e.queue.len(); d > e.met.HeapMax {
+		e.met.HeapMax = d
+	}
 }
 
 // Run dispatches events until every task has finished. It panics on
@@ -143,12 +236,17 @@ func (e *Engine) Run() {
 		}
 		t := e.queue.pop()
 		t.queued = false
+		e.met.HeapPops++
+		e.met.Dispatches++
 		if t.time < e.now {
 			panic(fmt.Sprintf("sim: task %q scheduled in the past (%v < %v)", t.name, t.time, e.now))
 		}
 		e.now = t.time
 		if e.MaxTime != 0 && e.now > e.MaxTime {
 			panic(fmt.Sprintf("sim: exceeded MaxTime %v (model livelock?)", e.MaxTime))
+		}
+		if e.now >= e.nextEpoch {
+			e.epochTick()
 		}
 		t.resume <- struct{}{}
 		msg := <-e.sched
@@ -157,6 +255,7 @@ func (e *Engine) Run() {
 			e.push(msg.task)
 		case yieldBlock:
 			msg.task.blocked = true
+			e.met.Blocks++
 		case yieldDone:
 			e.live--
 		}
@@ -207,10 +306,15 @@ func (t *Task) Sync() {
 	e := t.engine
 	if !e.noFastPath && (e.MaxTime == 0 || t.time <= e.MaxTime) {
 		if e.queue.len() == 0 || t.before(e.queue.peek()) {
+			e.met.SyncFast++
 			e.now = t.time
+			if e.now >= e.nextEpoch {
+				e.epochTick()
+			}
 			return
 		}
 	}
+	e.met.SyncSlow++
 	e.sched <- yieldMsg{t, yieldRequeue}
 	<-t.resume
 }
@@ -244,6 +348,7 @@ func (t *Task) Unblock(at Time) {
 		at = now
 	}
 	t.SetTime(at)
+	t.engine.met.Unblocks++
 	t.engine.push(t)
 }
 

@@ -30,6 +30,32 @@ type Server struct {
 	// Unlike the ring it survives pruning, so NextFree stays truthful
 	// after old bookings are discarded.
 	lastEnd Time
+	// Calendar-maintenance counters (see ServerMetrics): how many
+	// reservations pruning discarded and how often the ring compacted.
+	pruned      uint64
+	compactions uint64
+}
+
+// ServerMetrics aggregates calendar-maintenance counters across a set of
+// servers. The model layers (noc, dram, uncore) sum their servers into
+// one value per run so the ring calendar's behavior — how much history
+// it sheds and how often it pays a compaction copy — is visible in every
+// report, not just in microbenchmarks.
+type ServerMetrics struct {
+	Pruned      uint64 // reservations discarded past the prune window
+	Compactions uint64 // amortized copies reclaiming the dead prefix
+}
+
+// AddMetrics accumulates this server's calendar counters into m.
+func (s *Server) AddMetrics(m *ServerMetrics) {
+	m.Pruned += s.pruned
+	m.Compactions += s.compactions
+}
+
+// Snapshot emits the aggregated counters in a fixed order (probe layer).
+func (m ServerMetrics) Snapshot(put func(name string, value float64)) {
+	put("pruned", float64(m.Pruned))
+	put("compactions", float64(m.Compactions))
 }
 
 type interval struct{ start, end Time }
@@ -153,11 +179,13 @@ func (s *Server) prune() {
 	for h < len(s.busy) && s.busy[h].end < cut {
 		h++
 	}
+	s.pruned += uint64(h - s.head)
 	s.head = h
 	if h > 64 && 2*h >= len(s.busy) {
 		live := copy(s.busy, s.busy[h:])
 		s.busy = s.busy[:live]
 		s.head = 0
+		s.compactions++
 	}
 }
 

@@ -15,7 +15,11 @@
 // 5 hours of simulated time, far beyond any run in this repository.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Time is an absolute simulation time or a duration, in femtoseconds.
 type Time uint64
@@ -42,6 +46,35 @@ func (t Time) String() string {
 	default:
 		return fmt.Sprintf("%dps", uint64(t)/uint64(Picosecond))
 	}
+}
+
+// ParseDuration parses a simulated duration such as "1us", "2.5ns" or
+// "800ps". Units: fs, ps, ns, us, ms, s. Command-line flags (-sample)
+// use it; sub-femtosecond remainders truncate.
+func ParseDuration(s string) (Time, error) {
+	var unit Time
+	var num string
+	switch {
+	case strings.HasSuffix(s, "fs"):
+		unit, num = Femtosecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "ps"):
+		unit, num = Picosecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "ns"):
+		unit, num = Nanosecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "us"):
+		unit, num = Microsecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "ms"):
+		unit, num = Millisecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "s"):
+		unit, num = Second, s[:len(s)-1]
+	default:
+		return 0, fmt.Errorf("sim: duration %q needs a unit (fs, ps, ns, us, ms, s)", s)
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(num), 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("sim: invalid duration %q", s)
+	}
+	return Time(f * float64(unit)), nil
 }
 
 // Seconds converts t to floating-point seconds.

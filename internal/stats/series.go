@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// sparkGlyphs is the 8-level ramp of a sparkline, lowest to highest.
+// ASCII-only so output survives every terminal and diff tool.
+var sparkGlyphs = []byte(" .:-=+*#")
+
+// heatGlyphs is the 10-level intensity ramp of a heatmap row.
+var heatGlyphs = []byte(" .:-=+*#%@")
+
+// Sparkline renders values as a one-line ASCII intensity strip scaled
+// to [min, max] of the data. width caps the number of output cells
+// (0 = len(values)); longer series are downsampled by taking the mean
+// of each bucket, so a narrow terminal still shows the whole run.
+func Sparkline(values []float64, width int) string {
+	values = resample(values, width)
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		b.WriteByte(glyphFor(v, lo, hi, sparkGlyphs))
+	}
+	return b.String()
+}
+
+// Heatmap renders one intensity row per named series, each normalized
+// to its own [min, max] (series have wildly different units), with the
+// labels left-aligned in a shared gutter. width caps the cells per row
+// (0 = longest series length).
+type Heatmap struct {
+	Title  string
+	Width  int
+	names  []string
+	series [][]float64
+}
+
+// AddRow appends one named series.
+func (h *Heatmap) AddRow(name string, values []float64) *Heatmap {
+	h.names = append(h.names, name)
+	h.series = append(h.series, values)
+	return h
+}
+
+// Write renders the heatmap.
+func (h *Heatmap) Write(w io.Writer) {
+	if h.Title != "" {
+		fmt.Fprintln(w, h.Title)
+	}
+	labw := 0
+	for _, n := range h.names {
+		if len(n) > labw {
+			labw = len(n)
+		}
+	}
+	for i, name := range h.names {
+		vals := resample(h.series[i], h.Width)
+		lo, hi := 0.0, 0.0
+		if len(vals) > 0 {
+			lo, hi = vals[0], vals[0]
+			for _, v := range vals {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+		var b strings.Builder
+		for _, v := range vals {
+			b.WriteByte(glyphFor(v, lo, hi, heatGlyphs))
+		}
+		fmt.Fprintf(w, "  %-*s |%s| %.4g..%.4g\n", labw, name, b.String(), lo, hi)
+	}
+}
+
+// glyphFor maps v in [lo, hi] to a ramp glyph; a flat series renders as
+// the lowest glyph.
+func glyphFor(v, lo, hi float64, ramp []byte) byte {
+	if hi <= lo {
+		return ramp[0]
+	}
+	idx := int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ramp) {
+		idx = len(ramp) - 1
+	}
+	return ramp[idx]
+}
+
+// resample shrinks values to at most width cells by averaging each
+// bucket (width <= 0 or len <= width returns values unchanged).
+func resample(values []float64, width int) []float64 {
+	if width <= 0 || len(values) <= width {
+		return values
+	}
+	out := make([]float64, width)
+	for i := range out {
+		lo := i * len(values) / width
+		hi := (i + 1) * len(values) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		s := 0.0
+		for _, v := range values[lo:hi] {
+			s += v
+		}
+		out[i] = s / float64(hi-lo)
+	}
+	return out
+}

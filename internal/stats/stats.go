@@ -15,6 +15,7 @@ type Table struct {
 	header  []string
 	rows    [][]string
 	numeric []bool // per column: right-align
+	prec    []int  // per column: float decimals (-1 = default 3)
 }
 
 // NewTable returns a table with the given column headers.
@@ -22,17 +23,39 @@ func NewTable(title string, header ...string) *Table {
 	return &Table{Title: title, header: header, numeric: make([]bool, len(header))}
 }
 
+// SetPrecision overrides the number of decimals used for float cells in
+// column col (the default is 3). Call it before the affected Rows; it
+// returns the table for chaining.
+func (t *Table) SetPrecision(col, digits int) *Table {
+	if col < 0 || digits < 0 {
+		panic("stats: negative column or precision")
+	}
+	for len(t.prec) <= col {
+		t.prec = append(t.prec, -1)
+	}
+	t.prec[col] = digits
+	return t
+}
+
+// floatPrec returns the decimals for a float cell in column i.
+func (t *Table) floatPrec(i int) int {
+	if i < len(t.prec) && t.prec[i] >= 0 {
+		return t.prec[i]
+	}
+	return 3
+}
+
 // Row appends a row; values are rendered with %v, floats with 3
-// decimals. Numeric cells are right-aligned.
+// decimals (see SetPrecision). Numeric cells are right-aligned.
 func (t *Table) Row(cells ...any) *Table {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			row[i] = fmt.Sprintf("%.3f", v)
+			row[i] = fmt.Sprintf("%.*f", t.floatPrec(i), v)
 			t.mark(i)
 		case float32:
-			row[i] = fmt.Sprintf("%.3f", v)
+			row[i] = fmt.Sprintf("%.*f", t.floatPrec(i), v)
 			t.mark(i)
 		case int, int64, uint64, uint32:
 			row[i] = fmt.Sprintf("%d", v)

@@ -81,3 +81,64 @@ func TestChartZeroData(t *testing.T) {
 		t.Error("label missing")
 	}
 }
+
+func TestTableSetPrecision(t *testing.T) {
+	tb := NewTable("", "name", "coarse", "fine")
+	tb.SetPrecision(1, 1).SetPrecision(2, 6)
+	tb.Row("x", 1.25, 1.25)
+	var sb strings.Builder
+	tb.WriteCSV(&sb)
+	want := "name,coarse,fine\nx,1.2,1.250000\n"
+	if sb.String() != want {
+		t.Errorf("csv = %q, want %q", sb.String(), want)
+	}
+	// Untouched columns keep the 3-decimal default.
+	tb2 := NewTable("", "v").Row(0.5)
+	var sb2 strings.Builder
+	tb2.WriteCSV(&sb2)
+	if want := "v\n0.500\n"; sb2.String() != want {
+		t.Errorf("default precision csv = %q, want %q", sb2.String(), want)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 0)
+	if s != " .:-=+*#" {
+		t.Errorf("ramp = %q", s)
+	}
+	if got := Sparkline(nil, 10); got != "" {
+		t.Errorf("empty series = %q", got)
+	}
+	// Flat series renders as the lowest glyph, no divide-by-zero.
+	if got := Sparkline([]float64{3, 3, 3}, 0); got != "   " {
+		t.Errorf("flat = %q", got)
+	}
+	// Downsampling: 100 points into 10 cells, still monotone ramp.
+	long := make([]float64, 100)
+	for i := range long {
+		long[i] = float64(i)
+	}
+	if got := Sparkline(long, 10); len(got) != 10 || got[0] != ' ' || got[9] != '#' {
+		t.Errorf("downsampled = %q", got)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	var h Heatmap
+	h.Title = "hm"
+	h.AddRow("a", []float64{0, 1, 2})
+	h.AddRow("bb", []float64{5, 5, 5})
+	var sb strings.Builder
+	h.Write(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "a ") || !strings.Contains(lines[1], "| 0..2") {
+		t.Errorf("row a = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "|   |") { // flat row: lowest glyph
+		t.Errorf("flat row b = %q", lines[2])
+	}
+}

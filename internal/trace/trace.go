@@ -24,12 +24,23 @@ type Span struct {
 	Dur   sim.Time
 }
 
+// Counter is one sample of a named counter track ("ph":"C" in the
+// Chrome format; Perfetto renders it as a value-over-time graph above
+// the span timeline). The probe layer's per-epoch series are merged in
+// as counters after a run.
+type Counter struct {
+	Name  string
+	At    sim.Time
+	Value float64
+}
+
 // Collector accumulates spans. The simulation engine is single-threaded,
 // so no locking is needed.
 type Collector struct {
-	Cap     int
-	spans   []Span
-	dropped uint64
+	Cap      int
+	spans    []Span
+	counters []Counter
+	dropped  uint64
 }
 
 // New returns a collector with the default cap.
@@ -53,6 +64,16 @@ func (c *Collector) Dropped() uint64 { return c.dropped }
 // Spans returns the recorded spans (read-only view).
 func (c *Collector) Spans() []Span { return c.spans }
 
+// AddCounter records one counter sample. Counter samples are bounded by
+// their producer (the probe recorder's epoch cap), so they do not count
+// against Cap.
+func (c *Collector) AddCounter(name string, at sim.Time, value float64) {
+	c.counters = append(c.counters, Counter{Name: name, At: at, Value: value})
+}
+
+// Counters returns the recorded counter samples (read-only view).
+func (c *Collector) Counters() []Counter { return c.counters }
+
 // chromeEvent is the trace-event wire format ("X" = complete event;
 // timestamps and durations in microseconds).
 type chromeEvent struct {
@@ -65,14 +86,44 @@ type chromeEvent struct {
 	Tid  int     `json:"tid"`
 }
 
-// WriteChrome writes the spans as a Chrome trace-event JSON array.
+// counterEvent is a "C" counter sample; Perfetto draws one graph track
+// per name, with the sampled value under args.
+type counterEvent struct {
+	Name string             `json:"name"`
+	Cat  string             `json:"cat"`
+	Ph   string             `json:"ph"`
+	Ts   float64            `json:"ts"`
+	Pid  int                `json:"pid"`
+	Args map[string]float64 `json:"args"`
+}
+
+// metaEvent is an "M" metadata record.
+type metaEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Args map[string]uint64 `json:"args"`
+}
+
+// WriteChrome writes the spans, counter samples and a trailing
+// dropped-span metadata record as a Chrome trace-event JSON array.
 func (c *Collector) WriteChrome(w io.Writer) error {
 	if _, err := io.WriteString(w, "[\n"); err != nil {
 		return err
 	}
 	enc := json.NewEncoder(w)
-	for i, s := range c.spans {
-		ev := chromeEvent{
+	first := true
+	emit := func(ev any) error {
+		if !first {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		first = false
+		return enc.Encode(ev)
+	}
+	for _, s := range c.spans {
+		err := emit(chromeEvent{
 			Name: s.Name,
 			Cat:  "sim",
 			Ph:   "X",
@@ -80,17 +131,36 @@ func (c *Collector) WriteChrome(w io.Writer) error {
 			Dur:  float64(s.Dur) / float64(sim.Microsecond),
 			Pid:  0,
 			Tid:  s.Track,
-		}
-		if i > 0 {
-			if _, err := io.WriteString(w, ","); err != nil {
-				return err
-			}
-		}
-		if err := enc.Encode(ev); err != nil {
+		})
+		if err != nil {
 			return err
 		}
 	}
-	_, err := io.WriteString(w, "]\n")
+	for _, cs := range c.counters {
+		err := emit(counterEvent{
+			Name: cs.Name,
+			Cat:  "probe",
+			Ph:   "C",
+			Ts:   float64(cs.At) / float64(sim.Microsecond),
+			Pid:  0,
+			Args: map[string]float64{"value": cs.Value},
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Always record how much the cap discarded (zero included), so a
+	// truncated timeline is never mistaken for a complete one.
+	err := emit(metaEvent{
+		Name: "dropped_spans",
+		Ph:   "M",
+		Pid:  0,
+		Args: map[string]uint64{"dropped": c.dropped},
+	})
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "]\n")
 	return err
 }
 

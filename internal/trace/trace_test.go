@@ -44,7 +44,7 @@ func TestChromeExportParses(t *testing.T) {
 	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
 	}
-	if len(events) != 2 {
+	if len(events) != 3 { // 2 spans + dropped_spans metadata
 		t.Fatalf("%d events", len(events))
 	}
 	if events[0]["name"] != "dma-get" || events[0]["ts"].(float64) != 1.0 {
@@ -52,6 +52,77 @@ func TestChromeExportParses(t *testing.T) {
 	}
 	if events[0]["dur"].(float64) != 3.0 {
 		t.Errorf("dur = %v", events[0]["dur"])
+	}
+	if events[2]["ph"] != "M" || events[2]["name"] != "dropped_spans" {
+		t.Errorf("trailing metadata = %v", events[2])
+	}
+}
+
+// TestChromeGoldenEmpty pins the exact bytes of an empty collector's
+// export: just the always-present dropped-span metadata record.
+func TestChromeGoldenEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := New().WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "[\n{\"name\":\"dropped_spans\",\"ph\":\"M\",\"pid\":0,\"args\":{\"dropped\":0}}\n]\n"
+	if sb.String() != want {
+		t.Errorf("golden mismatch:\ngot  %q\nwant %q", sb.String(), want)
+	}
+}
+
+// TestChromeGoldenNameEscaping pins that span names containing JSON
+// metacharacters are escaped, not emitted raw.
+func TestChromeGoldenNameEscaping(t *testing.T) {
+	c := New()
+	c.Add(0, `quote"back\slash`, 0, sim.Microsecond)
+	var sb strings.Builder
+	if err := c.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "[\n" +
+		"{\"name\":\"quote\\\"back\\\\slash\",\"cat\":\"sim\",\"ph\":\"X\",\"ts\":0,\"dur\":1,\"pid\":0,\"tid\":0}\n" +
+		",{\"name\":\"dropped_spans\",\"ph\":\"M\",\"pid\":0,\"args\":{\"dropped\":0}}\n" +
+		"]\n"
+	if sb.String() != want {
+		t.Errorf("golden mismatch:\ngot  %q\nwant %q", sb.String(), want)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if events[0]["name"] != `quote"back\slash` {
+		t.Errorf("round-tripped name = %v", events[0]["name"])
+	}
+}
+
+// TestChromeCounterEvents checks "C" events carry the sampled value and
+// that the dropped count in the metadata reflects the cap.
+func TestChromeCounterEvents(t *testing.T) {
+	c := &Collector{Cap: 1}
+	c.Add(0, "x", 0, 1)
+	c.Add(0, "y", 0, 1) // dropped
+	c.AddCounter("dram.read_bytes", 2*sim.Microsecond, 4096)
+	var sb strings.Builder
+	if err := c.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(events) != 3 { // 1 span + 1 counter + metadata
+		t.Fatalf("%d events:\n%s", len(events), sb.String())
+	}
+	cnt := events[1]
+	if cnt["ph"] != "C" || cnt["name"] != "dram.read_bytes" || cnt["ts"].(float64) != 2.0 {
+		t.Errorf("counter event = %v", cnt)
+	}
+	if v := cnt["args"].(map[string]any)["value"].(float64); v != 4096 {
+		t.Errorf("counter value = %v", v)
+	}
+	if d := events[2]["args"].(map[string]any)["dropped"].(float64); d != 1 {
+		t.Errorf("dropped = %v", d)
 	}
 }
 

@@ -139,18 +139,7 @@ func (u *Uncore) L2Bank(i int) *cache.Cache { return u.l2s[i] }
 func (u *Uncore) L2Stats() cache.Stats {
 	var out cache.Stats
 	for _, c := range u.l2s {
-		s := c.Stats()
-		out.Reads += s.Reads
-		out.Writes += s.Writes
-		out.ReadHits += s.ReadHits
-		out.WriteHits += s.WriteHits
-		out.Fills += s.Fills
-		out.Writebacks += s.Writebacks
-		out.Evictions += s.Evictions
-		out.Invalidates += s.Invalidates
-		out.SnoopLookups += s.SnoopLookups
-		out.PFSAllocs += s.PFSAllocs
-		out.PrefetchHits += s.PrefetchHits
+		out.Add(c.Stats())
 	}
 	return out
 }
@@ -165,16 +154,30 @@ func (u *Uncore) Channels() int { return len(u.drams) }
 func (u *Uncore) DRAMStats() dram.Stats {
 	var out dram.Stats
 	for _, c := range u.drams {
-		s := c.Stats()
-		out.Reads += s.Reads
-		out.Writes += s.Writes
-		out.ReadBytes += s.ReadBytes
-		out.WriteBytes += s.WriteBytes
-		out.RowHits += s.RowHits
-		out.RowMisses += s.RowMisses
-		out.Refreshes += s.Refreshes
+		out.Add(c.Stats())
 	}
 	return out
+}
+
+// ChannelBusy returns the cumulative DRAM data-pin busy time summed
+// across channels (the probe layer's channel-utilization series).
+func (u *Uncore) ChannelBusy() sim.Time {
+	var t sim.Time
+	for _, c := range u.drams {
+		t += c.ChannelBusy()
+	}
+	return t
+}
+
+// AddServerMetrics accumulates the calendar-maintenance counters of the
+// L2 ports and every DRAM channel/bank server into m.
+func (u *Uncore) AddServerMetrics(m *sim.ServerMetrics) {
+	for _, p := range u.l2Ports {
+		p.AddMetrics(m)
+	}
+	for _, c := range u.drams {
+		c.AddServerMetrics(m)
+	}
 }
 
 // AvgChannelUtilization returns the mean busy fraction of the DRAM

@@ -29,6 +29,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/mem"
+	"repro/internal/probe"
+	"repro/internal/sim"
 	"repro/internal/stream"
 	"repro/internal/syncprim"
 	"repro/internal/trace"
@@ -169,6 +171,21 @@ type Trace = trace.Collector
 
 // NewTrace returns an empty span collector with the default cap.
 func NewTrace() *Trace { return trace.New() }
+
+// Time is a simulated timestamp/duration in femtoseconds.
+type Time = sim.Time
+
+// ParseTime parses a simulated duration such as "1us", "2.5ns" or
+// "800ps" into a Time.
+func ParseTime(s string) (Time, error) { return sim.ParseDuration(s) }
+
+// Probe samples the whole machine on a fixed simulated-time epoch,
+// turning cumulative counters into time-resolved series; attach one via
+// Config.Probe. Sampling never changes the simulated outcome.
+type Probe = probe.Recorder
+
+// NewProbe returns a recorder sampling every interval of simulated time.
+func NewProbe(interval Time) *Probe { return probe.NewRecorder(interval) }
 
 // Run builds a machine, runs the named workload, verifies its output
 // and returns the report. A verification failure returns the report

@@ -1,0 +1,84 @@
+package memsys_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	memsys "repro"
+)
+
+// TestProbeDoesNotPerturbReports pins the probe layer's core invariant:
+// attaching a Recorder changes nothing about the simulated outcome.
+// Every counter, timestamp and energy figure — the whole Report,
+// including the engine self-metrics — must be identical with sampling
+// on or off, across workloads and both of the paper's models.
+func TestProbeDoesNotPerturbReports(t *testing.T) {
+	cases := []struct {
+		workload string
+		model    memsys.Model
+	}{
+		{"fir", memsys.CC},
+		{"fir", memsys.STR},
+		{"mergesort", memsys.CC},
+		{"mergesort", memsys.STR},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.workload+"-"+tc.model.String(), func(t *testing.T) {
+			t.Parallel()
+			run := func(sample bool) ([]byte, *memsys.Probe) {
+				cfg := memsys.DefaultConfig(tc.model, 4)
+				var pr *memsys.Probe
+				if sample {
+					pr = memsys.NewProbe(100 * 1000 * 1000 * 1000) // 100ns
+					cfg.Probe = pr
+				}
+				rep, err := memsys.Run(cfg, tc.workload, memsys.ScaleSmall)
+				if err != nil {
+					t.Fatalf("run (sample=%v): %v", sample, err)
+				}
+				js, err := json.Marshal(rep)
+				if err != nil {
+					t.Fatalf("marshal: %v", err)
+				}
+				return js, pr
+			}
+			plain, _ := run(false)
+			sampled, pr := run(true)
+			if !bytes.Equal(plain, sampled) {
+				t.Errorf("report differs with sampling on:\noff: %s\non:  %s", plain, sampled)
+			}
+			if pr.Epochs() == 0 {
+				t.Fatalf("probe recorded no epochs")
+			}
+		})
+	}
+}
+
+// TestProbeShowsDMAComputeOverlap checks that the per-epoch series
+// actually resolve the streaming model's double-buffering: within a
+// single epoch both the cores retire instructions AND the DMA engines
+// move data — the "macroscopic prefetching" overlap of the paper.
+func TestProbeShowsDMAComputeOverlap(t *testing.T) {
+	pr := memsys.NewProbe(100 * 1000 * 1000 * 1000) // 100ns
+	cfg := memsys.DefaultConfig(memsys.STR, 4)
+	cfg.Probe = pr
+	if _, err := memsys.Run(cfg, "fir", memsys.ScaleSmall); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	instr := pr.DeltaByName("cpu.instructions")
+	dmaBytes := pr.DeltaByName("dma.get_bytes")
+	if instr == nil || dmaBytes == nil {
+		t.Fatalf("missing series; have %v", pr.Names())
+	}
+	overlap := 0
+	for i := range instr {
+		if instr[i] > 0 && dmaBytes[i] > 0 {
+			overlap++
+		}
+	}
+	if overlap == 0 {
+		t.Errorf("no epoch shows DMA and compute active together (epochs=%d)", pr.Epochs())
+	}
+}
