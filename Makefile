@@ -1,6 +1,6 @@
 # Tier-1 verification and CI entry points (see ROADMAP.md).
 
-.PHONY: verify build test race bench bench-engine bench-check paperbench-determinism
+.PHONY: verify build test race fault bench bench-engine bench-check paperbench-determinism
 
 # verify is the tier-1 gate: build + full test suite.
 verify: build test
@@ -19,6 +19,13 @@ test:
 race:
 	go test -race -timeout 20m -run 'Runner|Parallel|Prefetch|Progress|CfgKey' ./internal/bench/...
 	go test -race -timeout 20m ./internal/sim/...
+
+# fault runs the fault-injection suite and the CLI exit-code contracts
+# under the race detector: injected deadlocks, watchdog-aborted stalls,
+# panics, flaky retries and corrupted configs must all surface as typed
+# job records while every engine drains its goroutines cleanly.
+fault:
+	go test -race -timeout 20m ./internal/fault/ ./cmd/memsim/ ./cmd/paperbench/
 
 # bench regenerates the perf numbers tracked in BENCH_runner.json.
 bench:

@@ -7,12 +7,17 @@
 //	memsim -w fir -model str -cores 16 -mhz 3200 -bw 6400 -pf 4 -scale default
 //	memsim -w fir -model str -sample 1us          # per-epoch time series
 //	memsim -list
+//
+// Exit codes (shared with paperbench): 0 success, 1 runtime or
+// simulation failure, 2 flag or configuration validation error.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -22,30 +27,56 @@ import (
 	"repro/internal/trace"
 )
 
+// flagOf maps Config fields validated by Config.Validate to the memsim
+// flags that set them.
+var flagOf = map[string]string{
+	"Model":           "-model",
+	"Cores":           "-cores",
+	"CoreMHz":         "-mhz",
+	"PrefetchDepth":   "-pf",
+	"NoWriteAllocate": "-nwa",
+	"SnoopFilter":     "-snoopfilter",
+}
+
+// flagErrors rewrites Config.Validate's typed field errors in terms of
+// the flags that set them. Requests for CC-only hardware on other
+// models — the prefetcher, the no-write-allocate policy, the snoop
+// filter — are gathered into one message because they share a fix.
+func flagErrors(err error, m memsys.Model) error {
+	if err == nil {
+		return nil
+	}
+	var ccOnly, rest []string
+	for _, fe := range memsys.FieldErrors(err) {
+		fl, ok := flagOf[fe.Field]
+		if !ok {
+			fl = "config." + fe.Field
+		}
+		if strings.Contains(fe.Reason, "only applies to model CC") {
+			ccOnly = append(ccOnly, fl)
+			continue
+		}
+		rest = append(rest, fl+" "+fe.Reason)
+	}
+	var msgs []string
+	if len(ccOnly) > 0 {
+		msgs = append(msgs, fmt.Sprintf("%s only applies to -model cc (got -model %s)",
+			strings.Join(ccOnly, ", "), strings.ToLower(m.String())))
+	}
+	msgs = append(msgs, rest...)
+	return errors.New(strings.Join(msgs, "; "))
+}
+
 // ccOnlyFlags validates flag combinations that silently do nothing
-// outside the cache-coherent model: the prefetcher, the no-write-
-// allocate policy and the snoop filter all live in the CC protocol
-// layer, so asking for them on STR or INC machines is a mistake, not a
-// no-op to shrug off.
+// outside the cache-coherent model. It is Config.Validate seen through
+// memsim's flags; kept as a named check because the wording is pinned
+// by tests and documentation.
 func ccOnlyFlags(m memsys.Model, pf int, nwa, snoopFilter bool) error {
-	if m == memsys.CC {
-		return nil
-	}
-	var bad []string
-	if pf != 0 {
-		bad = append(bad, "-pf")
-	}
-	if nwa {
-		bad = append(bad, "-nwa")
-	}
-	if snoopFilter {
-		bad = append(bad, "-snoopfilter")
-	}
-	if len(bad) == 0 {
-		return nil
-	}
-	return fmt.Errorf("%s only applies to -model cc (got -model %s)",
-		strings.Join(bad, ", "), strings.ToLower(m.String()))
+	cfg := memsys.DefaultConfig(m, 1)
+	cfg.PrefetchDepth = pf
+	cfg.NoWriteAllocate = nwa
+	cfg.SnoopFilter = snoopFilter
+	return flagErrors(cfg.Validate(), m)
 }
 
 // headlineSeries are the probe metrics rendered as text and merged into
@@ -78,19 +109,19 @@ func seriesOf(pr *probe.Recorder, name string) []float64 {
 
 // writeProbeText renders the headline series as sparklines and a
 // heatmap, one intensity row per metric.
-func writeProbeText(pr *probe.Recorder) {
-	fmt.Printf("probe: %d epochs of %v", pr.Epochs(), memsys.Time(pr.Interval()))
+func writeProbeText(w io.Writer, pr *probe.Recorder) {
+	fmt.Fprintf(w, "probe: %d epochs of %v", pr.Epochs(), memsys.Time(pr.Interval()))
 	if d := pr.Dropped(); d > 0 {
-		fmt.Printf(" (%d dropped past cap)", d)
+		fmt.Fprintf(w, " (%d dropped past cap)", d)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	hm := stats.Heatmap{Width: 72}
 	for _, name := range headlineSeries {
 		if s := seriesOf(pr, name); s != nil {
 			hm.AddRow(name, s)
 		}
 	}
-	hm.Write(os.Stdout)
+	hm.Write(w)
 }
 
 // mergeProbeCounters adds the headline series to the trace as Chrome
@@ -105,45 +136,50 @@ func mergeProbeCounters(tr *trace.Collector, pr *probe.Recorder) {
 	}
 }
 
-func main() {
-	name := flag.String("w", "fir", "workload name (see -list)")
-	model := flag.String("model", "cc", "memory model: cc, str or inc")
-	cores := flag.Int("cores", 4, "number of cores (1-16)")
-	mhz := flag.Uint64("mhz", 800, "core clock in MHz (800, 1600, 3200, 6400)")
-	bw := flag.Uint64("bw", 1600, "DRAM bandwidth in MB/s (1600, 3200, 6400, 12800)")
-	pf := flag.Int("pf", 0, "hardware prefetch depth (0 = off; CC only)")
-	nwa := flag.Bool("nwa", false, "no-write-allocate L1 policy (CC only)")
-	filter := flag.Bool("snoopfilter", false, "RegionScout-style snoop filter (CC only)")
-	scaleName := flag.String("scale", "small", "dataset scale: small, default, paper")
-	list := flag.Bool("list", false, "list available workloads")
-	verbose := flag.Bool("v", false, "print detailed counters")
-	asJSON := flag.Bool("json", false, "print the full report as JSON")
-	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
-	sample := flag.String("sample", "", "sample the machine every simulated interval (e.g. 1us, 500ns)")
-	sampleCSV := flag.String("sample-csv", "", "write the per-epoch samples as CSV to this file (requires -sample)")
-	flag.Parse()
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("memsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("w", "fir", "workload name (see -list)")
+	model := fs.String("model", "cc", "memory model: cc, str or inc")
+	cores := fs.Int("cores", 4, "number of cores (1-16)")
+	mhz := fs.Uint64("mhz", 800, "core clock in MHz (800, 1600, 3200, 6400)")
+	bw := fs.Uint64("bw", 1600, "DRAM bandwidth in MB/s (1600, 3200, 6400, 12800)")
+	pf := fs.Int("pf", 0, "hardware prefetch depth (0 = off; CC only)")
+	nwa := fs.Bool("nwa", false, "no-write-allocate L1 policy (CC only)")
+	filter := fs.Bool("snoopfilter", false, "RegionScout-style snoop filter (CC only)")
+	scaleName := fs.String("scale", "small", "dataset scale: small, default, paper")
+	list := fs.Bool("list", false, "list available workloads")
+	verbose := fs.Bool("v", false, "print detailed counters")
+	asJSON := fs.Bool("json", false, "print the full report as JSON")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+	sample := fs.String("sample", "", "sample the machine every simulated interval (e.g. 1us, 500ns)")
+	sampleCSV := fs.String("sample-csv", "", "write the per-epoch samples as CSV to this file (requires -sample)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		fmt.Println(strings.Join(memsys.Workloads(), "\n"))
-		return
+		fmt.Fprintln(stdout, strings.Join(memsys.Workloads(), "\n"))
+		return 0
 	}
 	m, err := memsys.ParseModel(*model)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "memsim:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "memsim:", err)
+		return 2
 	}
 	scale, err := memsys.ParseScale(*scaleName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "memsim:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "memsim:", err)
+		return 2
 	}
-	if err := ccOnlyFlags(m, *pf, *nwa, *filter); err != nil {
-		fmt.Fprintln(os.Stderr, "memsim:", err)
-		os.Exit(2)
+	if _, err := memsys.NewWorkload(*name, scale); err != nil {
+		fmt.Fprintln(stderr, "memsim:", err)
+		return 2
 	}
 	if *sampleCSV != "" && *sample == "" {
-		fmt.Fprintln(os.Stderr, "memsim: -sample-csv requires -sample")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "memsim: -sample-csv requires -sample")
+		return 2
 	}
 
 	cfg := memsys.DefaultConfig(m, *cores)
@@ -152,6 +188,10 @@ func main() {
 	cfg.PrefetchDepth = *pf
 	cfg.NoWriteAllocate = *nwa
 	cfg.SnoopFilter = *filter
+	if err := flagErrors(cfg.Validate(), m); err != nil {
+		fmt.Fprintln(stderr, "memsim:", err)
+		return 2
+	}
 	var tr *memsys.Trace
 	if *traceOut != "" {
 		tr = memsys.NewTrace()
@@ -161,8 +201,8 @@ func main() {
 	if *sample != "" {
 		interval, perr := memsys.ParseTime(*sample)
 		if perr != nil {
-			fmt.Fprintln(os.Stderr, "memsim:", perr)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "memsim:", perr)
+			return 2
 		}
 		pr = memsys.NewProbe(interval)
 		cfg.Probe = pr
@@ -170,11 +210,11 @@ func main() {
 
 	rep, err := memsys.Run(cfg, *name, scale)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "memsim: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "memsim: %v\n", err)
+		return 1
 	}
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		out := any(rep)
 		if pr != nil {
@@ -184,28 +224,28 @@ func main() {
 			}{rep, pr}
 		}
 		if err := enc.Encode(out); err != nil {
-			fmt.Fprintf(os.Stderr, "memsim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "memsim: %v\n", err)
+			return 1
 		}
 	} else {
-		fmt.Print(rep)
+		fmt.Fprint(stdout, rep)
 		if pr != nil {
-			writeProbeText(pr)
+			writeProbeText(stdout, pr)
 		}
 	}
 	if pr != nil && *sampleCSV != "" {
 		f, ferr := os.Create(*sampleCSV)
 		if ferr != nil {
-			fmt.Fprintf(os.Stderr, "memsim: %v\n", ferr)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "memsim: %v\n", ferr)
+			return 1
 		}
 		if werr := pr.WriteCSV(f); werr != nil {
-			fmt.Fprintf(os.Stderr, "memsim: %v\n", werr)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "memsim: %v\n", werr)
+			return 1
 		}
 		f.Close()
 		if !*asJSON {
-			fmt.Printf("samples: %d epochs written to %s\n", pr.Epochs(), *sampleCSV)
+			fmt.Fprintf(stdout, "samples: %d epochs written to %s\n", pr.Epochs(), *sampleCSV)
 		}
 	}
 	if tr != nil {
@@ -214,34 +254,39 @@ func main() {
 		}
 		f, ferr := os.Create(*traceOut)
 		if ferr != nil {
-			fmt.Fprintf(os.Stderr, "memsim: %v\n", ferr)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "memsim: %v\n", ferr)
+			return 1
 		}
 		if werr := tr.WriteChrome(f); werr != nil {
-			fmt.Fprintf(os.Stderr, "memsim: %v\n", werr)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "memsim: %v\n", werr)
+			return 1
 		}
 		f.Close()
 		if !*asJSON {
-			fmt.Printf("trace: %d spans written to %s (%d dropped)\n", tr.Len(), *traceOut, tr.Dropped())
+			fmt.Fprintf(stdout, "trace: %d spans written to %s (%d dropped)\n", tr.Len(), *traceOut, tr.Dropped())
 		}
 	}
 	if *verbose {
-		fmt.Printf("L1:    %+v\n", rep.L1)
-		fmt.Printf("L2:    %+v\n", rep.L2)
-		fmt.Printf("DRAM:  %+v\n", rep.DRAM)
-		fmt.Printf("Net:   %+v\n", rep.Net)
-		fmt.Printf("Coher: rm=%d wm=%d upg=%d pfs=%d c2c=%d/%d wb=%d pf=%d/%d\n",
+		fmt.Fprintf(stdout, "L1:    %+v\n", rep.L1)
+		fmt.Fprintf(stdout, "L2:    %+v\n", rep.L2)
+		fmt.Fprintf(stdout, "DRAM:  %+v\n", rep.DRAM)
+		fmt.Fprintf(stdout, "Net:   %+v\n", rep.Net)
+		fmt.Fprintf(stdout, "Coher: rm=%d wm=%d upg=%d pfs=%d c2c=%d/%d wb=%d pf=%d/%d\n",
 			rep.ReadMisses, rep.WriteMisses, rep.Upgrades, rep.PFSMisses,
 			rep.C2CCluster, rep.C2CRemote, rep.L1WritebacksL2,
 			rep.PrefetchFills, rep.PrefetchUseless)
-		fmt.Printf("DMA:   cmds=%d get=%dB put=%dB ls=%d\n",
+		fmt.Fprintf(stdout, "DMA:   cmds=%d get=%dB put=%dB ls=%d\n",
 			rep.DMACommands, rep.DMAGetBytes, rep.DMAPutBytes, rep.LSAccesses)
-		fmt.Printf("Energy: core=%.3g i$=%.3g d$=%.3g lmem=%.3g net=%.3g l2=%.3g dram=%.3g J\n",
+		fmt.Fprintf(stdout, "Energy: core=%.3g i$=%.3g d$=%.3g lmem=%.3g net=%.3g l2=%.3g dram=%.3g J\n",
 			rep.Energy.Core, rep.Energy.ICache, rep.Energy.DCache, rep.Energy.LMem,
 			rep.Energy.Network, rep.Energy.L2, rep.Energy.DRAM)
-		fmt.Printf("Engine: dispatches=%d fastpath=%.1f%% heap<=%d srv pruned=%d\n",
+		fmt.Fprintf(stdout, "Engine: dispatches=%d fastpath=%.1f%% heap<=%d srv pruned=%d\n",
 			rep.Engine.Dispatches, 100*rep.Engine.FastPathRate(), rep.Engine.HeapMax,
 			rep.Servers.Pruned)
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
 	memsys "repro"
+	"repro/internal/fault"
 )
 
 func TestCCOnlyFlags(t *testing.T) {
@@ -35,6 +37,46 @@ func TestCCOnlyFlags(t *testing.T) {
 			t.Errorf("%v/pf=%d nwa=%v filter=%v: err = %v, want mention of %q",
 				tc.model, tc.pf, tc.nwa, tc.filter, err, tc.wantErr)
 		}
+	}
+}
+
+// TestExitCodes pins the CLI contract: 0 success, 1 runtime/simulation
+// failure, 2 flag or configuration validation error.
+func TestExitCodes(t *testing.T) {
+	fault.RegisterWorkloads()
+	cases := []struct {
+		name   string
+		args   []string
+		want   int
+		stderr string
+	}{
+		{"list", []string{"-list"}, 0, ""},
+		{"run ok", []string{"-w", "fir", "-cores", "2", "-scale", "small"}, 0, ""},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2, "flag provided but not defined"},
+		{"bad model", []string{"-model", "zzz"}, 2, "unknown model"},
+		{"bad scale", []string{"-scale", "huge"}, 2, "unknown scale"},
+		{"unknown workload", []string{"-w", "nope"}, 2, "unknown workload"},
+		{"cc-only flag", []string{"-w", "fir", "-model", "str", "-pf", "4"},
+			2, "-pf only applies to -model cc (got -model str)"},
+		{"all cc-only flags", []string{"-w", "fir", "-model", "str", "-pf", "4", "-nwa", "-snoopfilter"},
+			2, "-pf, -nwa, -snoopfilter only applies to -model cc (got -model str)"},
+		{"bad cores", []string{"-w", "fir", "-cores", "65"}, 2, "-cores must be in 1..64 (got 65)"},
+		{"sample-csv without sample", []string{"-w", "fir", "-sample-csv", "/tmp/x.csv"},
+			2, "-sample-csv requires -sample"},
+		{"verify failure", []string{"-w", fault.BadVerify, "-cores", "2"}, 1, "checksum mismatch"},
+		{"deadlock", []string{"-w", fault.Deadlock, "-cores", "4"}, 1, "deadlock"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(tc.args, &stdout, &stderr)
+			if got != tc.want {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tc.args, got, tc.want, stderr.String())
+			}
+			if tc.stderr != "" && !strings.Contains(stderr.String(), tc.stderr) {
+				t.Fatalf("run(%v) stderr %q, want mention of %q", tc.args, stderr.String(), tc.stderr)
+			}
+		})
 	}
 }
 

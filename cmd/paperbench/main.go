@@ -4,6 +4,7 @@
 // Usage:
 //
 //	paperbench [-scale small|default|paper] [-only table3,fig2,...] [-apps fir,depth] [-j N]
+//	           [-job-timeout 2m] [-retries 2] [-artifacts DIR] [-resume]
 //
 // The default scale runs the same workload shapes as the paper at
 // reduced dataset sizes; -scale paper uses paper-sized inputs (slow).
@@ -12,12 +13,25 @@
 // worker pool. Every simulation is an isolated deterministic engine and
 // results are collected in a fixed order, so table and figure output is
 // byte-identical at any -j; only the stderr progress interleaving varies.
+//
+// A failing simulation does not kill the campaign: its cells render as
+// ERR, the figure gains a "N ok / M failed" summary line, and the
+// manifest records the typed failure with the engine's state dump.
+// -resume replays an existing manifest.jsonl (requires -artifacts),
+// seeding every previously successful run so only missing and failed
+// jobs simulate again.
+//
+// Exit codes (shared with memsim): 0 success, 1 runtime/IO failure,
+// 2 flag or configuration validation error, 3 grid completed partially
+// (at least one cell failed).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -60,11 +74,18 @@ type manifestWriter struct {
 	enc *json.Encoder
 }
 
-func newManifestWriter(dir string, scale string) (*manifestWriter, error) {
+// newManifestWriter opens dir/manifest.jsonl and writes this
+// invocation's header. With resume the journal is appended to, keeping
+// the prior campaign's records; otherwise it is truncated.
+func newManifestWriter(dir string, scale string, resume bool) (*manifestWriter, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	f, err := os.Create(filepath.Join(dir, "manifest.jsonl"))
+	mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	if resume {
+		mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "manifest.jsonl"), mode, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -98,15 +119,61 @@ func (m *manifestWriter) record(rec bench.Record) {
 
 func (m *manifestWriter) close() error { return m.f.Close() }
 
-func main() {
-	scaleFlag := flag.String("scale", "default", "dataset scale: small, default or paper")
-	onlyFlag := flag.String("only", "", "comma-separated subset: table2,table3,fig2,...,fig10")
-	appsFlag := flag.String("apps", "", "restrict fig2 to these comma-separated apps")
-	quiet := flag.Bool("q", false, "suppress per-run progress lines")
-	csvDir := flag.String("csv", "", "also write each figure's series as CSV files into this directory")
-	artifactsDir := flag.String("artifacts", "", "write a machine-readable manifest.jsonl (one record per simulation) into this directory")
-	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (output is identical at any -j)")
-	flag.Parse()
+// seedFromManifest replays a previous campaign's journal into the
+// runner's memo table: every "run" record that completed cleanly is
+// seeded (first record wins), so the resumed campaign simulates only
+// missing and failed jobs. A truncated trailing line — a campaign
+// killed mid-write — ends the replay with a warning rather than an
+// error, matching append-only journal semantics.
+func seedFromManifest(path string, r *bench.Runner, stderr io.Writer) (seeded, failed int, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	for {
+		var rec manifestRun
+		if derr := dec.Decode(&rec); derr == io.EOF {
+			break
+		} else if derr != nil {
+			fmt.Fprintf(stderr, "# paperbench: resume: stopping replay at malformed record: %v\n", derr)
+			break
+		}
+		if rec.Kind != "run" {
+			continue
+		}
+		if rec.Err != "" || rec.Report == nil {
+			failed++
+			continue
+		}
+		if r.Seed(rec.Cfg, rec.Name, rec.Report) {
+			seeded++
+		}
+	}
+	return seeded, failed, nil
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scaleFlag := fs.String("scale", "default", "dataset scale: small, default or paper")
+	onlyFlag := fs.String("only", "", "comma-separated subset: table2,table3,fig2,...,fig10")
+	appsFlag := fs.String("apps", "", "restrict fig2 to these comma-separated apps")
+	quiet := fs.Bool("q", false, "suppress per-run progress lines")
+	csvDir := fs.String("csv", "", "also write each figure's series as CSV files into this directory")
+	artifactsDir := fs.String("artifacts", "", "write a machine-readable manifest.jsonl (one record per simulation) into this directory")
+	jobs := fs.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (output is identical at any -j)")
+	jobTimeout := fs.Duration("job-timeout", 0, "wall-clock watchdog per simulation (0 = off); timed-out jobs fail with a progress dump")
+	retries := fs.Int("retries", 0, "retry budget per job for retryable failures (timeouts, panics)")
+	resume := fs.Bool("resume", false, "seed completed jobs from an existing manifest.jsonl (requires -artifacts) and re-run only missing/failed ones")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var scale workload.Scale
 	switch *scaleFlag {
@@ -117,8 +184,20 @@ func main() {
 	case "paper":
 		scale = workload.ScalePaper
 	default:
-		fmt.Fprintf(os.Stderr, "paperbench: unknown scale %q\n", *scaleFlag)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "paperbench: unknown scale %q\n", *scaleFlag)
+		return 2
+	}
+	if *jobTimeout < 0 {
+		fmt.Fprintln(stderr, "paperbench: -job-timeout must be non-negative")
+		return 2
+	}
+	if *retries < 0 {
+		fmt.Fprintln(stderr, "paperbench: -retries must be non-negative")
+		return 2
+	}
+	if *resume && *artifactsDir == "" {
+		fmt.Fprintln(stderr, "paperbench: -resume requires -artifacts (the manifest.jsonl to replay)")
+		return 2
 	}
 
 	want := map[string]bool{}
@@ -132,22 +211,29 @@ func main() {
 	var apps []string
 	if *appsFlag != "" {
 		apps = strings.Split(*appsFlag, ",")
+		for _, app := range apps {
+			if _, err := workload.Get(app); err != nil {
+				fmt.Fprintf(stderr, "paperbench: -apps: %v\n", err)
+				return 2
+			}
+		}
 	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "paperbench: %v\n", err)
+			return 1
 		}
 	}
+	var ioFail error
 	writeCSV := func(name string, tb *stats.Table) {
-		if *csvDir == "" {
+		if *csvDir == "" || ioFail != nil {
 			return
 		}
 		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
-			os.Exit(1)
+			ioFail = err
+			return
 		}
 		tb.WriteCSV(f)
 		f.Close()
@@ -155,6 +241,10 @@ func main() {
 	barsCSV := func(name string, bars []bench.Bar) {
 		tb := stats.NewTable("", "config", "useful", "sync", "load", "store", "total")
 		for _, b := range bars {
+			if b.Err {
+				tb.Row(b.Label, "ERR", "ERR", "ERR", "ERR", "ERR")
+				continue
+			}
 			tb.Row(b.Label, b.Useful, b.Sync, b.Load, b.Store, b.Total)
 		}
 		writeCSV(name, tb)
@@ -162,6 +252,10 @@ func main() {
 	trafficCSV := func(name string, bars []bench.TrafficBar) {
 		tb := stats.NewTable("", "config", "read", "write")
 		for _, b := range bars {
+			if b.Err {
+				tb.Row(b.Label, "ERR", "ERR")
+				continue
+			}
 			tb.Row(b.Label, b.Read, b.Write)
 		}
 		writeCSV(name, tb)
@@ -169,6 +263,10 @@ func main() {
 	energyCSV := func(name string, bars []bench.EnergyBar) {
 		tb := stats.NewTable("", "config", "core", "icache", "dcache", "lmem", "net", "l2", "dram")
 		for _, b := range bars {
+			if b.Err {
+				tb.Row(b.Label, "ERR", "ERR", "ERR", "ERR", "ERR", "ERR", "ERR")
+				continue
+			}
 			tb.Row(b.Label, b.Core, b.ICache, b.DCache, b.LMem, b.Net, b.L2, b.DRAM)
 		}
 		writeCSV(name, tb)
@@ -176,133 +274,171 @@ func main() {
 
 	r := bench.NewRunner(scale)
 	r.Workers = *jobs
+	r.JobTimeout = *jobTimeout
+	r.Retries = *retries
 	if !*quiet {
-		r.Progress = os.Stderr
+		r.Progress = stderr
+	}
+	if *resume {
+		seeded, prevFailed, err := seedFromManifest(filepath.Join(*artifactsDir, "manifest.jsonl"), r, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "paperbench: resume: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "# paperbench: resume: %d completed jobs seeded, %d prior failures will re-run\n",
+			seeded, prevFailed)
 	}
 	var manifest *manifestWriter
 	if *artifactsDir != "" {
 		var err error
-		if manifest, err = newManifestWriter(*artifactsDir, *scaleFlag); err != nil {
-			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
-			os.Exit(1)
+		if manifest, err = newManifestWriter(*artifactsDir, *scaleFlag, *resume); err != nil {
+			fmt.Fprintf(stderr, "paperbench: %v\n", err)
+			return 1
 		}
 		r.OnRecord = manifest.record
 	}
-	out := os.Stdout
+	out := stdout
 	start := time.Now()
-	fail := func(what string, err error) {
-		fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", what, err)
-		os.Exit(1)
+
+	// check lets a partially-failed grid keep the campaign going: ERR
+	// cells and the summary line are already rendered, the exit code
+	// becomes 3. Any other error is fatal.
+	partial := false
+	fatal := false
+	check := func(what string, err error) bool {
+		if err == nil {
+			return true
+		}
+		var gerr *bench.GridError
+		if errors.As(err, &gerr) {
+			fmt.Fprintf(stderr, "# paperbench: %s: %v\n", what, gerr)
+			partial = true
+			return true
+		}
+		fmt.Fprintf(stderr, "paperbench: %s: %v\n", what, err)
+		fatal = true
+		return false
 	}
 
 	if sel("table2") {
 		bench.Table2(out)
 		fmt.Fprintln(out)
 	}
-	if sel("table3") {
+	if sel("table3") && !fatal {
 		rows, err := r.Table3(out)
-		if err != nil {
-			fail("table3", err)
+		if check("table3", err) {
+			tb := stats.NewTable("", "app", "l1miss", "l2miss", "instrPerL1Miss", "cycPerL2Miss", "offchipMBps")
+			for _, row := range rows {
+				if row.Err {
+					tb.Row(row.App, "ERR", "ERR", "ERR", "ERR", "ERR")
+					continue
+				}
+				tb.Row(row.App, row.L1MissRate, row.L2MissRate, row.InstrPerL1Miss, row.CyclesPerL2, row.OffChipMBps)
+			}
+			writeCSV("table3", tb)
+			fmt.Fprintln(out)
 		}
-		tb := stats.NewTable("", "app", "l1miss", "l2miss", "instrPerL1Miss", "cycPerL2Miss", "offchipMBps")
-		for _, row := range rows {
-			tb.Row(row.App, row.L1MissRate, row.L2MissRate, row.InstrPerL1Miss, row.CyclesPerL2, row.OffChipMBps)
-		}
-		writeCSV("table3", tb)
-		fmt.Fprintln(out)
 	}
-	if sel("fig2") {
+	if sel("fig2") && !fatal {
 		series, err := r.Figure2(out, apps)
-		if err != nil {
-			fail("fig2", err)
+		if check("fig2", err) {
+			for _, app := range bench.SortedKeys(series) {
+				barsCSV("fig2-"+app, series[app])
+			}
+			fmt.Fprintln(out)
 		}
-		for _, app := range bench.SortedKeys(series) {
-			barsCSV("fig2-"+app, series[app])
-		}
-		fmt.Fprintln(out)
 	}
-	if sel("fig3") {
+	if sel("fig3") && !fatal {
 		series, err := r.Figure3(out)
-		if err != nil {
-			fail("fig3", err)
+		if check("fig3", err) {
+			for _, app := range bench.SortedKeys(series) {
+				trafficCSV("fig3-"+app, series[app])
+			}
+			fmt.Fprintln(out)
 		}
-		for _, app := range bench.SortedKeys(series) {
-			trafficCSV("fig3-"+app, series[app])
-		}
-		fmt.Fprintln(out)
 	}
-	if sel("fig4") {
+	if sel("fig4") && !fatal {
 		series, err := r.Figure4(out)
-		if err != nil {
-			fail("fig4", err)
+		if check("fig4", err) {
+			for _, app := range bench.SortedKeys(series) {
+				energyCSV("fig4-"+app, series[app])
+			}
+			fmt.Fprintln(out)
 		}
-		for _, app := range bench.SortedKeys(series) {
-			energyCSV("fig4-"+app, series[app])
-		}
-		fmt.Fprintln(out)
 	}
-	if sel("fig5") {
+	if sel("fig5") && !fatal {
 		series, err := r.Figure5(out)
-		if err != nil {
-			fail("fig5", err)
+		if check("fig5", err) {
+			for _, app := range bench.SortedKeys(series) {
+				barsCSV("fig5-"+app, series[app])
+			}
+			fmt.Fprintln(out)
 		}
-		for _, app := range bench.SortedKeys(series) {
-			barsCSV("fig5-"+app, series[app])
-		}
-		fmt.Fprintln(out)
 	}
-	if sel("fig6") {
+	if sel("fig6") && !fatal {
 		bars, err := r.Figure6(out)
-		if err != nil {
-			fail("fig6", err)
+		if check("fig6", err) {
+			barsCSV("fig6-fir", bars)
+			fmt.Fprintln(out)
 		}
-		barsCSV("fig6-fir", bars)
-		fmt.Fprintln(out)
 	}
-	if sel("fig7") {
+	if sel("fig7") && !fatal {
 		series, err := r.Figure7(out)
-		if err != nil {
-			fail("fig7", err)
+		if check("fig7", err) {
+			for _, app := range bench.SortedKeys(series) {
+				barsCSV("fig7-"+app, series[app])
+			}
+			fmt.Fprintln(out)
 		}
-		for _, app := range bench.SortedKeys(series) {
-			barsCSV("fig7-"+app, series[app])
-		}
-		fmt.Fprintln(out)
 	}
-	if sel("fig8") {
+	if sel("fig8") && !fatal {
 		traffic, energy, err := r.Figure8(out)
-		if err != nil {
-			fail("fig8", err)
+		if check("fig8", err) {
+			for _, app := range bench.SortedKeys(traffic) {
+				trafficCSV("fig8-"+app, traffic[app])
+			}
+			energyCSV("fig8-fir-energy", energy)
+			fmt.Fprintln(out)
 		}
-		for _, app := range bench.SortedKeys(traffic) {
-			trafficCSV("fig8-"+app, traffic[app])
-		}
-		energyCSV("fig8-fir-energy", energy)
-		fmt.Fprintln(out)
 	}
-	if sel("fig9") {
+	if sel("fig9") && !fatal {
 		bars, traffic, err := r.Figure9(out)
-		if err != nil {
-			fail("fig9", err)
+		if check("fig9", err) {
+			barsCSV("fig9-mpeg2-time", bars)
+			trafficCSV("fig9-mpeg2-traffic", traffic)
+			fmt.Fprintln(out)
 		}
-		barsCSV("fig9-mpeg2-time", bars)
-		trafficCSV("fig9-mpeg2-traffic", traffic)
-		fmt.Fprintln(out)
 	}
-	if sel("fig10") {
+	if sel("fig10") && !fatal {
 		bars, err := r.Figure10(out)
-		if err != nil {
-			fail("fig10", err)
+		if check("fig10", err) {
+			barsCSV("fig10-art", bars)
+			fmt.Fprintln(out)
 		}
-		barsCSV("fig10-art", bars)
-		fmt.Fprintln(out)
 	}
 	r.Close() // drain pending progress lines before the summary
 	if manifest != nil {
 		if err := manifest.close(); err != nil {
-			fmt.Fprintf(os.Stderr, "paperbench: manifest: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "paperbench: manifest: %v\n", err)
+			return 1
 		}
 	}
-	fmt.Fprintf(os.Stderr, "# paperbench finished in %v\n", time.Since(start).Round(time.Millisecond))
+	if ioFail != nil {
+		fmt.Fprintf(stderr, "paperbench: csv: %v\n", ioFail)
+		return 1
+	}
+	fmt.Fprintf(stderr, "# paperbench finished in %v\n", time.Since(start).Round(time.Millisecond))
+	if fatal {
+		return 1
+	}
+	if partial {
+		ok, failed := r.Outcome()
+		fmt.Fprintf(stderr, "# paperbench: partial results: %d ok / %d failed\n", ok, failed)
+		return 3
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

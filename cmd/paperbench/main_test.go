@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+func TestMain(m *testing.M) {
+	fault.RegisterWorkloads()
+	os.Exit(m.Run())
+}
+
+// TestExitCodes pins the CLI contract: 0 success, 2 flag/config
+// validation error, 3 partial grid.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		want   int
+		stderr string
+	}{
+		{"table2 only", []string{"-only", "table2", "-q"}, 0, ""},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2, "flag provided but not defined"},
+		{"bad scale", []string{"-scale", "huge"}, 2, "unknown scale"},
+		{"negative retries", []string{"-retries", "-1"}, 2, "-retries must be non-negative"},
+		{"negative timeout", []string{"-job-timeout", "-5s"}, 2, "-job-timeout must be non-negative"},
+		{"resume without artifacts", []string{"-resume"}, 2, "-resume requires -artifacts"},
+		{"unknown app", []string{"-only", "fig2", "-apps", "nope"}, 2, "unknown workload"},
+		{"partial grid", []string{"-scale", "small", "-only", "fig2", "-apps", fault.Panic, "-q"},
+			3, "# paperbench: partial results: 1 ok / 8 failed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(tc.args, &stdout, &stderr)
+			if got != tc.want {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tc.args, got, tc.want, stderr.String())
+			}
+			if tc.stderr != "" && !strings.Contains(stderr.String(), tc.stderr) {
+				t.Fatalf("run(%v) stderr %q, want mention of %q", tc.args, stderr.String(), tc.stderr)
+			}
+		})
+	}
+}
+
+// countRuns tallies manifest.jsonl records: fresh simulations and how
+// many of them failed.
+func countRuns(t *testing.T, path string) (runs, failed int) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	for sc.Scan() {
+		var rec struct {
+			Kind string `json:"kind"`
+			Err  string `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad manifest line %q: %v", sc.Text(), err)
+		}
+		if rec.Kind != "run" {
+			continue
+		}
+		runs++
+		if rec.Err != "" {
+			failed++
+		}
+	}
+	return runs, failed
+}
+
+// TestPartialGridRendersErrCells proves graceful degradation at the CLI:
+// a grid with injected panics still prints the figure, marks the dead
+// cells ERR, and records the failures in the manifest with their kind
+// and engine state.
+func TestPartialGridRendersErrCells(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-scale", "small", "-only", "fig2", "-apps", fault.Panic, "-q", "-artifacts", dir}, &stdout, &stderr)
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3 (stderr: %s)", code, stderr.String())
+	}
+	text := stdout.String()
+	if !strings.Contains(text, "ERR") {
+		t.Fatal("stdout has no ERR cells")
+	}
+	if !strings.Contains(text, "# Figure 2: 1 ok / 8 failed") {
+		t.Fatalf("missing grid summary in stdout:\n%s", text)
+	}
+	runs, failed := countRuns(t, filepath.Join(dir, "manifest.jsonl"))
+	if runs != 9 || failed != 8 {
+		t.Fatalf("manifest has %d runs / %d failed, want 9/8", runs, failed)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"error_kind":"panic"`) {
+		t.Fatal("manifest records lack the typed error kind")
+	}
+	if !strings.Contains(string(raw), `"engine_state"`) {
+		t.Fatal("failed records lack the engine-state dump")
+	}
+}
+
+// TestResumeSkipsCompletedAndRerunsFailed proves resume end to end: a
+// second invocation seeds the completed baseline from the journal and
+// re-simulates only the failed cells, with byte-identical stdout.
+func TestResumeSkipsCompletedAndRerunsFailed(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-scale", "small", "-only", "fig2", "-apps", fault.Panic, "-q", "-artifacts", dir}
+	var out1, err1 bytes.Buffer
+	if code := run(args, &out1, &err1); code != 3 {
+		t.Fatalf("first run exit = %d, want 3 (stderr: %s)", code, err1.String())
+	}
+	var out2, err2 bytes.Buffer
+	if code := run(append(args, "-resume"), &out2, &err2); code != 3 {
+		t.Fatalf("resumed run exit = %d, want 3 (stderr: %s)", code, err2.String())
+	}
+	if !strings.Contains(err2.String(), "resume: 1 completed jobs seeded, 8 prior failures will re-run") {
+		t.Fatalf("resume summary missing from stderr: %s", err2.String())
+	}
+	// 9 fresh runs in campaign one; only the 8 failures re-ran in two.
+	runs, failed := countRuns(t, filepath.Join(dir, "manifest.jsonl"))
+	if runs != 17 || failed != 16 {
+		t.Fatalf("manifest has %d runs / %d failed after resume, want 17/16", runs, failed)
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("resumed stdout differs:\n--- first\n%s\n--- resumed\n%s", out1.String(), out2.String())
+	}
+}
+
+// TestResumeOfCleanCampaignSimulatesNothing: with every job seeded from
+// the journal, the resumed run is pure replay — zero fresh simulations,
+// exit 0, byte-identical stdout.
+func TestResumeOfCleanCampaignSimulatesNothing(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-scale", "small", "-only", "fig2", "-apps", "fir", "-q", "-artifacts", dir}
+	var out1, err1 bytes.Buffer
+	if code := run(args, &out1, &err1); code != 0 {
+		t.Fatalf("first run exit = %d (stderr: %s)", code, err1.String())
+	}
+	runsBefore, _ := countRuns(t, filepath.Join(dir, "manifest.jsonl"))
+	if runsBefore != 9 {
+		t.Fatalf("first campaign ran %d jobs, want 9", runsBefore)
+	}
+	var out2, err2 bytes.Buffer
+	if code := run(append(args, "-resume"), &out2, &err2); code != 0 {
+		t.Fatalf("resumed run exit = %d (stderr: %s)", code, err2.String())
+	}
+	runsAfter, _ := countRuns(t, filepath.Join(dir, "manifest.jsonl"))
+	if runsAfter != runsBefore {
+		t.Fatalf("resume simulated %d fresh jobs, want 0", runsAfter-runsBefore)
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("resumed stdout differs from the original campaign")
+	}
+}

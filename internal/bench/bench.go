@@ -52,13 +52,20 @@ func keyOf(cfg core.Config, name string) cfgKey {
 // artifacts (paperbench's manifest.jsonl): the full configuration, the
 // measurement report, and how long the simulation took on the host.
 // Memoized cache hits do not produce records — a record is one actual
-// engine run.
+// engine run; neither do results seeded from a previous manifest
+// (Runner.Seed).
 type Record struct {
 	Name   string       `json:"workload"`
 	Cfg    core.Config  `json:"config"`
 	Report *core.Report `json:"report,omitempty"`
 	Err    string       `json:"error,omitempty"`
 	HostNS int64        `json:"host_ns"`
+	// Failure diagnostics, present only when Err is set: the error kind,
+	// how many attempts were made (retries count), and the engine-state
+	// snapshot for failures the engine produced one for.
+	ErrKind     string           `json:"error_kind,omitempty"`
+	Attempts    int              `json:"attempts,omitempty"`
+	EngineState *sim.EngineState `json:"engine_state,omitempty"`
 }
 
 // flight is one simulation's singleflight slot: the first requester of a
@@ -95,6 +102,16 @@ type Runner struct {
 	// the callback must be safe for concurrent use. Set it before the
 	// first Run or Prefetch.
 	OnRecord func(Record)
+	// JobTimeout, when positive, arms a wall-clock watchdog per job: a
+	// simulation still running after this much host time is cancelled
+	// cooperatively (core.System.Abort) and fails with a timeout
+	// JobError carrying the engine's progress dump. Zero disables it.
+	JobTimeout time.Duration
+	// Retries is the per-job retry budget for retryable failures
+	// (timeouts and panics; see JobError.Retryable). Attempts are spaced
+	// by exponential backoff whose jitter derives from the deterministic
+	// job key, not the clock. Deterministic failures are never retried.
+	Retries int
 
 	initOnce sync.Once
 	sem      chan struct{} // worker slots
@@ -105,6 +122,8 @@ type Runner struct {
 	cache     map[cfgKey]*flight
 	scheduled int // simulations admitted to the pool (the "/88")
 	completed int // simulations finished (the "12")
+	okCount   int // fresh simulations that succeeded
+	failCount int // fresh simulations that failed (after retries)
 }
 
 // NewRunner returns a Runner at the given dataset scale.
@@ -160,34 +179,113 @@ func (r *Runner) admit(cfg core.Config, name string) (fl *flight, leader bool) {
 	return fl, true
 }
 
-// simulate runs one admitted job and publishes its result.
+// simulate runs one admitted job — with validation, watchdog and retry
+// budget — and publishes its result. Any failure becomes a structured
+// *JobError on the flight; nothing a job does can panic the pool.
 func (r *Runner) simulate(fl *flight, cfg core.Config, name string) {
 	defer close(fl.done)
-	var rep *core.Report
-	var err error
 	started := time.Now()
-	if f, ferr := workload.Get(name); ferr != nil {
-		err = ferr
-	} else if rep, err = core.New(cfg).Run(f(r.Scale)); err != nil {
-		rep, err = nil, fmt.Errorf("%s %v/%d: verification failed: %w", name, cfg.Model, cfg.Cores, err)
+	rep, jerr := r.attemptWithRetries(cfg, name)
+	fl.rep = rep
+	if jerr != nil {
+		fl.err = jerr // typed-nil guard: only assign a non-nil *JobError
 	}
-	fl.rep, fl.err = rep, err
 	if r.OnRecord != nil {
 		rec := Record{Name: name, Cfg: cfg, Report: rep, HostNS: time.Since(started).Nanoseconds()}
-		if err != nil {
-			rec.Err = err.Error()
+		if jerr != nil {
+			rec.Err = jerr.Error()
+			rec.ErrKind = string(jerr.Kind)
+			rec.Attempts = jerr.Attempts
+			rec.EngineState = jerr.State
 		}
 		r.OnRecord(rec)
 	}
 
 	r.mu.Lock()
 	r.completed++
+	if jerr != nil {
+		r.failCount++
+	} else {
+		r.okCount++
+	}
 	done, total := r.completed, r.scheduled
 	r.mu.Unlock()
 	if r.progCh != nil {
-		r.progCh <- fmt.Sprintf("# [%d/%d] %-14s %v %2d cores @%4d MHz bw=%d pf=%d\n",
-			done, total, name, cfg.Model, cfg.Cores, cfg.CoreMHz, cfg.DRAMBandwidthMBps, cfg.PrefetchDepth)
+		status := ""
+		if jerr != nil {
+			status = fmt.Sprintf(" FAILED (%s)", jerr.Kind)
+		}
+		r.progCh <- fmt.Sprintf("# [%d/%d] %-14s %v %2d cores @%4d MHz bw=%d pf=%d%s\n",
+			done, total, name, cfg.Model, cfg.Cores, cfg.CoreMHz, cfg.DRAMBandwidthMBps, cfg.PrefetchDepth, status)
 	}
+}
+
+// attemptWithRetries drives the retry loop: one attempt, plus up to
+// Retries more for retryable failures, spaced by deterministic backoff.
+func (r *Runner) attemptWithRetries(cfg core.Config, name string) (*core.Report, *JobError) {
+	for attempt := 0; ; attempt++ {
+		rep, jerr := r.attempt(cfg, name)
+		if jerr == nil {
+			return rep, nil
+		}
+		jerr.Attempts = attempt + 1
+		if attempt >= r.Retries || !jerr.Retryable() {
+			return nil, jerr
+		}
+		time.Sleep(backoffDelay(name, cfg, attempt))
+	}
+}
+
+// attempt runs the job once. Validation happens before core.New, so a
+// bad configuration fails typed and synchronously — no goroutine ever
+// spawns for it; the watchdog (JobTimeout) covers the simulation run.
+func (r *Runner) attempt(cfg core.Config, name string) (*core.Report, *JobError) {
+	f, ferr := workload.Get(name)
+	if ferr != nil {
+		return nil, &JobError{Name: name, Cfg: cfg, Kind: ErrWorkload, Attempts: 1, Err: ferr}
+	}
+	if verr := keyOf(cfg, name).cfg.Validate(); verr != nil {
+		return nil, &JobError{Name: name, Cfg: cfg, Kind: ErrConfig, Attempts: 1, Err: verr}
+	}
+	sys := core.New(cfg)
+	if r.JobTimeout > 0 {
+		watchdog := time.AfterFunc(r.JobTimeout, func() {
+			sys.Abort(fmt.Sprintf("watchdog: job exceeded %v wall clock", r.JobTimeout))
+		})
+		defer watchdog.Stop()
+	}
+	rep, err := sys.Run(f(r.Scale))
+	if err != nil {
+		return nil, classify(name, cfg, err)
+	}
+	return rep, nil
+}
+
+// Seed inserts an already-known result into the memo table (paperbench
+// -resume replays successful manifest records through it). Seeded keys
+// count as cache hits: they produce no Record, no progress line, and do
+// not move the ok/failed counters. Returns false when the key is
+// already present (first writer wins). Call before Run/Prefetch.
+func (r *Runner) Seed(cfg core.Config, name string, rep *core.Report) bool {
+	r.init()
+	key := keyOf(cfg, name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.cache[key]; ok {
+		return false
+	}
+	fl := &flight{done: make(chan struct{}), rep: rep}
+	close(fl.done)
+	r.cache[key] = fl
+	return true
+}
+
+// Outcome returns how many fresh simulations succeeded and failed so
+// far. Seeded and memoized results are not counted.
+func (r *Runner) Outcome() (ok, failed int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.okCount, r.failCount
 }
 
 // Prefetch fans jobs out to the worker pool without blocking. Keys
@@ -237,11 +335,18 @@ func (r *Runner) baseline(name string) (*core.Report, error) {
 }
 
 // Bar is one stacked execution-time bar, normalized to a baseline run.
+// Err marks a cell whose simulation failed: it renders as ERR in the
+// table and is omitted from the chart, so one bad configuration costs
+// one marker, not the figure.
 type Bar struct {
 	Label                     string
 	Useful, Sync, Load, Store float64
 	Total                     float64
+	Err                       bool
 }
+
+// errBar is the placeholder for a failed execution-time cell.
+func errBar(label string) Bar { return Bar{Label: label, Err: true} }
 
 // normBar converts a report into a baseline-normalized stacked bar. The
 // stack heights follow Figure 2: per-core average time in each bucket
@@ -263,6 +368,10 @@ func writeBars(w io.Writer, title string, bars []Bar) {
 	tb := stats.NewTable(title, "config", "useful", "sync", "load", "store", "total")
 	ch := stats.Chart{SegNames: []string{"useful", "sync", "load", "store"}, Max: 1.0}
 	for _, b := range bars {
+		if b.Err {
+			tb.Row(b.Label, "ERR", "ERR", "ERR", "ERR", "ERR")
+			continue
+		}
 		tb.Row(b.Label, b.Useful, b.Sync, b.Load, b.Store, b.Total)
 		ch.Bars = append(ch.Bars, stats.StackedBar{
 			Label:    b.Label,
@@ -274,10 +383,15 @@ func writeBars(w io.Writer, title string, bars []Bar) {
 }
 
 // TrafficBar is one off-chip-traffic bar, normalized to a baseline.
+// Err marks a failed cell, as on Bar.
 type TrafficBar struct {
 	Label       string
 	Read, Write float64
+	Err         bool
 }
+
+// errTraffic is the placeholder for a failed traffic cell.
+func errTraffic(label string) TrafficBar { return TrafficBar{Label: label, Err: true} }
 
 func normTraffic(label string, rep, base *core.Report) TrafficBar {
 	bt := float64(base.DRAM.TotalBytes())
@@ -295,6 +409,10 @@ func writeTraffic(w io.Writer, title string, bars []TrafficBar) {
 	tb := stats.NewTable(title, "config", "read", "write", "total")
 	ch := stats.Chart{SegNames: []string{"read", "write"}, Max: 1.0}
 	for _, b := range bars {
+		if b.Err {
+			tb.Row(b.Label, "ERR", "ERR", "ERR")
+			continue
+		}
 		tb.Row(b.Label, b.Read, b.Write, b.Read+b.Write)
 		ch.Bars = append(ch.Bars, stats.StackedBar{Label: b.Label, Segments: []float64{b.Read, b.Write}})
 	}
@@ -303,12 +421,17 @@ func writeTraffic(w io.Writer, title string, bars []TrafficBar) {
 }
 
 // EnergyBar is one stacked energy bar (Figure 4's components),
-// normalized to a baseline run's total energy.
+// normalized to a baseline run's total energy. Err marks a failed cell,
+// as on Bar.
 type EnergyBar struct {
 	Label                                     string
 	Core, ICache, DCache, LMem, Net, L2, DRAM float64
 	Total                                     float64
+	Err                                       bool
 }
+
+// errEnergy is the placeholder for a failed energy cell.
+func errEnergy(label string) EnergyBar { return EnergyBar{Label: label, Err: true} }
 
 func normEnergy(label string, rep, base *core.Report) EnergyBar {
 	bt := base.Energy.Total()
@@ -330,6 +453,10 @@ func writeEnergy(w io.Writer, title string, bars []EnergyBar) {
 	tb := stats.NewTable(title, "config", "core", "i$", "d$", "lmem", "net", "l2", "dram", "total")
 	ch := stats.Chart{SegNames: []string{"core", "i$", "d$", "lmem", "net", "l2", "dram"}, Max: 1.0}
 	for _, b := range bars {
+		if b.Err {
+			tb.Row(b.Label, "ERR", "ERR", "ERR", "ERR", "ERR", "ERR", "ERR", "ERR")
+			continue
+		}
 		tb.Row(b.Label, b.Core, b.ICache, b.DCache, b.LMem, b.Net, b.L2, b.DRAM, b.Total)
 		ch.Bars = append(ch.Bars, stats.StackedBar{
 			Label:    b.Label,
@@ -363,7 +490,8 @@ func Table2(w io.Writer) {
 	}
 }
 
-// Table3Row is one application's memory characterization.
+// Table3Row is one application's memory characterization. Err marks an
+// application whose measurement run failed; its row renders as ERR.
 type Table3Row struct {
 	App            string
 	L1MissRate     float64
@@ -371,21 +499,26 @@ type Table3Row struct {
 	InstrPerL1Miss float64
 	CyclesPerL2    float64
 	OffChipMBps    float64
+	Err            bool
 }
 
 // Table3 measures the memory characteristics of all applications on the
 // cache-based model with 16 cores at 800 MHz, as the paper's Table 3.
+// Failed applications keep their row (marked ERR); the returned error is
+// a *GridError summarizing them, nil when every run succeeded.
 func (r *Runner) Table3(w io.Writer) ([]Table3Row, error) {
 	var jobs []Job
 	for _, app := range AllApps {
 		jobs = append(jobs, Job{core.DefaultConfig(core.CC, 16), app})
 	}
 	r.Prefetch(jobs)
+	g := &gridTracker{}
 	var rows []Table3Row
 	for _, app := range AllApps {
 		rep, err := r.Run(core.DefaultConfig(core.CC, 16), app)
-		if err != nil {
-			return nil, err
+		if !g.cell(err) {
+			rows = append(rows, Table3Row{App: app, Err: true})
+			continue
 		}
 		rows = append(rows, Table3Row{
 			App:            app,
@@ -400,11 +533,16 @@ func (r *Runner) Table3(w io.Writer) ([]Table3Row, error) {
 	fmt.Fprintf(w, "  %-14s %10s %10s %12s %12s %12s\n",
 		"app", "L1D-miss%", "L2D-miss%", "instr/L1miss", "cyc/L2miss", "offchip MB/s")
 	for _, row := range rows {
+		if row.Err {
+			fmt.Fprintf(w, "  %-14s %10s %10s %12s %12s %12s\n",
+				row.App, "ERR", "ERR", "ERR", "ERR", "ERR")
+			continue
+		}
 		fmt.Fprintf(w, "  %-14s %10.2f %10.1f %12.1f %12.1f %12.1f\n",
 			row.App, row.L1MissRate*100, row.L2MissRate*100,
 			row.InstrPerL1Miss, row.CyclesPerL2, row.OffChipMBps)
 	}
-	return rows, nil
+	return rows, g.finish(w, "Table 3")
 }
 
 // coreCounts are Figure 2's x axis.
@@ -426,26 +564,30 @@ func (r *Runner) Figure2(w io.Writer, apps []string) (map[string][]Bar, error) {
 		}
 	}
 	r.Prefetch(jobs)
+	g := &gridTracker{}
 	out := map[string][]Bar{}
 	for _, app := range apps {
 		base, err := r.baseline(app)
-		if err != nil {
-			return nil, err
+		if !g.cell(err) {
+			fmt.Fprintf(w, "# Figure 2 [%s]: baseline failed, figure skipped: %v\n", app, err)
+			continue
 		}
 		var bars []Bar
 		for _, n := range coreCounts {
 			for _, model := range []core.Model{core.CC, core.STR} {
+				label := fmt.Sprintf("%s-%d", model, n)
 				rep, err := r.Run(core.DefaultConfig(model, n), app)
-				if err != nil {
-					return nil, err
+				if !g.cell(err) {
+					bars = append(bars, errBar(label))
+					continue
 				}
-				bars = append(bars, normBar(fmt.Sprintf("%s-%d", model, n), rep, base))
+				bars = append(bars, normBar(label, rep, base))
 			}
 		}
 		out[app] = bars
 		writeBars(w, fmt.Sprintf("Figure 2 [%s]: normalized execution time", app), bars)
 	}
-	return out, nil
+	return out, g.finish(w, "Figure 2")
 }
 
 // fig34Apps are the applications Figures 3 and 4 report.
@@ -455,48 +597,54 @@ var fig34Apps = []string{"fem", "mpeg2", "fir", "bitonicsort"}
 // caching core.
 func (r *Runner) Figure3(w io.Writer) (map[string][]TrafficBar, error) {
 	r.Prefetch(fig34Jobs())
+	g := &gridTracker{}
 	out := map[string][]TrafficBar{}
 	for _, app := range fig34Apps {
 		base, err := r.baseline(app)
-		if err != nil {
-			return nil, err
+		if !g.cell(err) {
+			fmt.Fprintf(w, "# Figure 3 [%s]: baseline failed, figure skipped: %v\n", app, err)
+			continue
 		}
 		var bars []TrafficBar
 		for _, model := range []core.Model{core.CC, core.STR} {
 			rep, err := r.Run(core.DefaultConfig(model, 16), app)
-			if err != nil {
-				return nil, err
+			if !g.cell(err) {
+				bars = append(bars, errTraffic(model.String()))
+				continue
 			}
 			bars = append(bars, normTraffic(model.String(), rep, base))
 		}
 		out[app] = bars
 		writeTraffic(w, fmt.Sprintf("Figure 3 [%s]: normalized off-chip traffic (16 cores)", app), bars)
 	}
-	return out, nil
+	return out, g.finish(w, "Figure 3")
 }
 
 // Figure4 produces the energy comparison at 16 cores, normalized to one
 // caching core.
 func (r *Runner) Figure4(w io.Writer) (map[string][]EnergyBar, error) {
 	r.Prefetch(fig34Jobs())
+	g := &gridTracker{}
 	out := map[string][]EnergyBar{}
 	for _, app := range fig34Apps {
 		base, err := r.baseline(app)
-		if err != nil {
-			return nil, err
+		if !g.cell(err) {
+			fmt.Fprintf(w, "# Figure 4 [%s]: baseline failed, figure skipped: %v\n", app, err)
+			continue
 		}
 		var bars []EnergyBar
 		for _, model := range []core.Model{core.CC, core.STR} {
 			rep, err := r.Run(core.DefaultConfig(model, 16), app)
-			if err != nil {
-				return nil, err
+			if !g.cell(err) {
+				bars = append(bars, errEnergy(model.String()))
+				continue
 			}
 			bars = append(bars, normEnergy(model.String(), rep, base))
 		}
 		out[app] = bars
 		writeEnergy(w, fmt.Sprintf("Figure 4 [%s]: normalized energy (16 cores)", app), bars)
 	}
-	return out, nil
+	return out, g.finish(w, "Figure 4")
 }
 
 // fig34Jobs is the shared grid of Figures 3 and 4: both models at 16
@@ -532,28 +680,32 @@ func (r *Runner) Figure5(w io.Writer) (map[string][]Bar, error) {
 		}
 	}
 	r.Prefetch(jobs)
+	g := &gridTracker{}
 	out := map[string][]Bar{}
 	for _, app := range fig5Apps {
 		base, err := r.baseline(app)
-		if err != nil {
-			return nil, err
+		if !g.cell(err) {
+			fmt.Fprintf(w, "# Figure 5 [%s]: baseline failed, figure skipped: %v\n", app, err)
+			continue
 		}
 		var bars []Bar
 		for _, mhz := range clockSweep {
 			for _, model := range []core.Model{core.CC, core.STR} {
 				cfg := core.DefaultConfig(model, 16)
 				cfg.CoreMHz = mhz
+				label := fmt.Sprintf("%s-%.1fGHz", model, float64(mhz)/1000)
 				rep, err := r.Run(cfg, app)
-				if err != nil {
-					return nil, err
+				if !g.cell(err) {
+					bars = append(bars, errBar(label))
+					continue
 				}
-				bars = append(bars, normBar(fmt.Sprintf("%s-%.1fGHz", model, float64(mhz)/1000), rep, base))
+				bars = append(bars, normBar(label, rep, base))
 			}
 		}
 		out[app] = bars
 		writeBars(w, fmt.Sprintf("Figure 5 [%s]: clock scaling (16 cores)", app), bars)
 	}
-	return out, nil
+	return out, g.finish(w, "Figure 5")
 }
 
 // bwSweep is Figure 6's x axis.
@@ -579,9 +731,11 @@ func (r *Runner) Figure6(w io.Writer) ([]Bar, error) {
 	jobs = append(jobs, Job{pcfg, "fir"})
 	r.Prefetch(jobs)
 
+	g := &gridTracker{}
 	base, err := r.baseline("fir")
-	if err != nil {
-		return nil, err
+	if !g.cell(err) {
+		fmt.Fprintf(w, "# Figure 6 [fir]: baseline failed, figure skipped: %v\n", err)
+		return nil, g.finish(w, "Figure 6")
 	}
 	var bars []Bar
 	for _, bw := range bwSweep {
@@ -589,24 +743,26 @@ func (r *Runner) Figure6(w io.Writer) ([]Bar, error) {
 			cfg := core.DefaultConfig(model, 16)
 			cfg.CoreMHz = 3200
 			cfg.DRAMBandwidthMBps = bw
+			label := fmt.Sprintf("%s-%.1fGB/s", model, float64(bw)/1000)
 			rep, err := r.Run(cfg, "fir")
-			if err != nil {
-				return nil, err
+			if !g.cell(err) {
+				bars = append(bars, errBar(label))
+				continue
 			}
-			bars = append(bars, normBar(fmt.Sprintf("%s-%.1fGB/s", model, float64(bw)/1000), rep, base))
+			bars = append(bars, normBar(label, rep, base))
 		}
 	}
 	cfg := core.DefaultConfig(core.CC, 16)
 	cfg.CoreMHz = 3200
 	cfg.DRAMBandwidthMBps = 12800
 	cfg.PrefetchDepth = 4
-	rep, err := r.Run(cfg, "fir")
-	if err != nil {
-		return nil, err
+	if rep, err := r.Run(cfg, "fir"); g.cell(err) {
+		bars = append(bars, normBar("CC+P4-12.8GB/s", rep, base))
+	} else {
+		bars = append(bars, errBar("CC+P4-12.8GB/s"))
 	}
-	bars = append(bars, normBar("CC+P4-12.8GB/s", rep, base))
 	writeBars(w, "Figure 6 [fir]: off-chip bandwidth sweep (16 cores @ 3.2 GHz)", bars)
-	return bars, nil
+	return bars, g.finish(w, "Figure 6")
 }
 
 // Figure7 shows the effect of hardware prefetching (depth 4) on
@@ -627,11 +783,13 @@ func (r *Runner) Figure7(w io.Writer) (map[string][]Bar, error) {
 		}
 	}
 	r.Prefetch(jobs)
+	g := &gridTracker{}
 	out := map[string][]Bar{}
 	for _, app := range []string{"mergesort", "art"} {
 		base, err := r.baseline(app)
-		if err != nil {
-			return nil, err
+		if !g.cell(err) {
+			fmt.Fprintf(w, "# Figure 7 [%s]: baseline failed, figure skipped: %v\n", app, err)
+			continue
 		}
 		mk := func(model core.Model, pf int) core.Config {
 			cfg := core.DefaultConfig(model, 2)
@@ -650,15 +808,16 @@ func (r *Runner) Figure7(w io.Writer) (map[string][]Bar, error) {
 			{"STR", mk(core.STR, 0)},
 		} {
 			rep, err := r.Run(c.cfg, app)
-			if err != nil {
-				return nil, err
+			if !g.cell(err) {
+				bars = append(bars, errBar(c.label))
+				continue
 			}
 			bars = append(bars, normBar(c.label, rep, base))
 		}
 		out[app] = bars
 		writeBars(w, fmt.Sprintf("Figure 7 [%s]: hardware prefetching (2 cores @ 3.2 GHz, 12.8 GB/s)", app), bars)
 	}
-	return out, nil
+	return out, g.finish(w, "Figure 7")
 }
 
 // Figure8 shows "Prepare For Store" effects: off-chip traffic for FIR,
@@ -677,36 +836,40 @@ func (r *Runner) Figure8(w io.Writer) (map[string][]TrafficBar, []EnergyBar, err
 			Job{core.DefaultConfig(core.STR, 16), app})
 	}
 	r.Prefetch(jobs)
+	g := &gridTracker{}
 	for _, app := range order {
 		pfsApp := apps[app]
 		base, err := r.baseline(app)
-		if err != nil {
-			return nil, nil, err
+		if !g.cell(err) {
+			fmt.Fprintf(w, "# Figure 8 [%s]: baseline failed, figure skipped: %v\n", app, err)
+			continue
 		}
 		var bars []TrafficBar
 		for _, c := range []struct{ label, name string }{
 			{"CC", app}, {"CC+PFS", pfsApp},
 		} {
 			rep, err := r.Run(core.DefaultConfig(core.CC, 16), c.name)
-			if err != nil {
-				return nil, nil, err
+			if !g.cell(err) {
+				bars = append(bars, errTraffic(c.label))
+				continue
 			}
 			bars = append(bars, normTraffic(c.label, rep, base))
 		}
-		rep, err := r.Run(core.DefaultConfig(core.STR, 16), app)
-		if err != nil {
-			return nil, nil, err
+		if rep, err := r.Run(core.DefaultConfig(core.STR, 16), app); g.cell(err) {
+			bars = append(bars, normTraffic("STR", rep, base))
+		} else {
+			bars = append(bars, errTraffic("STR"))
 		}
-		bars = append(bars, normTraffic("STR", rep, base))
 		out[app] = bars
 		writeTraffic(w, fmt.Sprintf("Figure 8 [%s]: PFS off-chip traffic (16 cores)", app), bars)
 	}
 	// FIR energy with PFS.
-	base, err := r.baseline("fir")
-	if err != nil {
-		return nil, nil, err
-	}
 	var ebars []EnergyBar
+	base, err := r.baseline("fir")
+	if !g.cell(err) {
+		fmt.Fprintf(w, "# Figure 8 [fir]: baseline failed, energy figure skipped: %v\n", err)
+		return out, nil, g.finish(w, "Figure 8")
+	}
 	for _, c := range []struct {
 		label, name string
 		model       core.Model
@@ -716,60 +879,68 @@ func (r *Runner) Figure8(w io.Writer) (map[string][]TrafficBar, []EnergyBar, err
 		{"STR", "fir", core.STR},
 	} {
 		rep, err := r.Run(core.DefaultConfig(c.model, 16), c.name)
-		if err != nil {
-			return nil, nil, err
+		if !g.cell(err) {
+			ebars = append(ebars, errEnergy(c.label))
+			continue
 		}
 		ebars = append(ebars, normEnergy(c.label, rep, base))
 	}
 	writeEnergy(w, "Figure 8 [fir]: PFS energy (16 cores @ 800 MHz)", ebars)
-	return out, ebars, nil
+	return out, ebars, g.finish(w, "Figure 8")
 }
 
 // Figure9 compares the original and stream-optimized cache-based MPEG-2
 // encoders: traffic and execution time at 2-16 cores.
 func (r *Runner) Figure9(w io.Writer) (bars []Bar, traffic []TrafficBar, err error) {
 	r.Prefetch(origOptJobs("mpeg2-orig", "mpeg2"))
+	g := &gridTracker{}
 	base, err := r.baseline("mpeg2-orig")
-	if err != nil {
-		return nil, nil, err
+	if !g.cell(err) {
+		fmt.Fprintf(w, "# Figure 9 [mpeg2]: baseline failed, figure skipped: %v\n", err)
+		return nil, nil, g.finish(w, "Figure 9")
 	}
 	for _, n := range coreCounts {
 		for _, app := range []string{"mpeg2-orig", "mpeg2"} {
-			rep, err := r.Run(core.DefaultConfig(core.CC, n), app)
-			if err != nil {
-				return nil, nil, err
-			}
 			label := fmt.Sprintf("%s-%d", map[string]string{"mpeg2-orig": "ORIG", "mpeg2": "OPT"}[app], n)
+			rep, err := r.Run(core.DefaultConfig(core.CC, n), app)
+			if !g.cell(err) {
+				bars = append(bars, errBar(label))
+				traffic = append(traffic, errTraffic(label))
+				continue
+			}
 			bars = append(bars, normBar(label, rep, base))
 			traffic = append(traffic, normTraffic(label, rep, base))
 		}
 	}
 	writeBars(w, "Figure 9 [mpeg2]: stream-programming optimizations, execution time", bars)
 	writeTraffic(w, "Figure 9 [mpeg2]: stream-programming optimizations, off-chip traffic", traffic)
-	return bars, traffic, nil
+	return bars, traffic, g.finish(w, "Figure 9")
 }
 
 // Figure10 compares the original and stream-optimized cache-based
 // 179.art at 2-16 cores.
 func (r *Runner) Figure10(w io.Writer) ([]Bar, error) {
 	r.Prefetch(origOptJobs("art-orig", "art"))
+	g := &gridTracker{}
 	base, err := r.baseline("art-orig")
-	if err != nil {
-		return nil, err
+	if !g.cell(err) {
+		fmt.Fprintf(w, "# Figure 10 [179.art]: baseline failed, figure skipped: %v\n", err)
+		return nil, g.finish(w, "Figure 10")
 	}
 	var bars []Bar
 	for _, n := range coreCounts {
 		for _, app := range []string{"art-orig", "art"} {
-			rep, err := r.Run(core.DefaultConfig(core.CC, n), app)
-			if err != nil {
-				return nil, err
-			}
 			label := fmt.Sprintf("%s-%d", map[string]string{"art-orig": "ORIG", "art": "OPT"}[app], n)
+			rep, err := r.Run(core.DefaultConfig(core.CC, n), app)
+			if !g.cell(err) {
+				bars = append(bars, errBar(label))
+				continue
+			}
 			bars = append(bars, normBar(label, rep, base))
 		}
 	}
 	writeBars(w, "Figure 10 [179.art]: stream-programming optimizations", bars)
-	return bars, nil
+	return bars, g.finish(w, "Figure 10")
 }
 
 // origOptJobs is the grid Figures 9 and 10 share: the original and

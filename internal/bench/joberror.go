@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// ErrKind classifies a job failure. The run layer uses it to decide
+// retries (only transient kinds are worth re-running) and the manifest
+// records it so a campaign's failures are machine-greppable.
+type ErrKind string
+
+const (
+	ErrConfig   ErrKind = "config"   // Config.Validate rejected the job
+	ErrWorkload ErrKind = "workload" // unknown workload name
+	ErrVerify   ErrKind = "verify"   // workload output failed verification
+	ErrDeadlock ErrKind = "deadlock" // engine deadlock (model/workload bug)
+	ErrLivelock ErrKind = "livelock" // simulated time passed MaxSimTime
+	ErrTimeout  ErrKind = "timeout"  // per-job watchdog aborted the run
+	ErrPanic    ErrKind = "panic"    // panic in Setup/model/workload code
+)
+
+// JobError is one job's structured failure: which job, how it failed,
+// after how many attempts, and — when the engine produced one — the
+// probe-style engine-state snapshot (heap depth, last event time,
+// per-task state) attached to the underlying typed error.
+type JobError struct {
+	Name     string
+	Cfg      core.Config
+	Kind     ErrKind
+	Attempts int
+	Err      error
+	// State is the engine's diagnostic snapshot for deadlock/livelock/
+	// timeout/panic failures; nil for config, workload and verify errors,
+	// which fail before or after the engine runs.
+	State *sim.EngineState
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("%s %v/%d: %s error after %d attempt(s): %v",
+		e.Name, e.Cfg.Model, e.Cfg.Cores, e.Kind, e.Attempts, e.Err)
+}
+
+func (e *JobError) Unwrap() error { return e.Err }
+
+// Retryable reports whether re-running the job could plausibly succeed.
+// Deterministic failures (bad config, deadlock, failed verification)
+// will fail identically every time; timeouts and panics may be
+// environmental (an overloaded host, a transient bug) and get another
+// attempt when the Runner has retry budget.
+func (e *JobError) Retryable() bool { return e.Kind == ErrTimeout || e.Kind == ErrPanic }
+
+// classify wraps a simulation error in a JobError, typing it by the
+// engine's failure taxonomy (sim/abort.go) and extracting the snapshot.
+func classify(name string, cfg core.Config, err error) *JobError {
+	je := &JobError{Name: name, Cfg: cfg, Err: err, Attempts: 1}
+	var de *sim.DeadlockError
+	var le *sim.LivelockError
+	var ae *sim.AbortError
+	var pe *sim.TaskPanicError
+	var rpe *core.RunPanicError
+	switch {
+	case errors.As(err, &de):
+		je.Kind, je.State = ErrDeadlock, &de.State
+	case errors.As(err, &le):
+		je.Kind, je.State = ErrLivelock, &le.State
+	case errors.As(err, &ae):
+		je.Kind, je.State = ErrTimeout, &ae.State
+	case errors.As(err, &pe):
+		je.Kind, je.State = ErrPanic, &pe.State
+	case errors.As(err, &rpe):
+		je.Kind = ErrPanic
+	default:
+		// The only remaining System.Run error is Workload.Verify's.
+		je.Kind = ErrVerify
+	}
+	return je
+}
+
+// backoffDelay is the pause before retry attempt+1 of a job: an
+// exponential base with jitter derived from the deterministic job key —
+// not the clock — so a re-run campaign backs off identically and two
+// simultaneously-failing jobs still spread out.
+func backoffDelay(name string, cfg core.Config, attempt int) time.Duration {
+	base := 10 * time.Millisecond << uint(attempt)
+	if base > time.Second {
+		base = time.Second
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v|%d", keyOf(cfg, name), attempt)
+	jitter := time.Duration(h.Sum64() % uint64(base/2+1))
+	return base + jitter
+}
+
+// GridError reports a figure or table grid that rendered with failed
+// cells: how many jobs succeeded, how many failed, and each cell's
+// JobError. Generators return it instead of aborting on the first bad
+// cell, so one poisoned configuration costs one ERR marker, not the
+// whole figure.
+type GridError struct {
+	OK     int
+	Failed int
+	Errs   []error
+}
+
+func (g *GridError) Error() string {
+	return fmt.Sprintf("%d ok / %d failed", g.OK, g.Failed)
+}
+
+// Unwrap exposes the per-cell errors to errors.As/Is.
+func (g *GridError) Unwrap() []error { return g.Errs }
+
+// gridTracker accumulates per-cell outcomes while a generator renders.
+type gridTracker struct {
+	ok     int
+	failed int
+	errs   []error
+}
+
+// cell records one job result; true means the cell is usable.
+func (g *gridTracker) cell(err error) bool {
+	if err != nil {
+		g.failed++
+		g.errs = append(g.errs, err)
+		return false
+	}
+	g.ok++
+	return true
+}
+
+// finish emits the summary line (only when something failed, keeping
+// clean output byte-identical) and returns the GridError or nil.
+func (g *gridTracker) finish(w io.Writer, figure string) error {
+	if g.failed == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "# %s: %d ok / %d failed\n", figure, g.ok, g.failed)
+	return &GridError{OK: g.ok, Failed: g.failed, Errs: g.errs}
+}

@@ -132,13 +132,12 @@ type Workload interface {
 	Verify() error
 }
 
-// New assembles a machine.
+// New assembles a machine. It panics when the configuration is invalid;
+// callers that need a typed error instead call cfg.Validate first (the
+// run layer does, so a bad config fails before any goroutine spawns).
 func New(cfg Config) *System {
-	if cfg.Cores <= 0 || cfg.Cores > 64 {
-		panic(fmt.Sprintf("core: invalid core count %d", cfg.Cores))
-	}
-	if cfg.CoreMHz == 0 {
-		panic("core: zero core clock; start from DefaultConfig")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	ncfg := noc.DefaultConfig(cfg.Cores)
 	if cfg.CoresPerCluster > 0 {
@@ -200,6 +199,15 @@ func New(cfg Config) *System {
 // Config returns the machine configuration.
 func (s *System) Config() Config { return s.cfg }
 
+// Abort requests cooperative cancellation of a running simulation (the
+// per-job watchdog calls it from a timer goroutine). The engine acts on
+// it only at a dispatch boundary inside sim.Engine.Run, unwinding Run
+// with a typed *sim.AbortError carrying a progress dump; once the event
+// loop has returned and the report is being finalized, Abort is a no-op
+// (see DESIGN.md). Safe to call from any goroutine, any number of times;
+// the first reason wins.
+func (s *System) Abort(reason string) { s.eng.Abort(reason) }
+
 // Model returns the memory model.
 func (s *System) Model() Model { return s.cfg.Model }
 
@@ -233,11 +241,33 @@ func (s *System) SetICacheProfile(instrPerMiss uint64) {
 // Run executes the workload: Setup, concurrent per-core Run bodies, and
 // Verify. It returns the measurement report and the verification error,
 // if any.
-func (s *System) Run(w Workload) (*Report, error) {
+//
+// Run is the recovery boundary of a simulation: a panic anywhere in
+// Setup, model or workload code — including the engine's typed failures
+// (deadlock, livelock past MaxSimTime, Abort, a task-goroutine panic;
+// see sim/abort.go) — is caught here and returned as the error, with
+// the parked task goroutines drained so a failed run leaks nothing.
+// sim.RunError values come back unwrapped, so callers can errors.As
+// them for the engine-state snapshot. Calling Run twice still panics:
+// that is a caller bug, not a simulation failure.
+func (s *System) Run(w Workload) (rep *Report, err error) {
 	if s.ran {
 		panic("core: System.Run called twice; build a fresh System per run")
 	}
 	s.ran = true
+	defer func() {
+		r := recover()
+		s.eng.Shutdown()
+		if r == nil {
+			return
+		}
+		rep = nil
+		if rerr, ok := r.(error); ok {
+			err = rerr
+			return
+		}
+		err = &RunPanicError{Value: r}
+	}()
 	w.Setup(s)
 	for i := 0; i < s.cfg.Cores; i++ {
 		i := i
@@ -267,6 +297,5 @@ func (s *System) Run(w Workload) (*Report, error) {
 		s.eng.SetEpoch(s.cfg.Probe.Interval(), s.cfg.Probe.Tick)
 	}
 	s.eng.Run()
-	rep := s.report()
-	return rep, w.Verify()
+	return s.report(), w.Verify()
 }

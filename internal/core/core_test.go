@@ -166,7 +166,9 @@ func TestCopyScalesWithCores(t *testing.T) {
 	// A compute-heavy variant is core-bound and must scale well.
 	runHeavy := func(model Model, cores int) sim.Time {
 		cfg := DefaultConfig(model, cores)
-		cfg.PrefetchDepth = 4
+		if model == CC {
+			cfg.PrefetchDepth = 4 // CC-only knob; Validate rejects it elsewhere
+		}
 		sys := New(cfg)
 		k := newCopyKernel(64 * 1024)
 		k.instrPerElem = 64

@@ -12,7 +12,9 @@ func TestDeterminism(t *testing.T) {
 	for _, model := range []Model{CC, STR} {
 		run := func() *Report {
 			cfg := DefaultConfig(model, 8)
-			cfg.PrefetchDepth = 2
+			if model == CC {
+				cfg.PrefetchDepth = 2 // CC-only knob; Validate rejects it elsewhere
+			}
 			sys := New(cfg)
 			rep, err := sys.Run(newCopyKernel(32 * 1024))
 			if err != nil {

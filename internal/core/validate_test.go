@@ -1,0 +1,210 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/syncprim"
+)
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	for _, m := range []Model{CC, STR, INC} {
+		for _, cores := range []int{1, 4, 16, 64} {
+			if err := DefaultConfig(m, cores).Validate(); err != nil {
+				t.Errorf("DefaultConfig(%v, %d).Validate() = %v", m, cores, err)
+			}
+		}
+	}
+	cfg := DefaultConfig(CC, 16)
+	cfg.PrefetchDepth = 4
+	cfg.NoWriteAllocate = true
+	cfg.SnoopFilter = true
+	cfg.L2Banks = 4
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("tuned CC config rejected: %v", err)
+	}
+}
+
+func TestValidateFieldErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		fields []string
+	}{
+		{"zero cores", func(c *Config) { c.Cores = 0 }, []string{"Cores"}},
+		{"too many cores", func(c *Config) { c.Cores = 65 }, []string{"Cores"}},
+		{"zero clock", func(c *Config) { c.CoreMHz = 0 }, []string{"CoreMHz"}},
+		{"bad model", func(c *Config) { c.Model = Model(9) }, []string{"Model"}},
+		{"negative prefetch", func(c *Config) { c.PrefetchDepth = -1 }, []string{"PrefetchDepth"}},
+		{"prefetch on STR", func(c *Config) { c.Model = STR; c.PrefetchDepth = 4 }, []string{"PrefetchDepth"}},
+		{"nwa on INC", func(c *Config) { c.Model = INC; c.NoWriteAllocate = true }, []string{"NoWriteAllocate"}},
+		{"snoop filter on STR", func(c *Config) { c.Model = STR; c.SnoopFilter = true }, []string{"SnoopFilter"}},
+		{"negative ablations", func(c *Config) { c.L2Banks = -1; c.StoreBuffer = -2 }, []string{"L2Banks", "StoreBuffer"}},
+		{"several at once", func(c *Config) { c.Cores = -3; c.CoreMHz = 0; c.DMAOutstanding = -1 },
+			[]string{"Cores", "CoreMHz", "DMAOutstanding"}},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig(CC, 4)
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tc.name)
+			continue
+		}
+		fes := FieldErrors(err)
+		if len(fes) != len(tc.fields) {
+			t.Errorf("%s: got %d field errors (%v), want %d", tc.name, len(fes), err, len(tc.fields))
+			continue
+		}
+		got := map[string]bool{}
+		for _, fe := range fes {
+			got[fe.Field] = true
+			if !strings.Contains(fe.Error(), "core: config."+fe.Field) {
+				t.Errorf("%s: field error text %q lacks field name", tc.name, fe.Error())
+			}
+		}
+		for _, f := range tc.fields {
+			if !got[f] {
+				t.Errorf("%s: missing field error for %s in %v", tc.name, f, err)
+			}
+		}
+	}
+}
+
+// deadlockKernel drives the machine into a real synchronization
+// deadlock: core 0 takes the lock and finishes without releasing it,
+// every other core blocks acquiring it.
+type deadlockKernel struct{ lock *syncprim.Lock }
+
+func (k *deadlockKernel) Name() string { return "deadlock-kernel" }
+func (k *deadlockKernel) Setup(sys *System) {
+	k.lock = syncprim.NewLock("poison")
+}
+func (k *deadlockKernel) Run(p *cpu.Proc) {
+	if p.ID() == 0 {
+		k.lock.Acquire(p)
+		return // exits still holding the lock
+	}
+	p.WaitUntil(100 * sim.Nanosecond) // let core 0 win the lock race
+	k.lock.Acquire(p)
+	k.lock.Release(p)
+}
+func (k *deadlockKernel) Verify() error { return nil }
+
+// TestRunRecoversDeadlock proves System.Run is the recovery boundary: a
+// model-level deadlock comes back as a typed error with an engine-state
+// snapshot naming the contended lock, not as a process-killing panic.
+func TestRunRecoversDeadlock(t *testing.T) {
+	sys := New(DefaultConfig(CC, 4))
+	rep, err := sys.Run(&deadlockKernel{})
+	if err == nil {
+		t.Fatal("deadlocked run returned nil error")
+	}
+	if rep != nil {
+		t.Fatalf("deadlocked run returned a report: %+v", rep)
+	}
+	de, ok := err.(*sim.DeadlockError)
+	if !ok {
+		t.Fatalf("err = %#v, want *sim.DeadlockError", err)
+	}
+	if !strings.Contains(de.Error(), "awaiting lock poison") {
+		t.Fatalf("deadlock error %q does not name the lock", de.Error())
+	}
+	if de.State.Live != 3 {
+		t.Fatalf("snapshot live = %d, want 3 blocked cores", de.State.Live)
+	}
+}
+
+// panicKernel panics in workload code on a task goroutine.
+type panicKernel struct{}
+
+func (panicKernel) Name() string      { return "panic-kernel" }
+func (panicKernel) Setup(sys *System) {}
+func (panicKernel) Run(p *cpu.Proc) {
+	if p.ID() == 1 {
+		panic("injected workload bug")
+	}
+	p.Work(100)
+}
+func (panicKernel) Verify() error { return nil }
+
+func TestRunRecoversWorkloadPanic(t *testing.T) {
+	sys := New(DefaultConfig(STR, 2))
+	rep, err := sys.Run(panicKernel{})
+	if err == nil || rep != nil {
+		t.Fatalf("panicking run returned rep=%v err=%v", rep, err)
+	}
+	pe, ok := err.(*sim.TaskPanicError)
+	if !ok {
+		t.Fatalf("err = %#v, want *sim.TaskPanicError", err)
+	}
+	if pe.TaskName != "core1" || pe.Value != "injected workload bug" {
+		t.Fatalf("panic error = %+v", pe)
+	}
+}
+
+// TestRunRecoversSetupPanic checks the boundary covers Setup too.
+type setupPanicKernel struct{}
+
+func (setupPanicKernel) Name() string      { return "setup-panic" }
+func (setupPanicKernel) Setup(sys *System) { panic("bad allocation") }
+func (setupPanicKernel) Run(p *cpu.Proc)   {}
+func (setupPanicKernel) Verify() error     { return nil }
+
+func TestRunRecoversSetupPanic(t *testing.T) {
+	sys := New(DefaultConfig(CC, 2))
+	rep, err := sys.Run(setupPanicKernel{})
+	if err == nil || rep != nil {
+		t.Fatalf("rep=%v err=%v, want recovered error", rep, err)
+	}
+	if !strings.Contains(err.Error(), "bad allocation") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestAbortDuringRun proves the watchdog path end to end at the core
+// layer: Abort from another goroutine cancels a running simulation and
+// the error carries the progress dump.
+type spinKernel struct{ started chan struct{} }
+
+func (k *spinKernel) Name() string      { return "spin-kernel" }
+func (k *spinKernel) Setup(sys *System) {}
+func (k *spinKernel) Run(p *cpu.Proc) {
+	if k.started != nil {
+		close(k.started)
+		k.started = nil
+	}
+	for {
+		p.Work(1000)
+		p.Task().Sync()
+	}
+}
+func (k *spinKernel) Verify() error { return nil }
+
+func TestAbortDuringRun(t *testing.T) {
+	cfg := DefaultConfig(CC, 1)
+	cfg.MaxSimTime = 0 // disable the livelock net; Abort must do the stopping
+	sys := New(cfg)
+	started := make(chan struct{})
+	k := &spinKernel{started: started}
+	go func() {
+		<-started // not k.started: Run nils that field after closing
+		sys.Abort("watchdog: test budget exceeded")
+	}()
+	rep, err := sys.Run(k)
+	if rep != nil {
+		t.Fatalf("aborted run returned a report")
+	}
+	ae, ok := err.(*sim.AbortError)
+	if !ok {
+		t.Fatalf("err = %#v, want *sim.AbortError", err)
+	}
+	if ae.Reason != "watchdog: test budget exceeded" {
+		t.Fatalf("reason = %q", ae.Reason)
+	}
+	if len(ae.State.Tasks) == 0 {
+		t.Fatal("abort error carries no task states")
+	}
+}

@@ -214,7 +214,7 @@ func (e *Engine) Wait(caller *sim.Task, tag Tag) sim.Time {
 	}
 	e.waiter = caller
 	e.waitingFor = tag
-	caller.Block()
+	caller.BlockOn(fmt.Sprintf("dma %s tag %d", e.name, tag))
 	t := e.done[tag]
 	delete(e.done, tag)
 	return t
@@ -241,7 +241,7 @@ func (e *Engine) run(t *sim.Task) {
 				return
 			}
 			e.idle = true
-			t.Block()
+			t.BlockOn("dma " + e.name + " command queue")
 			continue
 		}
 		cmd := e.queue[0]

@@ -2,8 +2,8 @@ package sim
 
 import (
 	"fmt"
-	"sort"
-	"strings"
+	"runtime/debug"
+	"sync"
 	"sync/atomic"
 )
 
@@ -60,6 +60,24 @@ type Engine struct {
 	// noFastPath forces every Sync through the engine handshake; only the
 	// determinism tests set it (the fast path must be unobservable).
 	noFastPath bool
+
+	// Cooperative cancellation (Abort) and post-failure goroutine drain
+	// (Shutdown). abortFlag is atomic because Abort may come from any
+	// goroutine (a watchdog timer); it is read once per dispatch and once
+	// every abortStride fast-path Syncs. abortPoll is the countdown to the
+	// next poll — a plain field, written only by the domain's single
+	// running goroutine — which keeps the watchdog's disabled cost on the
+	// fast path to a decrement and branch instead of an atomic load
+	// (BenchmarkSyncFastPathWatchdog gates it). draining/drained are
+	// plain fields: Shutdown runs strictly after Run has unwound, when
+	// every surviving task goroutine is parked in a channel receive, and
+	// the resume-channel handshake orders their reads.
+	abortFlag   atomic.Bool
+	abortPoll   int
+	abortMu     sync.Mutex
+	abortReason string
+	draining    bool
+	drained     bool
 
 	// Epoch sampling (SetEpoch). nextEpoch is the first simulated time at
 	// which onEpoch fires; it is kept at the Time sentinel maximum while
@@ -164,11 +182,16 @@ const (
 	yieldRequeue yieldKind = iota // task advanced its clock; schedule again
 	yieldBlock                    // task blocked; another task must unblock it
 	yieldDone                     // task finished
+	yieldPanic                    // task goroutine panicked; engine must re-panic
+	yieldAborted                  // task unwound via the Shutdown drain sentinel
 )
 
 type yieldMsg struct {
 	task *Task
 	kind yieldKind
+	// val and stack carry a task goroutine's recovered panic (yieldPanic).
+	val   any
+	stack string
 }
 
 // Task is a simulated agent with its own local clock. All methods must be
@@ -182,6 +205,11 @@ type Task struct {
 	blocked bool
 	queued  bool
 	done    bool
+	// waitingOn names the resource this task is blocked on (BlockOn);
+	// empty while runnable or for a plain Block. Written by the task
+	// goroutine, read by the engine in snapshotState — ordered by the
+	// sched/resume handshake.
+	waitingOn string
 }
 
 // Spawn registers fn as a new task starting at time start. It may be called
@@ -198,13 +226,40 @@ func (e *Engine) Spawn(name string, start Time, fn func(*Task)) *Task {
 	e.live++
 	e.met.Spawns++
 	go func() {
-		<-t.resume // wait for first dispatch
+		// The wrapper is the task goroutine's only exit. A panic in model
+		// or workload code is forwarded to the engine goroutine (which
+		// re-panics out of Run as a *TaskPanicError), so failures surface
+		// at exactly one place; the Shutdown drain sentinel just
+		// acknowledges and dies.
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			if _, ok := r.(taskAbortSignal); ok {
+				e.sched <- yieldMsg{task: t, kind: yieldAborted}
+				return
+			}
+			t.done = true
+			e.sched <- yieldMsg{task: t, kind: yieldPanic, val: r, stack: string(debug.Stack())}
+		}()
+		t.pause() // wait for first dispatch
 		fn(t)
 		t.done = true
-		e.sched <- yieldMsg{t, yieldDone}
+		e.sched <- yieldMsg{task: t, kind: yieldDone}
 	}()
 	e.push(t)
 	return t
+}
+
+// pause parks the task until the engine (or Shutdown) resumes it. Every
+// task-side wait goes through here so that a draining engine can unwind
+// the goroutine via the sentinel panic instead of running model code.
+func (t *Task) pause() {
+	<-t.resume
+	if t.engine.draining {
+		panic(taskAbortSignal{})
+	}
 }
 
 func (e *Engine) push(t *Task) {
@@ -220,10 +275,14 @@ func (e *Engine) push(t *Task) {
 	}
 }
 
-// Run dispatches events until every task has finished. It panics on
-// deadlock (live tasks remain but none is runnable) because a deadlock is
-// always a bug in a model or workload, never a recoverable condition.
-// It must be called exactly once, and only one goroutine may drive an
+// Run dispatches events until every task has finished. It panics with a
+// typed value (see abort.go) on deadlock (live tasks remain but none is
+// runnable — always a bug in a model or workload, never a recoverable
+// condition), on livelock past MaxTime, on a requested Abort, and when a
+// task goroutine panicked; every such value carries an EngineState
+// snapshot. The run layer recovers these in one place (core.System.Run)
+// and must call Shutdown afterwards to drain the parked task goroutines.
+// Run must be called exactly once, and only one goroutine may drive an
 // Engine: the compare-and-swap below asserts it, making concurrent
 // engines provably non-interfering (each is driven by its own caller).
 func (e *Engine) Run() {
@@ -231,8 +290,11 @@ func (e *Engine) Run() {
 		panic("sim: Engine.Run called twice or from two goroutines")
 	}
 	for e.live > 0 {
+		if e.abortFlag.Load() {
+			panic(e.abortError())
+		}
 		if e.queue.len() == 0 {
-			panic("sim: deadlock: " + e.describeBlocked())
+			panic(&DeadlockError{State: e.snapshotState()})
 		}
 		t := e.queue.pop()
 		t.queued = false
@@ -243,7 +305,7 @@ func (e *Engine) Run() {
 		}
 		e.now = t.time
 		if e.MaxTime != 0 && e.now > e.MaxTime {
-			panic(fmt.Sprintf("sim: exceeded MaxTime %v (model livelock?)", e.MaxTime))
+			panic(&LivelockError{MaxTime: e.MaxTime, State: e.snapshotState()})
 		}
 		if e.now >= e.nextEpoch {
 			e.epochTick()
@@ -258,19 +320,15 @@ func (e *Engine) Run() {
 			e.met.Blocks++
 		case yieldDone:
 			e.live--
+		case yieldPanic:
+			e.live--
+			panic(&TaskPanicError{TaskName: msg.task.name, Value: msg.val, Stack: msg.stack, State: e.snapshotState()})
 		}
 	}
 }
 
 func (e *Engine) describeBlocked() string {
-	var names []string
-	for _, t := range e.tasks {
-		if t.blocked && !t.done {
-			names = append(names, t.name)
-		}
-	}
-	sort.Strings(names)
-	return "blocked tasks: " + strings.Join(names, ", ")
+	return e.snapshotState().blockedSummary()
 }
 
 // Name returns the task's name.
@@ -304,19 +362,40 @@ func (t *Task) Advance(d Time) { t.time += d }
 // the Engine doc). The engine clock still advances to the task's time.
 func (t *Task) Sync() {
 	e := t.engine
-	if !e.noFastPath && (e.MaxTime == 0 || t.time <= e.MaxTime) {
-		if e.queue.len() == 0 || t.before(e.queue.peek()) {
-			e.met.SyncFast++
-			e.now = t.time
-			if e.now >= e.nextEpoch {
-				e.epochTick()
-			}
-			return
+	if !e.noFastPath && (e.MaxTime == 0 || t.time <= e.MaxTime) &&
+		(e.queue.len() == 0 || t.before(e.queue.peek())) && e.abortPollOK() {
+		e.met.SyncFast++
+		e.now = t.time
+		if e.now >= e.nextEpoch {
+			e.epochTick()
 		}
+		return
 	}
 	e.met.SyncSlow++
-	e.sched <- yieldMsg{t, yieldRequeue}
-	<-t.resume
+	e.sched <- yieldMsg{task: t, kind: yieldRequeue}
+	t.pause()
+}
+
+// abortStride is how many fast-path Syncs may pass between polls of the
+// abort flag. It bounds cancellation latency on an all-fast-path
+// simulation (one task, never yielding) at 64 Syncs while keeping the
+// common case free of the atomic load.
+const abortStride = 64
+
+// abortPollOK amortizes the watchdog's cost on the Sync fast path: a
+// decrement and branch on abortStride-1 calls out of abortStride, one
+// atomic abortFlag load on the rest. A requested Abort declines the fast
+// path, forcing the handshake where the engine raises the typed abort.
+// Without this poll an all-fast-path simulation would be uncancelable.
+// abortPoll is a plain field: only the domain's single running goroutine
+// calls Sync, and the sched/resume handshake orders its writes.
+func (e *Engine) abortPollOK() bool {
+	e.abortPoll--
+	if e.abortPoll >= 0 {
+		return true
+	}
+	e.abortPoll = abortStride - 1
+	return !e.abortFlag.Load()
 }
 
 // AdvanceTo moves the local clock to tm (if later) and syncs.
@@ -327,9 +406,20 @@ func (t *Task) AdvanceTo(tm Time) {
 
 // Block suspends the task until another task calls Unblock. The task's
 // clock may be moved forward by the waker.
-func (t *Task) Block() {
-	t.engine.sched <- yieldMsg{t, yieldBlock}
-	<-t.resume
+func (t *Task) Block() { t.block("") }
+
+// BlockOn is Block with a label naming the resource the task is waiting
+// for ("lock mq", "barrier start", "dma dma0"). The label appears in
+// deadlock diagnostics and engine-state snapshots alongside the task's
+// last sync time, so a deadlock on a resource names the resource, not
+// just the tasks.
+func (t *Task) BlockOn(label string) { t.block(label) }
+
+func (t *Task) block(label string) {
+	t.waitingOn = label
+	t.engine.sched <- yieldMsg{task: t, kind: yieldBlock}
+	t.pause()
+	t.waitingOn = ""
 }
 
 // Unblock makes a blocked task runnable again, no earlier than time at.

@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // BenchmarkSyncFastPath measures a lone task repeatedly advancing and
 // syncing. With no peer at an earlier timestamp the task is always
@@ -17,6 +20,29 @@ func BenchmarkSyncFastPath(b *testing.B) {
 	})
 	b.ResetTimer()
 	e.Run()
+}
+
+// BenchmarkSyncFastPathWatchdog is BenchmarkSyncFastPath with a watchdog
+// armed but never firing: the Abort request never arrives, so the only
+// extra work on the fast path is the strided abort poll — a decrement and
+// branch, with one atomic abort-flag load every abortStride Syncs. The
+// bench-check gate compares this against BenchmarkSyncFastPath's
+// baseline to prove the watchdog's disabled cost stays one branch.
+func BenchmarkSyncFastPathWatchdog(b *testing.B) {
+	e := NewEngine()
+	watchdog := time.AfterFunc(time.Hour, func() { e.Abort("bench watchdog") })
+	defer watchdog.Stop()
+	e.Spawn("solo", 0, func(t *Task) {
+		for i := 0; i < b.N; i++ {
+			t.Advance(10 * Nanosecond)
+			t.Sync()
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+	if e.abortFlag.Load() {
+		b.Fatal("watchdog fired during benchmark")
+	}
 }
 
 // BenchmarkDispatch measures the full scheduler round trip: 8 tasks in

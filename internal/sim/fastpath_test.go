@@ -29,6 +29,47 @@ func TestDeadlockMessageNamesBlockedTasks(t *testing.T) {
 	e.Run()
 }
 
+// TestDeadlockMessageNamesServerAndSyncTime pins the labeled deadlock
+// diagnostic: a task parked on a resource via BlockOn — here waiting for
+// a Server, the pattern the model layers use for contended hardware —
+// must show up with the server's name and the task's last sync time, so
+// a resource deadlock is attributable to the resource, not just the
+// tasks. Unlabeled blockers must keep rendering as bare names alongside.
+func TestDeadlockMessageNamesServerAndSyncTime(t *testing.T) {
+	srv := NewServer("dram.ch0")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected deadlock panic")
+		}
+		msg := fmt.Sprint(r)
+		want := "sim: deadlock: blocked tasks: plain, waiter (awaiting server dram.ch0, last sync 300.000ns)"
+		if !strings.Contains(msg, want) {
+			t.Fatalf("deadlock panic = %q, want it to contain %q", msg, want)
+		}
+		de, ok := r.(*DeadlockError)
+		if !ok {
+			t.Fatalf("deadlock panic value = %T, want *DeadlockError", r)
+		}
+		for _, ts := range de.State.Tasks {
+			if ts.Name == "waiter" {
+				if ts.WaitingOn != "server dram.ch0" || ts.Time != 300*Nanosecond {
+					t.Fatalf("waiter snapshot = %+v, want WaitingOn=%q Time=300ns", ts, "server dram.ch0")
+				}
+			}
+		}
+	}()
+	e := NewEngine()
+	e.Spawn("waiter", 0, func(tk *Task) {
+		tk.Advance(300 * Nanosecond)
+		tk.Sync()
+		srv.Acquire(tk.Time(), 100*Nanosecond)
+		tk.BlockOn("server " + srv.Name())
+	})
+	e.Spawn("plain", 10, func(tk *Task) { tk.Block() })
+	e.Run()
+}
+
 // step is one observable scheduling event: a task returning from Sync at
 // a local time. The sequence of steps is the engine's event order.
 type step struct {

@@ -51,7 +51,7 @@ func (l *Lock) Acquire(p *cpu.Proc) {
 	l.Contended++
 	l.waiters = append(l.waiters, p)
 	before := p.Now()
-	p.Task().Block()
+	p.Task().BlockOn("lock " + l.name)
 	p.AddSync(p.Now() - before)
 }
 
@@ -96,7 +96,7 @@ func (b *Barrier) Wait(p *cpu.Proc) {
 	if len(b.arrived)+1 < b.n {
 		b.arrived = append(b.arrived, p)
 		before := p.Now()
-		p.Task().Block()
+		p.Task().BlockOn("barrier " + b.name)
 		p.AddSync(p.Now() - before)
 		return
 	}

@@ -152,6 +152,14 @@ func DefaultConfig(model Model, cores int) Config {
 // NewSystem assembles a machine.
 func NewSystem(cfg Config) *System { return core.New(cfg) }
 
+// FieldError reports one invalid Config field from Config.Validate;
+// Field names the Config field, so CLIs can map it back to a flag.
+type FieldError = core.FieldError
+
+// FieldErrors extracts every typed *FieldError from a Config.Validate
+// result. Nil input yields nil.
+func FieldErrors(err error) []*FieldError { return core.FieldErrors(err) }
+
 // Workloads lists the registered workload names: the paper's eleven
 // applications plus the pre-optimization and PFS variants.
 func Workloads() []string { return workload.Names() }
