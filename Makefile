@@ -35,9 +35,12 @@ bench:
 
 # bench-engine regenerates the event-engine numbers tracked in
 # BENCH_engine.json (Sync fast path, scheduler dispatch, server
-# calendar, plus the end-to-end runner grid).
+# calendar, the cycle-ledger charge path, the histogram record path,
+# plus the end-to-end runner grid).
 bench-engine:
 	go test -bench 'BenchmarkSyncFastPath|BenchmarkDispatch|BenchmarkServerAcquire' -run xxx ./internal/sim/
+	go test -bench BenchmarkLedger -run xxx ./internal/cpu/
+	go test -bench BenchmarkHistogramRecord -run xxx ./internal/stats/
 	go test -bench BenchmarkRunner -run xxx -benchtime 3x ./internal/bench/
 
 # bench-check fails if the engine microbenchmarks regress more than 25%
@@ -46,6 +49,8 @@ bench-engine:
 # update the file.
 bench-check:
 	go test -bench 'BenchmarkSyncFastPath|BenchmarkDispatch|BenchmarkServerAcquire' -run xxx ./internal/sim/ > /tmp/bench-engine-check.txt
+	go test -bench BenchmarkLedger -run xxx ./internal/cpu/ >> /tmp/bench-engine-check.txt
+	go test -bench BenchmarkHistogramRecord -run xxx ./internal/stats/ >> /tmp/bench-engine-check.txt
 	go test -bench BenchmarkRunner -run xxx -benchtime 3x ./internal/bench/ >> /tmp/bench-engine-check.txt
 	go run ./cmd/benchcheck -baseline BENCH_engine.json -max-regress 25 < /tmp/bench-engine-check.txt
 

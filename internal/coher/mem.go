@@ -34,6 +34,11 @@ func (m *Mem) Load(p *cpu.Proc, a mem.Addr) sim.Time {
 		done := p.Now()
 		if ln.FillDone > done {
 			done = ln.FillDone
+			if wasPf {
+				// The stall until FillDone is the tail of a prefetch still
+				// in flight — ledger it as PrefetchShadow, not LoadStall.
+				p.MarkPrefetchShadow()
+			}
 		}
 		if wasPf {
 			// Tagged trigger: top the stream up. This touches shared

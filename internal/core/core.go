@@ -12,6 +12,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/dram"
 	"repro/internal/incoher"
+	"repro/internal/ledger"
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/probe"
@@ -84,6 +85,15 @@ type Config struct {
 	DMAOutstanding  int    // concurrent DMA accesses (default 16)
 	StoreBuffer     int    // store-buffer depth (default 8; 1 = blocking stores)
 
+	// CycleLedger enables the cycle-accounting and latency-distribution
+	// layer (internal/ledger): per-core cycle ledgers with the fixed
+	// class taxonomy plus service-time histograms across the memory
+	// system. The Report then carries Cycles and Latency blocks. Off by
+	// default: every charge site degenerates to a nil compare, and the
+	// simulated outcome is identical either way (accounting reads the
+	// clocks, it never moves them).
+	CycleLedger bool
+
 	// Trace, when non-nil, collects per-core stall/sync spans for
 	// timeline export (internal/trace).
 	Trace cpu.Tracer `json:"-"`
@@ -119,6 +129,7 @@ type System struct {
 	dom   *coher.Domain   // CC only
 	strs  []*stream.Mem   // STR only
 	inc   *incoher.Domain // INC only
+	lat   *ledger.Latency // non-nil when cfg.CycleLedger
 	ran   bool
 }
 
@@ -193,7 +204,31 @@ func New(cfg Config) *System {
 	default:
 		panic("core: unknown model")
 	}
+	if cfg.CycleLedger {
+		s.attachLedger()
+	}
 	return s
+}
+
+// attachLedger arms the cycle-accounting layer: one ledger per core and
+// one shared set of latency histograms across every memory-system layer.
+func (s *System) attachLedger() {
+	s.lat = &ledger.Latency{}
+	for _, p := range s.procs {
+		p.SetLedger(&ledger.Ledger{})
+	}
+	s.unc.SetLatency(s.lat)
+	s.net.SetLatency(s.lat)
+	switch s.cfg.Model {
+	case CC:
+		s.dom.SetLatency(s.lat)
+	case STR:
+		for _, m := range s.strs {
+			m.SetLatency(s.lat)
+		}
+	case INC:
+		s.inc.SetLatency(s.lat)
+	}
 }
 
 // Config returns the machine configuration.

@@ -4,6 +4,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/dma"
+	"repro/internal/ledger"
 	"repro/internal/probe"
 	"repro/internal/sim"
 )
@@ -70,6 +71,18 @@ func (s *System) attachProbe(r *probe.Recorder) {
 	r.AddGauge("noc.xbar_busy_fs", probe.Counter, func(sim.Time) float64 {
 		return float64(s.net.XbarBusy())
 	})
+
+	// Cycle-accounting classes aggregated across cores (Idle excluded:
+	// it is derived from wall minus finish at report time).
+	if s.cfg.CycleLedger {
+		r.AddSnapshot("cycles", func(put func(string, float64)) {
+			var agg ledger.Ledger
+			for _, p := range s.procs {
+				agg.Add(p.Ledger())
+			}
+			agg.Snapshot(put)
+		})
+	}
 
 	// Model-specific sources.
 	switch s.cfg.Model {

@@ -6,10 +6,13 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cpu"
+	"repro/internal/dma"
 	"repro/internal/dram"
 	"repro/internal/energy"
+	"repro/internal/ledger"
 	"repro/internal/noc"
 	"repro/internal/sim"
+	"repro/internal/stream"
 	"repro/internal/uncore"
 )
 
@@ -54,6 +57,24 @@ type Report struct {
 	DMAGetBytes uint64
 	DMAPutBytes uint64
 	LSAccesses  uint64
+
+	// Mean service times, comparable field-for-field across models: the
+	// miss latencies are the first-level demand misses of whichever model
+	// ran (CC/INC L1s, or the STR 8 KB cache), the DMA latencies are
+	// whole command queue-to-completion times (STR only, zero for CC).
+	// Always accumulated — these are sums over counters the models keep
+	// anyway, independent of CycleLedger.
+	AvgReadMissLatency  sim.Time
+	AvgWriteMissLatency sim.Time
+	AvgDMAGetLatency    sim.Time
+	AvgDMAPutLatency    sim.Time
+
+	// Cycles and Latency are the cycle-accounting layer's blocks,
+	// present only when Config.CycleLedger was set: every core cycle
+	// attributed to the ledger taxonomy (conserving the wall time
+	// exactly), and the memory system's service-time distributions.
+	Cycles  *ledger.Summary        `json:",omitempty"`
+	Latency *ledger.LatencySummary `json:",omitempty"`
 
 	Counts energy.Counts
 	Energy energy.Breakdown
@@ -121,15 +142,29 @@ func (s *System) report() *Report {
 		r.PrefetchUseless = st.PrefetchUseless
 		r.GatherFlushes = st.GatherFlushes
 		r.FilteredSnoops = st.FilteredSnoops
+		r.AvgReadMissLatency = st.AvgReadMissLatency()
+		r.AvgWriteMissLatency = st.AvgWriteMissLatency()
+	case INC:
+		st := s.inc.Stats()
+		r.AvgReadMissLatency = st.AvgReadMissLatency()
+		r.AvgWriteMissLatency = st.AvgWriteMissLatency()
 	case STR:
+		var ss stream.Stats
+		var da dma.Stats
 		for _, m := range s.strs {
 			ds := m.DMA().Stats()
+			da.Add(ds)
 			r.DMACommands += ds.Commands
 			r.DMAGetBytes += ds.GetBytes
 			r.DMAPutBytes += ds.PutBytes
 			ls := m.LocalStore().Stats()
 			r.LSAccesses += ls.Reads + ls.Writes + ls.DMABeats
+			ss.Add(m.Stats())
 		}
+		r.AvgReadMissLatency = ss.AvgReadMissLatency()
+		r.AvgWriteMissLatency = ss.AvgWriteMissLatency()
+		r.AvgDMAGetLatency = da.AvgGetLatency()
+		r.AvgDMAPutLatency = da.AvgPutLatency()
 	}
 	r.L1 = s.l1Stats()
 	r.Engine = s.eng.Metrics()
@@ -141,6 +176,16 @@ func (s *System) report() *Report {
 		r.ChannelUtil = s.unc.AvgChannelUtilization(r.Wall)
 		r.L2PortUtil = float64(s.unc.L2PortBusy()) / float64(r.Wall)
 		r.AvgBusUtil = s.net.AvgBusUtilization(r.Wall)
+	}
+	if s.cfg.CycleLedger {
+		leds := make([]*ledger.Ledger, len(s.procs))
+		finish := make([]sim.Time, len(s.procs))
+		for i, p := range s.procs {
+			leds[i] = p.Ledger()
+			finish[i] = p.FinishTime()
+		}
+		r.Cycles = ledger.NewSummary(r.Wall, leds, finish)
+		r.Latency = s.lat.Summary()
 	}
 	return r
 }

@@ -15,6 +15,7 @@ package cpu
 import (
 	"fmt"
 
+	"repro/internal/ledger"
 	"repro/internal/mem"
 	"repro/internal/sim"
 )
@@ -27,6 +28,15 @@ const StoreBufferEntries = 8
 // collection.
 type Tracer interface {
 	Add(track int, name string, start, dur sim.Time)
+}
+
+// FlushClasser lets a memory model classify its Finish-time drain in
+// the cycle ledger: the streaming model's Flush waits on DMA completion
+// (ledger.DMAWait), everything else drains at synchronization cost
+// (ledger.SyncWait, the default). The Figure 2 bucket stays Sync either
+// way.
+type FlushClasser interface {
+	FlushClass() ledger.Class
 }
 
 // ProcMem is the per-core data-memory model.
@@ -126,6 +136,19 @@ type Proc struct {
 	stats    Stats
 	imissAcc uint64
 
+	// led is the fine-grained cycle ledger; nil disables it, leaving one
+	// nil compare per charge site on the hot path (the probe layer's
+	// sentinel pattern; BenchmarkLedgerDisabled gates the cost). Every
+	// bd charge below is mirrored by exactly one ledger charge over the
+	// same duration, which is what makes the conservation invariant
+	// (ledger classes sum to finish time) hold by construction.
+	led *ledger.Ledger
+	// pfShadow marks that the in-flight stall the memory model just
+	// reported is covered by an earlier prefetch (set via
+	// MarkPrefetchShadow, consumed by the next Load charge). Only ever
+	// set when led != nil.
+	pfShadow bool
+
 	snoopDebt uint64 // snoop probes not yet converted into stall cycles
 
 	storeBuf []sim.Time
@@ -156,6 +179,30 @@ func (p *Proc) Bind(task *sim.Task, m ProcMem) {
 
 // SetTracer attaches a span collector (nil disables tracing).
 func (p *Proc) SetTracer(t Tracer) { p.tracer = t }
+
+// SetLedger attaches a cycle ledger (nil disables accounting).
+func (p *Proc) SetLedger(l *ledger.Ledger) { p.led = l }
+
+// Ledger returns the attached cycle ledger (nil when disabled).
+func (p *Proc) Ledger() *ledger.Ledger { return p.led }
+
+// charge mirrors a breakdown charge into the ledger when enabled.
+func (p *Proc) charge(c ledger.Class, d sim.Time) {
+	if p.led != nil {
+		p.led.Charge(c, d)
+	}
+}
+
+// MarkPrefetchShadow tells the core that the stall its memory model is
+// about to report comes from a line an earlier prefetch already had in
+// flight, so the next Load charge classifies it as ledger.PrefetchShadow
+// instead of LoadStall. The coherent model's hit path calls it; a no-op
+// when the ledger is disabled.
+func (p *Proc) MarkPrefetchShadow() {
+	if p.led != nil {
+		p.pfShadow = true
+	}
+}
 
 func (p *Proc) span(name string, start, dur sim.Time) {
 	if p.tracer != nil && dur > 0 {
@@ -223,6 +270,7 @@ func (p *Proc) chargeUseful(n uint64) {
 	d := p.cfg.Clock.Cycles(n)
 	p.task.Advance(d)
 	p.bd.Useful += d
+	p.charge(ledger.Compute, d)
 	p.stats.Instructions += n
 	p.stats.LocalAccesses += n / 2
 	if p.cfg.InstrPerIMiss == 0 {
@@ -234,6 +282,7 @@ func (p *Proc) chargeUseful(n uint64) {
 		p.stats.IMisses++
 		p.task.Advance(p.cfg.IMissPenalty)
 		p.bd.Useful += p.cfg.IMissPenalty
+		p.charge(ledger.Compute, p.cfg.IMissPenalty)
 	}
 }
 
@@ -251,6 +300,7 @@ func (p *Proc) applySnoopDebt() {
 	d := p.cfg.Clock.Cycles(cycles)
 	p.task.Advance(d)
 	p.bd.LoadStall += d
+	p.charge(ledger.LoadStall, d)
 	p.stats.SnoopStalls += cycles
 }
 
@@ -269,9 +319,17 @@ func (p *Proc) Work(n uint64) { p.chargeUseful(n) }
 // read shared primitive or DMA state right after WaitUntil returns, so
 // the yield must stay; the engine elides the handshake itself whenever
 // this core is already globally minimal.)
-func (p *Proc) WaitUntil(t sim.Time) {
+func (p *Proc) WaitUntil(t sim.Time) { p.waitUntil(t, ledger.SyncWait) }
+
+// WaitUntilDMA is WaitUntil with the wait classified as ledger.DMAWait
+// (the streaming model's DMA completion waits); the Figure 2 bucket is
+// still Sync, as the paper counts DMA waits as synchronization.
+func (p *Proc) WaitUntilDMA(t sim.Time) { p.waitUntil(t, ledger.DMAWait) }
+
+func (p *Proc) waitUntil(t sim.Time, c ledger.Class) {
 	if now := p.task.Time(); t > now {
 		p.bd.Sync += t - now
+		p.charge(c, t-now)
 		p.span("sync-wait", now, t-now)
 		p.task.SetTime(t)
 	}
@@ -281,7 +339,17 @@ func (p *Proc) WaitUntil(t sim.Time) {
 // AddSync charges d of synchronization time without advancing the clock
 // (used when a primitive has already moved the task's clock, e.g. after
 // an Unblock).
-func (p *Proc) AddSync(d sim.Time) { p.bd.Sync += d }
+func (p *Proc) AddSync(d sim.Time) {
+	p.bd.Sync += d
+	p.charge(ledger.SyncWait, d)
+}
+
+// AddDMAWait is AddSync with the ledger class ledger.DMAWait (a DMA
+// completion wait whose clock movement already happened via Unblock).
+func (p *Proc) AddDMAWait(d sim.Time) {
+	p.bd.Sync += d
+	p.charge(ledger.DMAWait, d)
+}
 
 // Load issues one load instruction to address a and blocks until the
 // data is available.
@@ -292,9 +360,15 @@ func (p *Proc) Load(a mem.Addr) {
 	done := p.memory.Load(p, a)
 	if now := p.task.Time(); done > now {
 		p.bd.LoadStall += done - now
+		if p.pfShadow {
+			p.charge(ledger.PrefetchShadow, done-now)
+		} else {
+			p.charge(ledger.LoadStall, done-now)
+		}
 		p.span("load-stall", now, done-now)
 		p.task.SetTime(done)
 	}
+	p.pfShadow = false
 }
 
 // Store issues one store instruction to address a. The store retires into
@@ -321,6 +395,7 @@ func (p *Proc) store(a mem.Addr, nbytes uint64, pfs bool) {
 	if p.sbLen == depth {
 		oldest := p.storeBuf[p.sbHead]
 		p.bd.StoreStall += oldest - now
+		p.charge(ledger.StoreStall, oldest-now)
 		p.span("store-stall", now, oldest-now)
 		p.task.SetTime(oldest)
 		p.sbHead = (p.sbHead + 1) % depth
@@ -432,12 +507,19 @@ func (p *Proc) Finish() {
 		p.sbLen--
 		if done > now {
 			p.bd.StoreStall += done - now
+			p.charge(ledger.StoreStall, done-now)
 			p.task.SetTime(done)
 			now = done
 		}
 	}
 	if d := p.memory.Flush(p); d > p.task.Time() {
-		p.bd.Sync += d - p.task.Time()
+		wait := d - p.task.Time()
+		p.bd.Sync += wait
+		c := ledger.SyncWait
+		if fc, ok := p.memory.(FlushClasser); ok {
+			c = fc.FlushClass()
+		}
+		p.charge(c, wait)
 		p.task.SetTime(d)
 	}
 	p.finished = true

@@ -10,6 +10,7 @@ package dma
 import (
 	"fmt"
 
+	"repro/internal/ledger"
 	"repro/internal/lstore"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -45,6 +46,9 @@ type command struct {
 	count     uint64
 	// Indexed transfers move one elemBytes element per address.
 	index []mem.Addr
+	// issued is when the core queued the command; completion minus
+	// issued (queuing included) is the command-latency distribution.
+	issued sim.Time
 }
 
 // Stats counts engine activity.
@@ -55,6 +59,30 @@ type Stats struct {
 	Beats       uint64 // 32-byte line beats
 	SparseElems uint64 // strided/indexed elements
 	BusyTime    sim.Time
+
+	// Per-direction command counts and queue-to-completion latency
+	// accumulators (diagnostics, not time series — like coher.Stats,
+	// they stay out of Snapshot so probe columns are stable).
+	GetCommands uint64
+	PutCommands uint64
+	GetLatency  sim.Time
+	PutLatency  sim.Time
+}
+
+// AvgGetLatency returns the mean get-command completion latency.
+func (s Stats) AvgGetLatency() sim.Time {
+	if s.GetCommands == 0 {
+		return 0
+	}
+	return s.GetLatency / sim.Time(s.GetCommands)
+}
+
+// AvgPutLatency returns the mean put-command completion latency.
+func (s Stats) AvgPutLatency() sim.Time {
+	if s.PutCommands == 0 {
+		return 0
+	}
+	return s.PutLatency / sim.Time(s.PutCommands)
 }
 
 // Engine is one core's DMA engine.
@@ -77,6 +105,7 @@ type Engine struct {
 	waitingFor Tag
 
 	stats Stats
+	lat   *ledger.Latency // nil = latency histograms disabled
 }
 
 // New creates an engine for a core in the given cluster. Call Spawn to
@@ -109,6 +138,10 @@ func (e *Engine) Spawn(eng *sim.Engine, start sim.Time) {
 // Stats returns a snapshot of the counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// SetLatency attaches the run's service-time histograms (nil disables
+// recording).
+func (e *Engine) SetLatency(l *ledger.Latency) { e.lat = l }
+
 // QueuedCommands returns the number of commands waiting in the queue
 // (not including the one being processed). A probe-layer gauge: a deep
 // queue means software issued work far ahead of the engine.
@@ -127,6 +160,10 @@ func (s *Stats) Add(src Stats) {
 	s.Beats += src.Beats
 	s.SparseElems += src.SparseElems
 	s.BusyTime += src.BusyTime
+	s.GetCommands += src.GetCommands
+	s.PutCommands += src.PutCommands
+	s.GetLatency += src.GetLatency
+	s.PutLatency += src.PutLatency
 }
 
 // Snapshot emits the counters in a fixed order (probe layer).
@@ -147,6 +184,7 @@ func (e *Engine) enqueue(at sim.Time, c command) Tag {
 	}
 	e.nextTag++
 	c.tag = e.nextTag
+	c.issued = at
 	e.queue = append(e.queue, c)
 	e.stats.Commands++
 	if e.idle {
@@ -249,6 +287,20 @@ func (e *Engine) run(t *sim.Task) {
 		start := t.Time()
 		done := e.process(t, cmd)
 		e.stats.BusyTime += done - start
+		cmdLat := done - cmd.issued
+		if cmd.dir == Get {
+			e.stats.GetCommands++
+			e.stats.GetLatency += cmdLat
+			if e.lat != nil {
+				e.lat.DMAGet.Record(uint64(cmdLat))
+			}
+		} else {
+			e.stats.PutCommands++
+			e.stats.PutLatency += cmdLat
+			if e.lat != nil {
+				e.lat.DMAPut.Record(uint64(cmdLat))
+			}
+		}
 		e.done[cmd.tag] = done
 		e.lastDone = cmd.tag
 		if e.waiter != nil && e.waitingFor <= cmd.tag {

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cpu"
+	"repro/internal/ledger"
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/sim"
@@ -42,6 +43,28 @@ type Stats struct {
 	Invalidates uint64 // lines killed by software
 	FlushOps    uint64 // FlushRange calls
 	InvalOps    uint64 // InvalidateRange calls
+
+	// Miss-service accumulators mirroring coher.Stats so the models'
+	// reports are comparable field-for-field (diagnostics, not time
+	// series — they stay out of Snapshot so probe columns are stable).
+	ReadMissLatency  sim.Time
+	WriteMissLatency sim.Time
+}
+
+// AvgReadMissLatency returns the mean demand read-miss service time.
+func (s Stats) AvgReadMissLatency() sim.Time {
+	if s.ReadMisses == 0 {
+		return 0
+	}
+	return s.ReadMissLatency / sim.Time(s.ReadMisses)
+}
+
+// AvgWriteMissLatency returns the mean write-miss service time.
+func (s Stats) AvgWriteMissLatency() sim.Time {
+	if s.WriteMisses == 0 {
+		return 0
+	}
+	return s.WriteMissLatency / sim.Time(s.WriteMisses)
 }
 
 // Snapshot emits the counters in a fixed order (probe layer).
@@ -62,6 +85,7 @@ type Domain struct {
 	procs []*cpu.Proc
 	l1s   []*cache.Cache
 	stats Stats
+	lat   *ledger.Latency // nil = latency histograms disabled
 }
 
 // NewDomain builds the incoherent L1 level for the given cores.
@@ -85,6 +109,10 @@ func (d *Domain) L1(i int) *cache.Cache { return d.l1s[i] }
 
 // Stats returns a snapshot of the counters.
 func (d *Domain) Stats() Stats { return d.stats }
+
+// SetLatency attaches the run's service-time histograms (nil disables
+// recording).
+func (d *Domain) SetLatency(l *ledger.Latency) { d.lat = l }
 
 // Mem is the per-core cpu.ProcMem of the incoherent model. Misses go
 // straight to the shared L2/DRAM with no snooping.
@@ -116,10 +144,15 @@ func (m *Mem) Load(p *cpu.Proc, a mem.Addr) sim.Time {
 	}
 	p.Task().Sync()
 	m.d.stats.ReadMisses++
+	at := p.Now()
 	cl := m.cluster()
-	t := m.d.net.BusControl(p.Now(), cl)
+	t := m.d.net.BusControl(at, cl)
 	done, _ := m.d.unc.ReadLine(t, cl, a)
 	done = m.d.net.BusData(done, cl, mem.LineSize)
+	m.d.stats.ReadMissLatency += done - at
+	if m.d.lat != nil {
+		m.d.lat.ReadMiss.Record(uint64(done - at))
+	}
 	_, ev := c.Insert(a, cache.Exclusive, done)
 	m.evict(done, ev)
 	return done
@@ -139,10 +172,15 @@ func (m *Mem) Store(p *cpu.Proc, a mem.Addr, nbytes uint64) sim.Time {
 	}
 	p.Task().Sync()
 	m.d.stats.WriteMisses++
+	at := p.Now()
 	cl := m.cluster()
-	t := m.d.net.BusControl(p.Now(), cl)
+	t := m.d.net.BusControl(at, cl)
 	done, _ := m.d.unc.ReadLine(t, cl, a) // write-allocate refill
 	done = m.d.net.BusData(done, cl, mem.LineSize)
+	m.d.stats.WriteMissLatency += done - at
+	if m.d.lat != nil {
+		m.d.lat.WriteMiss.Record(uint64(done - at))
+	}
 	ln, ev := c.Insert(a, cache.Modified, done)
 	ln.Dirty = true
 	m.evict(done, ev)

@@ -1,0 +1,86 @@
+package ledger
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestClassNamesAndOrder(t *testing.T) {
+	names := ClassNames()
+	if len(names) != int(NumClasses) {
+		t.Fatalf("ClassNames: %d names, want %d", len(names), NumClasses)
+	}
+	if names[Compute] != "compute" || names[Idle] != "idle" {
+		t.Errorf("unexpected names: %v", names)
+	}
+	if got := PrefetchShadow.String(); got != "prefetch_shadow" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := Class(250).String(); !strings.Contains(got, "250") {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestLedgerChargeAndTotal(t *testing.T) {
+	var l Ledger
+	l.Charge(Compute, 10)
+	l.Charge(Compute, 5)
+	l.Charge(SyncWait, 7)
+	if got := l.Get(Compute); got != 15 {
+		t.Errorf("Get(Compute) = %d, want 15", got)
+	}
+	if got := l.Total(); got != 22 {
+		t.Errorf("Total() = %d, want 22", got)
+	}
+}
+
+func TestLedgerAddAndSnapshot(t *testing.T) {
+	var a, b Ledger
+	a.Charge(LoadStall, 3)
+	b.Charge(LoadStall, 4)
+	b.Charge(DMAWait, 2)
+	a.Add(&b)
+	if got := a.Get(LoadStall); got != 7 {
+		t.Errorf("after Add, LoadStall = %d, want 7", got)
+	}
+	var names []string
+	a.Snapshot(func(name string, _ float64) { names = append(names, name) })
+	// Idle is excluded: it is derived at report time.
+	want := []string{"compute", "load_stall", "store_stall", "sync_wait", "dma_wait", "prefetch_shadow"}
+	if len(names) != len(want) {
+		t.Fatalf("Snapshot emitted %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("Snapshot[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestSummaryIdleAndCheck(t *testing.T) {
+	const wall = sim.Time(100)
+	l0, l1 := &Ledger{}, &Ledger{}
+	l0.Charge(Compute, 60)
+	l0.Charge(LoadStall, 40) // finishes exactly at wall
+	l1.Charge(Compute, 30)   // finishes at 30; 70 idle
+	s := NewSummary(wall, []*Ledger{l0, l1}, []sim.Time{100, 30})
+	if got := s.PerCore[0][Idle]; got != 0 {
+		t.Errorf("core 0 idle = %d, want 0", got)
+	}
+	if got := s.PerCore[1][Idle]; got != 70 {
+		t.Errorf("core 1 idle = %d, want 70", got)
+	}
+	if err := s.Check(wall); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+	if got := s.Avg[Compute]; got != 45 {
+		t.Errorf("Avg[Compute] = %d, want 45", got)
+	}
+	// Break conservation and watch Check catch it.
+	s.PerCore[1][Compute]++
+	if err := s.Check(wall); err == nil {
+		t.Errorf("Check missed a broken row")
+	}
+}

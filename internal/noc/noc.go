@@ -9,6 +9,7 @@ package noc
 import (
 	"fmt"
 
+	"repro/internal/ledger"
 	"repro/internal/sim"
 )
 
@@ -60,6 +61,7 @@ type Network struct {
 	toL2  []*sim.Pipe // per-cluster crossbar output port (towards L2)
 	frL2  []*sim.Pipe // per-cluster crossbar input port (from L2)
 	stats Stats
+	lat   *ledger.Latency // nil = latency histograms disabled
 }
 
 // New returns a network with cfg.
@@ -82,6 +84,20 @@ func (n *Network) Config() Config { return n.cfg }
 // Stats returns a snapshot of the counters.
 func (n *Network) Stats() Stats { return n.stats }
 
+// SetLatency attaches the run's service-time histograms (nil disables
+// recording).
+func (n *Network) SetLatency(l *ledger.Latency) { n.lat = l }
+
+// xfer runs one tracked transfer, recording the arbitration wait into
+// the NoC-acquire histogram when enabled.
+func (n *Network) xfer(p *sim.Pipe, at sim.Time, nbytes uint64) sim.Time {
+	done, wait := p.TransferTracked(at, nbytes)
+	if n.lat != nil {
+		n.lat.NoCAcquire.Record(uint64(wait))
+	}
+	return done
+}
+
 // ClusterOf maps a core index to its cluster.
 func (n *Network) ClusterOf(core int) int { return core / n.cfg.CoresPerClust }
 
@@ -92,14 +108,14 @@ func (n *Network) Clusters() int { return n.cfg.Clusters }
 // delivery time.
 func (n *Network) BusData(at sim.Time, cluster int, nbytes uint64) sim.Time {
 	n.stats.BusDataBytes += nbytes
-	return n.buses[cluster].Transfer(at, nbytes)
+	return n.xfer(n.buses[cluster], at, nbytes)
 }
 
 // BusControl occupies one command slot on a cluster's bus (a coherence
 // request, snoop result, or DMA command), returning delivery time.
 func (n *Network) BusControl(at sim.Time, cluster int) sim.Time {
 	n.stats.BusControl++
-	return n.buses[cluster].Transfer(at, n.cfg.BusBytes) // one bus cycle
+	return n.xfer(n.buses[cluster], at, n.cfg.BusBytes) // one bus cycle
 }
 
 // ToGlobal moves nbytes from a cluster to the global side (L2/DRAM
@@ -107,14 +123,14 @@ func (n *Network) BusControl(at sim.Time, cluster int) sim.Time {
 func (n *Network) ToGlobal(at sim.Time, cluster int, nbytes uint64) sim.Time {
 	n.stats.XbarBytes += nbytes
 	n.stats.XbarMsgs++
-	return n.toL2[cluster].Transfer(at, nbytes)
+	return n.xfer(n.toL2[cluster], at, nbytes)
 }
 
 // FromGlobal moves nbytes from the global side back into a cluster.
 func (n *Network) FromGlobal(at sim.Time, cluster int, nbytes uint64) sim.Time {
 	n.stats.XbarBytes += nbytes
 	n.stats.XbarMsgs++
-	return n.frL2[cluster].Transfer(at, nbytes)
+	return n.xfer(n.frL2[cluster], at, nbytes)
 }
 
 // BusUtilization returns the busy fraction of a cluster bus over [0, end].

@@ -249,10 +249,19 @@ func NewPipe(name string, bytesPerCycle uint64, clock Clock, latency Time) *Pipe
 // Transfer moves nbytes through the pipe starting no earlier than at.
 // It returns the time the last byte is delivered.
 func (p *Pipe) Transfer(at Time, nbytes uint64) (done Time) {
+	done, _ = p.TransferTracked(at, nbytes)
+	return done
+}
+
+// TransferTracked is Transfer, additionally returning the arbitration
+// wait: time from arrival at the link to service start (zero when the
+// link was free). The latency-distribution layer records it as the NoC
+// acquire wait.
+func (p *Pipe) TransferTracked(at Time, nbytes uint64) (done, wait Time) {
 	if nbytes == 0 {
-		return at + p.Latency
+		return at + p.Latency, 0
 	}
 	cycles := (nbytes + p.BytesPerCycle - 1) / p.BytesPerCycle
 	start := p.Acquire(at, p.Clock.Cycles(cycles))
-	return start + p.Clock.Cycles(cycles) + p.Latency
+	return start + p.Clock.Cycles(cycles) + p.Latency, start - at
 }

@@ -1,0 +1,138 @@
+package stats
+
+import "math/bits"
+
+// histBuckets is the number of power-of-two buckets: bucket 0 holds the
+// value 0, bucket i (i >= 1) holds values in [2^(i-1), 2^i). 64 value
+// buckets cover the full uint64 range.
+const histBuckets = 65
+
+// Histogram is a power-of-two log-bucket histogram for service times in
+// femtoseconds (or any uint64 magnitude). Recording is a bits.Len64 and
+// an add — cheap enough for per-miss hot paths — and histograms from
+// different cores or runs merge by bucket-wise addition. Quantiles are
+// resolved to the upper bound of the containing bucket, which is the
+// honest answer a log-bucket scheme can give: within a factor of two,
+// biased high.
+//
+// The zero value is an empty histogram ready for use.
+type Histogram struct {
+	buckets [histBuckets]uint64
+	count   uint64
+	sum     float64 // float64: 2^64 fs * many samples overflows uint64
+	max     uint64
+}
+
+// bucketOf returns the bucket index of v.
+func bucketOf(v uint64) int { return bits.Len64(v) }
+
+// Record adds one observation.
+func (h *Histogram) Record(v uint64) {
+	h.buckets[bucketOf(v)]++
+	h.count++
+	h.sum += float64(v)
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile returns the value bound below which at least q (0..1) of the
+// observations fall: the upper bound of the bucket containing the q-th
+// observation, clamped to Max for the top bucket. 0 when empty.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the q-th observation.
+	rank := uint64(q*float64(h.count) + 0.5)
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			hi := bucketHi(i)
+			if hi > h.max {
+				hi = h.max
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// P50 returns the median bound.
+func (h *Histogram) P50() uint64 { return h.Quantile(0.50) }
+
+// P95 returns the 95th-percentile bound.
+func (h *Histogram) P95() uint64 { return h.Quantile(0.95) }
+
+// P99 returns the 99th-percentile bound.
+func (h *Histogram) P99() uint64 { return h.Quantile(0.99) }
+
+// Merge adds src's observations into h bucket-wise.
+func (h *Histogram) Merge(src *Histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += src.buckets[i]
+	}
+	h.count += src.count
+	h.sum += src.sum
+	if src.max > h.max {
+		h.max = src.max
+	}
+}
+
+// bucketHi returns the exclusive upper bound of bucket i (inclusive for
+// the value 0 in bucket 0).
+func bucketHi(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// bucketLo returns the inclusive lower bound of bucket i.
+func bucketLo(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	return 1 << uint(i-1)
+}
+
+// Buckets calls f for every non-empty bucket in ascending order with the
+// bucket's inclusive lower bound, upper bound and observation count —
+// the CSV-export view of the distribution.
+func (h *Histogram) Buckets(f func(lo, hi, count uint64)) {
+	for i, c := range h.buckets {
+		if c > 0 {
+			f(bucketLo(i), bucketHi(i), c)
+		}
+	}
+}

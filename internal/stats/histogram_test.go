@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.P50() != 0 || h.P99() != 0 {
+		t.Fatalf("empty histogram not all-zero: %+v", h)
+	}
+	h.Buckets(func(lo, hi, c uint64) { t.Fatalf("empty histogram emitted bucket [%d,%d]=%d", lo, hi, c) })
+}
+
+func TestHistogramBasic(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d, want 1000", h.Max())
+	}
+	if got, want := h.Mean(), 500.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	// Log buckets answer within a factor of two, biased high.
+	if p := h.P50(); p < 500 || p > 1023 {
+		t.Fatalf("p50 = %d, want in [500, 1023]", p)
+	}
+	if p := h.P99(); p < 990 || p > 1000 {
+		t.Fatalf("p99 = %d, want in [990, 1000] (clamped to max)", p)
+	}
+	if p := h.Quantile(1); p != 1000 {
+		t.Fatalf("q(1) = %d, want max 1000", p)
+	}
+}
+
+func TestHistogramZeroValues(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(0)
+	h.Record(8)
+	if h.P50() != 0 {
+		t.Fatalf("p50 = %d, want 0 (two of three observations are 0)", h.P50())
+	}
+	if h.Max() != 8 {
+		t.Fatalf("max = %d, want 8", h.Max())
+	}
+}
+
+func TestHistogramBucketBounds(t *testing.T) {
+	var h Histogram
+	// 1 lands in [1,1], 2..3 in [2,3], 4..7 in [4,7].
+	for _, v := range []uint64{1, 2, 3, 4, 7} {
+		h.Record(v)
+	}
+	type b struct{ lo, hi, count uint64 }
+	var got []b
+	h.Buckets(func(lo, hi, c uint64) { got = append(got, b{lo, hi, c}) })
+	want := []b{{1, 1, 1}, {2, 3, 2}, {4, 7, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, whole Histogram
+	for v := uint64(1); v <= 100; v++ {
+		a.Record(v)
+		whole.Record(v)
+	}
+	for v := uint64(1000); v <= 1100; v++ {
+		b.Record(v)
+		whole.Record(v)
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Sum() != whole.Sum() || a.Max() != whole.Max() {
+		t.Fatalf("merge mismatch: got (%d,%v,%d), want (%d,%v,%d)",
+			a.Count(), a.Sum(), a.Max(), whole.Count(), whole.Sum(), whole.Max())
+	}
+	for q := 0.1; q < 1; q += 0.2 {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q(%v): merged %d != whole %d", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramLargeValues(t *testing.T) {
+	var h Histogram
+	h.Record(^uint64(0))
+	if h.Max() != ^uint64(0) || h.P99() != ^uint64(0) {
+		t.Fatalf("top-bucket handling: max=%d p99=%d", h.Max(), h.P99())
+	}
+}
+
+// BenchmarkHistogramRecord is the per-observation cost gate: Record sits
+// on the per-miss hot path when the cycle ledger is enabled.
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	v := uint64(12345)
+	for i := 0; i < b.N; i++ {
+		// xorshift keeps values varied without a modulo in the loop.
+		v ^= v << 13
+		v ^= v >> 7
+		v ^= v << 17
+		h.Record(v)
+	}
+	if h.Count() == 0 {
+		b.Fatal("no records")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/dma"
+	"repro/internal/ledger"
 	"repro/internal/lstore"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -55,9 +56,47 @@ type Mem struct {
 	cch     *cache.Cache // the 8 KB stack/globals cache
 	ls      *lstore.Store
 	eng     *dma.Engine
+	stats   Stats
+	lat     *ledger.Latency // nil = latency histograms disabled
+}
+
+// Stats counts the 8 KB cache's miss service, mirroring the coherent
+// model's accumulators so CC and STR reports are comparable
+// field-for-field (the latency fields are diagnostics, not time series
+// — like coher.Stats, they stay out of probe snapshots).
+type Stats struct {
+	ReadMisses       uint64
+	WriteMisses      uint64
+	ReadMissLatency  sim.Time
+	WriteMissLatency sim.Time
+}
+
+// Add accumulates src into s (aggregating per-core first levels).
+func (s *Stats) Add(src Stats) {
+	s.ReadMisses += src.ReadMisses
+	s.WriteMisses += src.WriteMisses
+	s.ReadMissLatency += src.ReadMissLatency
+	s.WriteMissLatency += src.WriteMissLatency
+}
+
+// AvgReadMissLatency returns the mean demand read-miss service time.
+func (s Stats) AvgReadMissLatency() sim.Time {
+	if s.ReadMisses == 0 {
+		return 0
+	}
+	return s.ReadMissLatency / sim.Time(s.ReadMisses)
+}
+
+// AvgWriteMissLatency returns the mean write-miss service time.
+func (s Stats) AvgWriteMissLatency() sim.Time {
+	if s.WriteMisses == 0 {
+		return 0
+	}
+	return s.WriteMissLatency / sim.Time(s.WriteMisses)
 }
 
 var _ cpu.ProcMem = (*Mem)(nil)
+var _ cpu.FlushClasser = (*Mem)(nil)
 
 // New builds the streaming first level for one core. Call Spawn to start
 // the DMA engine before running.
@@ -89,15 +128,35 @@ func (m *Mem) Cache() *cache.Cache { return m.cch }
 // DMA returns the DMA engine (stats, tests).
 func (m *Mem) DMA() *dma.Engine { return m.eng }
 
+// Stats returns the 8 KB cache's miss accounting.
+func (m *Mem) Stats() Stats { return m.stats }
+
+// SetLatency attaches the run's service-time histograms to this first
+// level and its DMA engine (nil disables recording).
+func (m *Mem) SetLatency(l *ledger.Latency) {
+	m.lat = l
+	m.eng.SetLatency(l)
+}
+
+// FlushClass implements cpu.FlushClasser: the Finish-time drain waits on
+// the DMA engine, so its ledger class is DMAWait.
+func (m *Mem) FlushClass() ledger.Class { return ledger.DMAWait }
+
 // Load implements cpu.ProcMem: a load through the small cache.
 func (m *Mem) Load(p *cpu.Proc, a mem.Addr) sim.Time {
 	if ln := m.cch.Access(a, false); ln != nil {
 		return maxTime(p.Now(), ln.FillDone)
 	}
 	p.Task().Sync()
-	done, _ := m.unc.ReadLine(m.busOut(p.Now()), m.cluster, a)
+	at := p.Now()
+	done, _ := m.unc.ReadLine(m.busOut(at), m.cluster, a)
 	done = m.unc.Network().BusData(done, m.cluster, mem.LineSize)
 	m.insert(done, a, cache.Exclusive)
+	m.stats.ReadMisses++
+	m.stats.ReadMissLatency += done - at
+	if m.lat != nil {
+		m.lat.ReadMiss.Record(uint64(done - at))
+	}
 	return done
 }
 
@@ -110,10 +169,16 @@ func (m *Mem) Store(p *cpu.Proc, a mem.Addr, nbytes uint64) sim.Time {
 		return maxTime(p.Now(), ln.FillDone)
 	}
 	p.Task().Sync()
-	done, _ := m.unc.ReadLine(m.busOut(p.Now()), m.cluster, a)
+	at := p.Now()
+	done, _ := m.unc.ReadLine(m.busOut(at), m.cluster, a)
 	done = m.unc.Network().BusData(done, m.cluster, mem.LineSize)
 	ln := m.insert(done, a, cache.Modified)
 	ln.Dirty = true
+	m.stats.WriteMisses++
+	m.stats.WriteMissLatency += done - at
+	if m.lat != nil {
+		m.lat.WriteMiss.Record(uint64(done - at))
+	}
 	return done
 }
 
@@ -130,7 +195,14 @@ func (m *Mem) Flush(p *cpu.Proc) sim.Time {
 		if done, ok := m.eng.Done(last); ok {
 			t = maxTime(t, done)
 		} else {
+			// Blocking on the engine moves the clock via Unblock, which
+			// the caller cannot see in the returned time; charge the wait
+			// here so no cycle escapes the accounting (conservation).
+			before := p.Now()
 			t = maxTime(t, m.eng.Wait(p.Task(), last))
+			if wait := p.Now() - before; wait > 0 {
+				p.AddDMAWait(wait)
+			}
 		}
 	}
 	m.eng.Stop()
@@ -205,17 +277,17 @@ func (m *Mem) GetIndexed(p *cpu.Proc, addrs []mem.Addr, elemBytes uint64) dma.Ta
 
 // Wait blocks the core until the DMA command completes, charging the
 // wait to the Sync bucket (Figure 2 counts "wait for DMA" as
-// synchronization).
+// synchronization); the cycle ledger splits it out as DMAWait.
 func (m *Mem) Wait(p *cpu.Proc, tag dma.Tag) {
 	p.Task().Sync()
 	if done, ok := m.eng.Done(tag); ok {
-		p.WaitUntil(done)
+		p.WaitUntilDMA(done)
 		return
 	}
 	before := p.Now()
 	done := m.eng.Wait(p.Task(), tag)
 	if done > before {
-		p.AddSync(p.Now() - before)
+		p.AddDMAWait(p.Now() - before)
 	}
 }
 

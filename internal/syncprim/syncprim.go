@@ -9,6 +9,11 @@
 // trip). The dominant synchronization costs in the study — load
 // imbalance and limited parallelism — emerge from the queueing
 // discipline, not the per-operation constant.
+//
+// Every clock movement here goes through cpu.AddSync (paired with the
+// matching Advance or BlockOn), which also feeds the cycle ledger's
+// SyncWait class — so lock and barrier time is fully attributed and the
+// ledger's conservation invariant holds across synchronization.
 package syncprim
 
 import (

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/dram"
+	"repro/internal/ledger"
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/sim"
@@ -79,6 +80,7 @@ type Uncore struct {
 	l2Ports []*sim.Server
 	drams   []*dram.Channel
 	stats   Stats
+	lat     *ledger.Latency // nil = latency histograms disabled
 }
 
 // New builds the shared hierarchy on the given network.
@@ -193,6 +195,10 @@ func (u *Uncore) AvgChannelUtilization(end sim.Time) float64 {
 // Stats returns a snapshot of the uncore counters.
 func (u *Uncore) Stats() Stats { return u.stats }
 
+// SetLatency attaches the run's service-time histograms (nil disables
+// recording).
+func (u *Uncore) SetLatency(l *ledger.Latency) { u.lat = l }
+
 // L2PortBusy returns the total time the L2 ports were occupied (summed
 // across banks).
 func (u *Uncore) L2PortBusy() sim.Time {
@@ -233,12 +239,20 @@ func (u *Uncore) ReadLine(at sim.Time, cluster int, a mem.Addr) (done sim.Time, 
 		if ln.FillDone > t {
 			t = ln.FillDone
 		}
-		return u.net.FromGlobal(t, cluster, mem.LineSize), true
+		done = u.net.FromGlobal(t, cluster, mem.LineSize)
+		if u.lat != nil {
+			u.lat.L2Hit.Record(uint64(done - at))
+		}
+		return done, true
 	}
 	t = u.dramAccess(t, a.Line(), mem.LineSize, false)
 	_, ev := u.l2For(a).Insert(a, cache.Exclusive, t)
 	u.evictL2(t, ev)
-	return u.net.FromGlobal(t, cluster, mem.LineSize), false
+	done = u.net.FromGlobal(t, cluster, mem.LineSize)
+	if u.lat != nil {
+		u.lat.DRAMFill.Record(uint64(done - at))
+	}
+	return done, false
 }
 
 // WriteLine writes nbytes of the line at a from cluster. fullLine reports

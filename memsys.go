@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/ledger"
 	"repro/internal/mem"
 	"repro/internal/probe"
 	"repro/internal/sim"
@@ -65,6 +66,18 @@ type System = core.System
 
 // Report is the measurement record of one run.
 type Report = core.Report
+
+// Cycle-accounting types (internal/ledger), present on a Report when
+// Config.CycleLedger is set: CycleSummary attributes every core cycle
+// to a fixed class taxonomy (classes sum exactly to the wall time);
+// LatencySummary carries the memory system's service-time
+// distributions, one LatencyDist of quantiles and power-of-two buckets
+// per metric.
+type (
+	CycleSummary   = ledger.Summary
+	LatencySummary = ledger.LatencySummary
+	LatencyDist    = ledger.Dist
+)
 
 // Workload is a program for the machine. The built-in implementations
 // live in internal/workload; external users implement it against the
