@@ -1,6 +1,6 @@
 # Tier-1 verification and CI entry points (see ROADMAP.md).
 
-.PHONY: verify build test race fault bench bench-engine bench-check paperbench-determinism
+.PHONY: verify build test race fault bench bench-engine bench-check paperbench-determinism profile
 
 # verify is the tier-1 gate: build + full test suite.
 verify: build test
@@ -53,6 +53,17 @@ bench-check:
 	go test -bench BenchmarkHistogramRecord -run xxx ./internal/stats/ >> /tmp/bench-engine-check.txt
 	go test -bench BenchmarkRunner -run xxx -benchtime 3x ./internal/bench/ >> /tmp/bench-engine-check.txt
 	go run ./cmd/benchcheck -baseline BENCH_engine.json -max-regress 25 < /tmp/bench-engine-check.txt
+
+# profile runs a small single-figure campaign under the CPU and blocking
+# profilers and leaves cpu.pprof/block.pprof in /tmp for `go tool pprof`.
+# The blocking profile is the one that matters for dispatch work: time
+# parked in channel operations is invisible to the CPU profile. See
+# EXPERIMENTS.md ("Profiling the engine") for how to read the output.
+profile:
+	go run ./cmd/paperbench -only fig2 -apps fir -scale small -q \
+		-cpuprofile /tmp/paperbench-cpu.pprof -blockprofile /tmp/paperbench-block.pprof
+	@echo "profiles written: /tmp/paperbench-cpu.pprof /tmp/paperbench-block.pprof"
+	@echo "inspect with: go tool pprof -top /tmp/paperbench-cpu.pprof"
 
 # paperbench-determinism is the end-to-end check that figure output is
 # byte-identical at any -j (the sweep is embarrassingly parallel).

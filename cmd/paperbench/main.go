@@ -5,6 +5,7 @@
 //
 //	paperbench [-scale small|default|paper] [-only table3,fig2,...] [-apps fir,depth] [-j N]
 //	           [-job-timeout 2m] [-retries 2] [-artifacts DIR] [-resume]
+//	           [-cpuprofile cpu.pprof] [-blockprofile block.pprof]
 //
 // The default scale runs the same workload shapes as the paper at
 // reduced dataset sizes; -scale paper uses paper-sized inputs (slow).
@@ -36,6 +37,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -65,6 +67,7 @@ type manifestRun struct {
 	bench.Record
 	WallFS       uint64  `json:"wall_fs"`
 	FastPathRate float64 `json:"fastpath_rate"`
+	HandoffRate  float64 `json:"handoff_rate"`
 }
 
 // manifestWriter serializes concurrent OnRecord callbacks into one
@@ -110,6 +113,7 @@ func (m *manifestWriter) record(rec bench.Record) {
 	if rec.Report != nil {
 		run.WallFS = uint64(rec.Report.Wall)
 		run.FastPathRate = rec.Report.Engine.FastPathRate()
+		run.HandoffRate = rec.Report.Engine.HandoffRate()
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -172,6 +176,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jobTimeout := fs.Duration("job-timeout", 0, "wall-clock watchdog per simulation (0 = off); timed-out jobs fail with a progress dump")
 	retries := fs.Int("retries", 0, "retry budget per job for retryable failures (timeouts, panics)")
 	resume := fs.Bool("resume", false, "seed completed jobs from an existing manifest.jsonl (requires -artifacts) and re-run only missing/failed ones")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole campaign to this file")
+	blockProfile := fs.String("blockprofile", "", "write a pprof blocking profile (rate 1) to this file; shows where goroutines wait")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -199,6 +205,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *resume && *artifactsDir == "" {
 		fmt.Fprintln(stderr, "paperbench: -resume requires -artifacts (the manifest.jsonl to replay)")
 		return 2
+	}
+
+	// Profiling wraps the whole campaign: start before any simulation
+	// spawns, flush via defer so every return path (including partial
+	// and fatal exits) still writes usable profiles.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "paperbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "paperbench: -cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *blockProfile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer func() {
+			runtime.SetBlockProfileRate(0)
+			f, err := os.Create(*blockProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "paperbench: -blockprofile: %v\n", err)
+				return
+			}
+			if err := pprof.Lookup("block").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(stderr, "paperbench: -blockprofile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	want := map[string]bool{}

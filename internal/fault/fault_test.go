@@ -110,6 +110,54 @@ func TestWatchdogAbortsStall(t *testing.T) {
 	}
 }
 
+// TestWatchdogAbortMidHandoff is the handoff-dispatch regression at the
+// run layer: with 8 cores advancing in lockstep, every slow-path yield
+// is a direct task-to-task handoff and the engine goroutine stays
+// parked, so the watchdog's Abort necessarily lands while a task
+// goroutine holds the scheduler. It must still surface as a typed
+// timeout record whose EngineState snapshot is coherent — all stalled
+// cores accounted for, none stuck "running" — and whose engine metrics
+// prove the run was dispatching by handoff when it died.
+func TestWatchdogAbortMidHandoff(t *testing.T) {
+	rec := &recorder{}
+	r := newRunner(rec)
+	defer r.Close()
+	r.JobTimeout = 50 * time.Millisecond
+	cfg := core.DefaultConfig(core.CC, 8)
+	cfg.MaxSimTime = 0 // disable the livelock net; the watchdog must act
+	_, err := r.Run(cfg, fault.Stall)
+	var jerr *bench.JobError
+	if !errors.As(err, &jerr) {
+		t.Fatalf("err = %#v, want *bench.JobError", err)
+	}
+	if jerr.Kind != bench.ErrTimeout {
+		t.Fatalf("kind = %q, want timeout", jerr.Kind)
+	}
+	var ae *sim.AbortError
+	if !errors.As(jerr.Err, &ae) {
+		t.Fatalf("underlying err = %#v, want *sim.AbortError", jerr.Err)
+	}
+	st := ae.EngineState()
+	if st.Metrics.Handoffs == 0 {
+		t.Fatalf("stall aborted without a single handoff dispatch: %+v", st.Metrics)
+	}
+	cores := 0
+	for _, ts := range st.Tasks {
+		if ts.State == "running" {
+			t.Fatalf("task %q snapshotted as running after abort: the scheduler owner was lost mid-handoff (%+v)", ts.Name, st.Tasks)
+		}
+		if strings.HasPrefix(ts.Name, "core") {
+			cores++
+		}
+	}
+	if cores != 8 {
+		t.Fatalf("snapshot accounts for %d core tasks, want 8: %+v", cores, st.Tasks)
+	}
+	if len(rec.recs) != 1 || rec.recs[0].ErrKind != "timeout" || rec.recs[0].EngineState == nil {
+		t.Fatalf("manifest record = %+v, want one timeout record with engine state", rec.recs)
+	}
+}
+
 // TestLivelockNetCatchesStall is the same stall under MaxSimTime: the
 // engine's own bound fires instead of the watchdog.
 func TestLivelockNetCatchesStall(t *testing.T) {

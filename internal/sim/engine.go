@@ -40,13 +40,43 @@ import (
 // precisely "the engine's next pop would return t", the sequence of
 // task-at-time steps — and therefore every simulated timestamp — is
 // identical with the fast path on or off; TestFastPathScheduleEquivalence
-// checks this on randomized schedules. The running task may read and
-// write engine scheduling state without locks because the engine
-// goroutine is parked in a channel receive for the whole interval
-// between resuming the task and the task's next yield (the resume/sched
-// channel pair supplies the happens-before edges, so the race detector
-// agrees). The fast path declines when the task has passed MaxTime so
-// the livelock safety net still trips inside Run.
+// checks this on randomized schedules.
+//
+// Handoff invariant: when the fast path declines because a queued task
+// precedes the yielder, the engine goroutine would do nothing but pop
+// that task and resume it — so the yielding task does it instead
+// (direct task-to-task handoff): it swaps itself into the scheduler
+// heap for the minimum in one sift (taskHeap.replaceMin), advances the
+// engine clock exactly as Run's dispatch loop would, and resumes the
+// popped task on its resume channel before parking. The slow path costs
+// one channel operation and one goroutine switch instead of two of
+// each; the dispatched sequence is still "pop the global (time, id)
+// minimum among runnable tasks" performed by whichever goroutine
+// currently runs, so every simulated timestamp is identical with
+// handoff on or off (the 2×2 fastpath × handoff matrix in
+// TestFastPathScheduleEquivalence pins this). The same handoff applies
+// to Block when runnable peers remain. The engine goroutine stays
+// parked in its sched receive and handles only the cold edges, which
+// must unwind Run with typed panics on the driving goroutine:
+// block-with-empty-heap (deadlock diagnosis), task completion and
+// forwarded task panics, a requested Abort, and a dispatch that would
+// cross MaxTime (livelock) — handoffOK routes the last two back through
+// the handshake.
+//
+// Ownership and memory ordering: engine scheduling state (queue, now,
+// met, live, tasks, the per-task queued/blocked flags) is owned by
+// whichever single goroutine of the domain is executing — the engine
+// between a sched receive and the next resume send, the running task
+// otherwise. With handoffs that owner migrates directly from task to
+// task: the yielder's writes happen before its send on the next task's
+// resume channel, and the next task's reads happen after its receive,
+// so every ownership transfer — task→task via resume, task→engine via
+// sched, engine→task via resume — is a channel edge the race detector
+// observes as happens-before. The engine goroutine never touches the
+// state while parked, so the migrated ownership is race-free by the
+// same argument as the original fast path. The fast path declines when
+// the task has passed MaxTime so the livelock safety net still trips
+// inside Run.
 type Engine struct {
 	queue   taskHeap
 	tasks   []*Task
@@ -60,6 +90,11 @@ type Engine struct {
 	// noFastPath forces every Sync through the engine handshake; only the
 	// determinism tests set it (the fast path must be unobservable).
 	noFastPath bool
+	// noHandoff forces every slow-path yield through the engine goroutine
+	// instead of the direct task-to-task handoff; only the determinism
+	// tests set it (the handoff must be unobservable — the schedule-
+	// equivalence suite runs the full 2×2 fastpath × handoff matrix).
+	noHandoff bool
 
 	// Cooperative cancellation (Abort) and post-failure goroutine drain
 	// (Shutdown). abortFlag is atomic because Abort may come from any
@@ -103,7 +138,8 @@ type Engine struct {
 type Metrics struct {
 	SyncFast   uint64 // Syncs answered without the engine handshake
 	SyncSlow   uint64 // Syncs that yielded through the scheduler
-	Dispatches uint64 // events dispatched by Run (slow-path resumes)
+	Dispatches uint64 // events dispatched by Run's loop (engine resumes)
+	Handoffs   uint64 // events dispatched task-to-task, engine parked
 	Spawns     uint64 // tasks ever spawned
 	Blocks     uint64 // yields that blocked awaiting an Unblock
 	Unblocks   uint64 // wake-ups of blocked tasks
@@ -121,16 +157,34 @@ func (m Metrics) FastPathRate() float64 {
 	return float64(m.SyncFast) / float64(tot)
 }
 
+// HandoffRate returns the fraction of slow-path dispatches performed as
+// direct task-to-task handoffs — resumes that never woke the engine
+// goroutine. Together with FastPathRate it locates the dispatch cost of
+// a run: fast-path Syncs are free, handoffs cost one goroutine switch,
+// and the remaining Dispatches cost the full engine round trip.
+func (m Metrics) HandoffRate() float64 {
+	tot := m.Handoffs + m.Dispatches
+	if tot == 0 {
+		return 0
+	}
+	return float64(m.Handoffs) / float64(tot)
+}
+
 // Snapshot emits the counters in a fixed order; it satisfies the probe
-// layer's snapshot contract (internal/probe).
+// layer's snapshot contract (internal/probe). HeapMax is monotone
+// non-decreasing, so it is well-defined as a probe Counter like the
+// rest.
 func (m Metrics) Snapshot(put func(name string, value float64)) {
 	put("sync_fast", float64(m.SyncFast))
 	put("sync_slow", float64(m.SyncSlow))
 	put("dispatches", float64(m.Dispatches))
+	put("handoffs", float64(m.Handoffs))
+	put("spawns", float64(m.Spawns))
 	put("blocks", float64(m.Blocks))
 	put("unblocks", float64(m.Unblocks))
 	put("heap_pushes", float64(m.HeapPushes))
 	put("heap_pops", float64(m.HeapPops))
+	put("heap_max", float64(m.HeapMax))
 }
 
 // NewEngine returns an empty engine.
@@ -275,13 +329,19 @@ func (e *Engine) push(t *Task) {
 	}
 }
 
-// Run dispatches events until every task has finished. It panics with a
-// typed value (see abort.go) on deadlock (live tasks remain but none is
-// runnable — always a bug in a model or workload, never a recoverable
-// condition), on livelock past MaxTime, on a requested Abort, and when a
-// task goroutine panicked; every such value carries an EngineState
-// snapshot. The run layer recovers these in one place (core.System.Run)
-// and must call Shutdown afterwards to drain the parked task goroutines.
+// Run dispatches events until every task has finished. With the direct
+// task-to-task handoff (see the Engine doc) the hot dispatches never
+// return here: tasks resume each other while this loop sits parked in
+// its sched receive, and it wakes only for the cold edges — task
+// completion, a blocked task with the runnable set drained (deadlock
+// diagnosis), a forwarded task panic, a requested Abort, a dispatch
+// crossing MaxTime. It panics with a typed value (see abort.go) on
+// deadlock (live tasks remain but none is runnable — always a bug in a
+// model or workload, never a recoverable condition), on livelock past
+// MaxTime, on a requested Abort, and when a task goroutine panicked;
+// every such value carries an EngineState snapshot. The run layer
+// recovers these in one place (core.System.Run) and must call Shutdown
+// afterwards to drain the parked task goroutines.
 // Run must be called exactly once, and only one goroutine may drive an
 // Engine: the compare-and-swap below asserts it, making concurrent
 // engines provably non-interfering (each is driven by its own caller).
@@ -360,6 +420,14 @@ func (t *Task) Advance(d Time) { t.time += d }
 // under (time, id) — the engine would dispatch it right back, so Sync
 // returns without the channel round trip (see the fast-path invariant in
 // the Engine doc). The engine clock still advances to the task's time.
+//
+// Otherwise a queued task precedes this one, and the engine's only move
+// would be to pop and resume it — so the yielding task does that itself
+// (the handoff invariant in the Engine doc): swap self for the heap
+// minimum in one sift, advance the clock, resume the winner directly,
+// park. One channel operation and one goroutine switch instead of two
+// of each. Only the cold edges — abort, MaxTime — fall back to the
+// engine handshake.
 func (t *Task) Sync() {
 	e := t.engine
 	if !e.noFastPath && (e.MaxTime == 0 || t.time <= e.MaxTime) &&
@@ -372,8 +440,68 @@ func (t *Task) Sync() {
 		return
 	}
 	e.met.SyncSlow++
+	if e.handoffOK(t.time) {
+		e.met.HeapPushes++
+		e.met.HeapPops++
+		n := e.queue.replaceMin(t)
+		if n == t {
+			// The yielder is still globally minimal — possible only when
+			// the fast path was declined for another reason (noFastPath,
+			// or a strided abort poll that read a clear flag after all).
+			// The engine would dispatch it right back; keep running.
+			e.dispatchClock(t)
+			return
+		}
+		t.queued = true
+		n.queued = false
+		e.dispatchClock(n)
+		e.met.Handoffs++
+		n.resume <- struct{}{}
+		t.pause()
+		return
+	}
 	e.sched <- yieldMsg{task: t, kind: yieldRequeue}
 	t.pause()
+}
+
+// handoffOK reports whether the running task may dispatch the next task
+// itself instead of bouncing through the engine goroutine. next is the
+// local time of the yielder (Sync, which requeues itself) or of the
+// heap head (Block, which does not); the task actually dispatched runs
+// at min(next, heap head), which is what the MaxTime comparison needs.
+// The cold edges stay with the engine, because they unwind Run with
+// typed panics on the driving goroutine: a requested Abort and a
+// dispatch that would cross MaxTime decline the handoff, forcing the
+// handshake where Run raises *AbortError / *LivelockError. The abort
+// flag is polled on every slow-path yield — an atomic load is noise
+// next to the goroutine switch that follows — so cancellation latency
+// is no worse than the engine path's once-per-dispatch check.
+func (e *Engine) handoffOK(next Time) bool {
+	if e.noHandoff || e.abortFlag.Load() {
+		return false
+	}
+	if e.MaxTime == 0 {
+		return true
+	}
+	if e.queue.len() > 0 && e.queue.peek().time < next {
+		next = e.queue.peek().time
+	}
+	return next <= e.MaxTime
+}
+
+// dispatchClock advances the engine clock for a dispatch performed on a
+// task goroutine, mirroring Run's dispatch loop: the scheduled-in-the-
+// past consistency check, the clock write, the epoch hook. On a task
+// goroutine the impossible-by-invariant panic surfaces as a
+// *TaskPanicError instead of a raw engine panic; both are loud.
+func (e *Engine) dispatchClock(n *Task) {
+	if n.time < e.now {
+		panic(fmt.Sprintf("sim: task %q scheduled in the past (%v < %v)", n.name, n.time, e.now))
+	}
+	e.now = n.time
+	if e.now >= e.nextEpoch {
+		e.epochTick()
+	}
 }
 
 // abortStride is how many fast-path Syncs may pass between polls of the
@@ -417,8 +545,26 @@ func (t *Task) BlockOn(label string) { t.block(label) }
 
 func (t *Task) block(label string) {
 	t.waitingOn = label
-	t.engine.sched <- yieldMsg{task: t, kind: yieldBlock}
-	t.pause()
+	e := t.engine
+	if e.queue.len() > 0 && e.handoffOK(e.queue.peek().time) {
+		// Runnable peers remain: mark this task blocked and dispatch the
+		// heap minimum directly, exactly as the engine's yieldBlock
+		// handling plus its next loop iteration would. Blocking with an
+		// empty heap stays on the engine path — that is the deadlock the
+		// engine must diagnose with a snapshot.
+		e.met.Blocks++
+		t.blocked = true
+		n := e.queue.pop()
+		n.queued = false
+		e.met.HeapPops++
+		e.dispatchClock(n)
+		e.met.Handoffs++
+		n.resume <- struct{}{}
+		t.pause()
+	} else {
+		e.sched <- yieldMsg{task: t, kind: yieldBlock}
+		t.pause()
+	}
 	t.waitingOn = ""
 }
 
@@ -480,6 +626,48 @@ func (h *taskHeap) push(t *Task) {
 		i = p
 	}
 	s[i] = t
+}
+
+// replaceMin pushes t and pops the global minimum in a single sift, the
+// handoff dispatch's heap operation. When t precedes the current root —
+// or the heap is empty — the heap is left untouched and t itself is
+// returned; otherwise the root is returned and t sifts down from the
+// root slot, halving the work of a separate push + pop. The result is
+// always the minimum of {heap ∪ t}, and because (time, id) keys are
+// unique and totally ordered, the pop sequence — hence the dispatch
+// order — is identical to push(t) followed by pop() regardless of the
+// differing internal heap shape.
+func (h *taskHeap) replaceMin(t *Task) *Task {
+	s := h.s
+	n := len(s)
+	if n == 0 || t.before(s[0]) {
+		return t
+	}
+	top := s[0]
+	i := 0
+	for {
+		first := i*heapArity + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if s[c].before(s[min]) {
+				min = c
+			}
+		}
+		if !s[min].before(t) {
+			break
+		}
+		s[i] = s[min]
+		i = min
+	}
+	s[i] = t
+	return top
 }
 
 func (h *taskHeap) pop() *Task {

@@ -45,13 +45,58 @@ func BenchmarkSyncFastPathWatchdog(b *testing.B) {
 	}
 }
 
-// BenchmarkDispatch measures the full scheduler round trip: 8 tasks in
+// BenchmarkDispatch measures the contended dispatch path: 8 tasks in
 // lockstep, so every Sync finds a peer at an earlier timestamp and must
-// hand control back to the engine (heap push + pop + two channel
-// operations + two goroutine switches per event).
+// yield. With the direct handoff this is one heap sift, one channel
+// send and one goroutine switch per event — the yielding task resumes
+// its successor itself while the engine goroutine stays parked (the old
+// engine round trip cost two channel operations and two switches).
 func BenchmarkDispatch(b *testing.B) {
 	e := NewEngine()
 	const tasks = 8
+	per := b.N/tasks + 1
+	for i := 0; i < tasks; i++ {
+		e.Spawn("w", 0, func(t *Task) {
+			for j := 0; j < per; j++ {
+				t.Advance(10 * Nanosecond)
+				t.Sync()
+			}
+		})
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkDispatchNoHandoff is BenchmarkDispatch with the handoff
+// escape hatch thrown: every slow-path yield bounces through the engine
+// goroutine. The gap between this and BenchmarkDispatch is the measured
+// value of the task-to-task handoff.
+func BenchmarkDispatchNoHandoff(b *testing.B) {
+	e := NewEngine()
+	e.noHandoff = true
+	const tasks = 8
+	per := b.N/tasks + 1
+	for i := 0; i < tasks; i++ {
+		e.Spawn("w", 0, func(t *Task) {
+			for j := 0; j < per; j++ {
+				t.Advance(10 * Nanosecond)
+				t.Sync()
+			}
+		})
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkDispatchLockstep is the batched-wake case the handoff was
+// built for: 64 tasks all at the same timestamp, every dispatch an
+// equal-time id tiebreak, so the whole run queue is walked task-to-task
+// on one OS thread each round — the N-cores-in-lockstep pattern of a
+// barrier-synchronized multicore simulation, with a deeper heap behind
+// every sift.
+func BenchmarkDispatchLockstep(b *testing.B) {
+	e := NewEngine()
+	const tasks = 64
 	per := b.N/tasks + 1
 	for i := 0; i < tasks; i++ {
 		e.Spawn("w", 0, func(t *Task) {

@@ -138,17 +138,35 @@ func TestFastSlowPathInterleave(t *testing.T) {
 	}
 }
 
+// dispatchMode is one corner of the {fastpath, handoff} on/off matrix.
+type dispatchMode struct {
+	name                  string
+	noFastPath, noHandoff bool
+}
+
+// dispatchModes enumerates all four dispatch configurations. The first
+// entry is the production default; every other corner must produce the
+// same simulated timestamps.
+var dispatchModes = []dispatchMode{
+	{"fastpath+handoff", false, false},
+	{"fastpath only", false, true},
+	{"handoff only", true, false},
+	{"engine only", true, true},
+}
+
 // TestFastPathScheduleEquivalence is the randomized-schedule oracle: for
 // many random task sets (random start times, random per-step advances
 // including zero, so equal timestamps are common), the observable event
-// order with the Sync fast path enabled must be byte-for-byte the order
-// with it disabled. This is the determinism proof obligation of the fast
-// path (see the Engine doc comment).
+// order must be byte-for-byte identical across the full 2×2
+// {fastpath, handoff} on/off matrix. This is the determinism proof
+// obligation of both the Sync fast path and the direct task-to-task
+// handoff (see the Engine doc comment).
 func TestFastPathScheduleEquivalence(t *testing.T) {
-	runSchedule := func(seed int64, disableFastPath bool) []step {
+	runSchedule := func(seed int64, mode dispatchMode) []step {
 		rng := rand.New(rand.NewSource(seed))
 		e := NewEngine()
-		e.noFastPath = disableFastPath
+		e.noFastPath = mode.noFastPath
+		e.noHandoff = mode.noHandoff
 		var order []step
 		nTasks := 2 + rng.Intn(6)
 		for i := 0; i < nTasks; i++ {
@@ -170,15 +188,99 @@ func TestFastPathScheduleEquivalence(t *testing.T) {
 		return order
 	}
 	for seed := int64(0); seed < 50; seed++ {
-		on := runSchedule(seed, false)
-		off := runSchedule(seed, true)
-		if len(on) != len(off) {
-			t.Fatalf("seed %d: %d steps with fast path, %d without", seed, len(on), len(off))
+		ref := runSchedule(seed, dispatchModes[0])
+		for _, mode := range dispatchModes[1:] {
+			got := runSchedule(seed, mode)
+			if len(got) != len(ref) {
+				t.Fatalf("seed %d: %d steps in %s, %d in %s",
+					seed, len(ref), dispatchModes[0].name, len(got), mode.name)
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("seed %d: step %d diverges: %s %v, %s %v",
+						seed, i, dispatchModes[0].name, ref[i], mode.name, got[i])
+				}
+			}
 		}
-		for i := range on {
-			if on[i] != off[i] {
-				t.Fatalf("seed %d: step %d diverges: fast path %v, engine path %v",
-					seed, i, on[i], off[i])
+	}
+}
+
+// TestHandoffBlockScheduleEquivalence extends the matrix oracle to the
+// Block/Unblock edges the handoff also takes over: tasks randomly block
+// themselves on a FIFO wait list that the next runner drains, so
+// blocked-with-peers (handoff-eligible) and wake ordering interleave
+// with plain Syncs. Every corner of the 2×2 matrix must produce the
+// identical step sequence, including each task's wake times.
+func TestHandoffBlockScheduleEquivalence(t *testing.T) {
+	runSchedule := func(seed int64, mode dispatchMode) []step {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		e.noFastPath = mode.noFastPath
+		e.noHandoff = mode.noHandoff
+		var order []step
+		var waiting []*Task // FIFO of blocked tasks; engine is single-threaded
+		liveWorkers := 0
+		nTasks := 3 + rng.Intn(5)
+		for i := 0; i < nTasks; i++ {
+			id := i
+			steps := 30 + rng.Intn(50)
+			choices := make([]int, steps)
+			for j := range choices {
+				choices[j] = rng.Intn(10)
+			}
+			liveWorkers++
+			e.Spawn(fmt.Sprintf("t%d", i), Time(rng.Intn(3)), func(tk *Task) {
+				for _, c := range choices {
+					tk.Advance(Time(c % 5))
+					tk.Sync()
+					// Wake every current waiter now and then so blocked
+					// tasks drain from inside the schedule too.
+					for len(waiting) > 0 && c%3 == 0 {
+						w := waiting[0]
+						waiting = waiting[1:]
+						w.Unblock(tk.Time() + Time(c%4))
+					}
+					// Task 0 never blocks, so the wait list always has a
+					// potential drainer among the workers.
+					if id != 0 && c%4 == 1 {
+						waiting = append(waiting, tk)
+						tk.BlockOn("test wait list")
+					}
+					order = append(order, step{id, tk.Time()})
+				}
+				liveWorkers--
+			})
+		}
+		// A sweeper in the far future unblocks leftover waiters until every
+		// worker has finished (a worker may re-block after a wake, so the
+		// sweeper must outlive them all, not just drain the list once).
+		e.Spawn("sweeper", 1_000_000, func(tk *Task) {
+			for liveWorkers > 0 {
+				if len(waiting) > 0 {
+					w := waiting[0]
+					waiting = waiting[1:]
+					w.Unblock(tk.Time())
+				}
+				tk.Advance(1)
+				tk.Sync()
+			}
+		})
+		e.Run()
+		return order
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		ref := runSchedule(seed, dispatchModes[0])
+		for _, mode := range dispatchModes[1:] {
+			got := runSchedule(seed, mode)
+			if len(got) != len(ref) {
+				t.Fatalf("seed %d: %d steps in %s, %d in %s",
+					seed, len(ref), dispatchModes[0].name, len(got), mode.name)
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("seed %d: step %d diverges: %s %v, %s %v",
+						seed, i, dispatchModes[0].name, ref[i], mode.name, got[i])
+				}
 			}
 		}
 	}
@@ -221,6 +323,72 @@ func TestTaskHeapOrdering(t *testing.T) {
 	}
 	if h.len() != 0 {
 		t.Fatalf("heap not empty after drain: %d left", h.len())
+	}
+}
+
+// TestTaskHeapReplaceMin drives replaceMin (the handoff dispatch's
+// single-sift push+pop) against the plain push-then-pop reference on a
+// second heap fed the identical operation stream: the returned minimum
+// and the surviving key set must match at every step.
+func TestTaskHeapReplaceMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var h, ref taskHeap
+	id := 0
+	mk := func() *Task {
+		tk := &Task{id: id, time: Time(rng.Intn(40))}
+		id++
+		return tk
+	}
+	drain := func(h *taskHeap) []*Task {
+		var out []*Task
+		for h.len() > 0 {
+			out = append(out, h.pop())
+		}
+		for _, tk := range out { // restore
+			h.push(tk)
+		}
+		return out
+	}
+	for round := 0; round < 3000; round++ {
+		switch {
+		case h.len() == 0 || rng.Intn(4) == 0:
+			tk := mk()
+			h.push(tk)
+			ref.push(tk)
+		case rng.Intn(3) == 0:
+			got, want := h.pop(), ref.pop()
+			if got != want {
+				t.Fatalf("round %d: pop = (%d,%d), want (%d,%d)", round, got.time, got.id, want.time, want.id)
+			}
+		default:
+			tk := mk()
+			got := h.replaceMin(tk)
+			ref.push(tk)
+			want := ref.pop()
+			if got != want {
+				t.Fatalf("round %d: replaceMin = (%d,%d), want (%d,%d)", round, got.time, got.id, want.time, want.id)
+			}
+		}
+		a, b := drain(&h), drain(&ref)
+		if len(a) != len(b) {
+			t.Fatalf("round %d: heap sizes diverge: %d vs %d", round, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round %d: pop order diverges at %d", round, i)
+			}
+		}
+	}
+	// Empty-heap and wins-outright cases: replaceMin must return the
+	// pushed task untouched and leave the heap alone.
+	var empty taskHeap
+	tk := &Task{id: 9999, time: 5}
+	if got := empty.replaceMin(tk); got != tk || empty.len() != 0 {
+		t.Fatalf("replaceMin on empty heap = %v (len %d), want the task back, len 0", got, empty.len())
+	}
+	empty.push(&Task{id: 10000, time: 50})
+	if got := empty.replaceMin(tk); got != tk || empty.len() != 1 {
+		t.Fatalf("replaceMin with winning task = %v (len %d), want the task back, len 1", got, empty.len())
 	}
 }
 
