@@ -6,6 +6,15 @@
 //	go test -bench 'BenchmarkSyncFastPath|...' -run xxx ./internal/sim/ \
 //	    | benchcheck -baseline BENCH_engine.json -max-regress 25
 //
+// Absolute ns/op thresholds drift with the shared host (this file has
+// recorded 25-40% day-to-day swings with zero code change), so an entry
+// may instead name a paired control: "control" is another benchmark
+// measured in the same run, and "max_ratio" is the largest tolerated
+// value of entry/control. Ratios of same-run measurements cancel host
+// speed, making the check portable — it is how the inline-dispatch win
+// over the goroutine-dispatch control is pinned. An entry may carry
+// both kinds of bound; each is checked when its inputs are present.
+//
 // Benchmarks present in the baseline but missing from stdin are
 // warnings, not failures, so a scoped bench run still checks what it
 // ran.
@@ -30,16 +39,23 @@ type baselineFile struct {
 	Results map[string]map[string]json.RawMessage `json:"results"`
 }
 
-// afterOf extracts an entry's "after" ns/op, or 0 when the entry is not
-// a benchmark record.
-func afterOf(raw json.RawMessage) float64 {
-	var e struct {
-		After float64 `json:"after"`
-	}
+// entry is the checkable slice of a baseline record: an absolute bound
+// ("after" ns/op, checked against -max-regress) and/or a paired bound
+// (entry must stay under max_ratio x the same-run "control" benchmark).
+type entry struct {
+	After    float64 `json:"after"`
+	Control  string  `json:"control"`
+	MaxRatio float64 `json:"max_ratio"`
+}
+
+// entryOf decodes a baseline record, returning the zero entry when the
+// record is not an object (annotations like grid_sims_per_op).
+func entryOf(raw json.RawMessage) entry {
+	var e entry
 	if json.Unmarshal(raw, &e) != nil {
-		return 0
+		return entry{}
 	}
-	return e.After
+	return e
 }
 
 // parseBench extracts "BenchmarkName ns/op" pairs from `go test -bench`
@@ -77,30 +93,48 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 	return out, sc.Err()
 }
 
-// check compares measured ns/op against the baseline "after" values.
-// It returns human-readable result lines and whether any benchmark
-// regressed more than maxRegressPct.
+// check compares measured ns/op against the baseline "after" values and
+// paired-control ratios. It returns human-readable result lines and
+// whether any benchmark broke its bound.
 func check(base baselineFile, got map[string]float64, maxRegressPct float64) (lines []string, failed bool) {
 	for _, pkg := range sortedKeys(base.Results) {
 		for _, key := range sortedKeys(base.Results[pkg]) {
 			name := strings.TrimSuffix(key, "_ns_op")
-			want := afterOf(base.Results[pkg][key])
-			if want <= 0 {
+			e := entryOf(base.Results[pkg][key])
+			if e.After <= 0 && (e.Control == "" || e.MaxRatio <= 0) {
 				continue
 			}
 			v, ok := got[name]
 			if !ok {
-				lines = append(lines, fmt.Sprintf("warn: %s/%s not in input (baseline %.4g ns/op)", pkg, name, want))
+				lines = append(lines, fmt.Sprintf("warn: %s/%s not in input (baseline %.4g ns/op)", pkg, name, e.After))
 				continue
 			}
-			deltaPct := (v - want) / want * 100
-			status := "ok"
-			if deltaPct > maxRegressPct {
-				status = "FAIL"
-				failed = true
+			if e.After > 0 {
+				deltaPct := (v - e.After) / e.After * 100
+				status := "ok"
+				if deltaPct > maxRegressPct {
+					status = "FAIL"
+					failed = true
+				}
+				lines = append(lines, fmt.Sprintf("%-4s %s/%s: %.4g ns/op vs baseline %.4g (%+.1f%%, limit +%.0f%%)",
+					status, pkg, name, v, e.After, deltaPct, maxRegressPct))
 			}
-			lines = append(lines, fmt.Sprintf("%-4s %s/%s: %.4g ns/op vs baseline %.4g (%+.1f%%, limit +%.0f%%)",
-				status, pkg, name, v, want, deltaPct, maxRegressPct))
+			if e.Control != "" && e.MaxRatio > 0 {
+				ctl, ok := got[e.Control]
+				if !ok || ctl <= 0 {
+					lines = append(lines, fmt.Sprintf("warn: %s/%s control %s not in input (ratio bound %.3g unchecked)",
+						pkg, name, e.Control, e.MaxRatio))
+					continue
+				}
+				ratio := v / ctl
+				status := "ok"
+				if ratio > e.MaxRatio {
+					status = "FAIL"
+					failed = true
+				}
+				lines = append(lines, fmt.Sprintf("%-4s %s/%s: %.4g ns/op = %.3fx same-run %s (limit %.3gx)",
+					status, pkg, name, v, ratio, e.Control, e.MaxRatio))
+			}
 		}
 	}
 	return lines, failed

@@ -82,3 +82,57 @@ func TestCheckPassesWithinThreshold(t *testing.T) {
 		t.Errorf("false positive:\n%s", strings.Join(lines, "\n"))
 	}
 }
+
+// mkRatioBase pins BenchmarkDispatchInline to at most 0.5x its same-run
+// goroutine control, with no absolute bound on the inline entry itself.
+func mkRatioBase() baselineFile {
+	var b baselineFile
+	if err := json.Unmarshal([]byte(`{"results": {"internal/sim": {
+		"BenchmarkDispatchInline_ns_op": {
+			"control": "BenchmarkDispatchInlineGoroutine", "max_ratio": 0.5
+		},
+		"BenchmarkDispatchInlineGoroutine_ns_op": {"after": 300.0}
+	}}}`), &b); err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func TestCheckPairedControlRatio(t *testing.T) {
+	// 36/305 = 0.118x: well under the 0.5x bound.
+	got := map[string]float64{
+		"BenchmarkDispatchInline":          36.0,
+		"BenchmarkDispatchInlineGoroutine": 305.0,
+	}
+	lines, failed := check(mkRatioBase(), got, 25)
+	joined := strings.Join(lines, "\n")
+	if failed {
+		t.Errorf("in-bound ratio flagged:\n%s", joined)
+	}
+	if !strings.Contains(joined, "0.118x same-run BenchmarkDispatchInlineGoroutine") {
+		t.Errorf("ratio line missing:\n%s", joined)
+	}
+
+	// 200/305 = 0.656x: breaks the 0.5x bound even though both absolute
+	// numbers would look fine on a slow host.
+	got["BenchmarkDispatchInline"] = 200.0
+	lines, failed = check(mkRatioBase(), got, 25)
+	joined = strings.Join(lines, "\n")
+	if !failed || !strings.Contains(joined, "FAIL internal/sim/BenchmarkDispatchInline:") {
+		t.Errorf("out-of-bound ratio not flagged:\n%s", joined)
+	}
+}
+
+func TestCheckPairedControlMissing(t *testing.T) {
+	// Control absent from the run: warn, don't fail — mirrors the
+	// missing-benchmark policy for scoped runs.
+	got := map[string]float64{"BenchmarkDispatchInline": 36.0}
+	lines, failed := check(mkRatioBase(), got, 25)
+	joined := strings.Join(lines, "\n")
+	if failed {
+		t.Errorf("missing control failed the check:\n%s", joined)
+	}
+	if !strings.Contains(joined, "warn: internal/sim/BenchmarkDispatchInline control BenchmarkDispatchInlineGoroutine not in input") {
+		t.Errorf("missing-control warning absent:\n%s", joined)
+	}
+}

@@ -328,9 +328,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "Energy: core=%.3g i$=%.3g d$=%.3g lmem=%.3g net=%.3g l2=%.3g dram=%.3g J\n",
 			rep.Energy.Core, rep.Energy.ICache, rep.Energy.DCache, rep.Energy.LMem,
 			rep.Energy.Network, rep.Energy.L2, rep.Energy.DRAM)
-		fmt.Fprintf(stdout, "Engine: dispatches=%d fastpath=%.1f%% handoff=%.1f%% heap<=%d srv pruned=%d\n",
-			rep.Engine.Dispatches+rep.Engine.Handoffs, 100*rep.Engine.FastPathRate(),
-			100*rep.Engine.HandoffRate(), rep.Engine.HeapMax, rep.Servers.Pruned)
+		fmt.Fprintf(stdout, "Engine: dispatches=%d fastpath=%.1f%% handoff=%.1f%% inline=%.1f%% heap<=%d srv pruned=%d\n",
+			rep.Engine.Dispatches+rep.Engine.Handoffs+rep.Engine.InlineSteps, 100*rep.Engine.FastPathRate(),
+			100*rep.Engine.HandoffRate(), 100*rep.Engine.InlineRate(), rep.Engine.HeapMax, rep.Servers.Pruned)
 	}
 	return 0
 }

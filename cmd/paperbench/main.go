@@ -68,6 +68,7 @@ type manifestRun struct {
 	WallFS       uint64  `json:"wall_fs"`
 	FastPathRate float64 `json:"fastpath_rate"`
 	HandoffRate  float64 `json:"handoff_rate"`
+	InlineRate   float64 `json:"inline_rate"`
 }
 
 // manifestWriter serializes concurrent OnRecord callbacks into one
@@ -114,6 +115,7 @@ func (m *manifestWriter) record(rec bench.Record) {
 		run.WallFS = uint64(rec.Report.Wall)
 		run.FastPathRate = rec.Report.Engine.FastPathRate()
 		run.HandoffRate = rec.Report.Engine.HandoffRate()
+		run.InlineRate = rec.Report.Engine.InlineRate()
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -173,9 +173,17 @@ func New(id, cluster int, cfg Config) *Proc {
 
 // Bind attaches the core to its simulation task and memory model.
 func (p *Proc) Bind(task *sim.Task, m ProcMem) {
-	p.task = task
-	p.memory = m
+	p.BindTask(task)
+	p.BindMem(m)
 }
+
+// BindMem attaches the memory model alone. The inline-core path binds
+// memory before the task exists, so the workload can inspect p.Mem()
+// while deciding whether to supply a state-machine body.
+func (p *Proc) BindMem(m ProcMem) { p.memory = m }
+
+// BindTask attaches the simulation task alone.
+func (p *Proc) BindTask(task *sim.Task) { p.task = task }
 
 // SetTracer attaches a span collector (nil disables tracing).
 func (p *Proc) SetTracer(t Tracer) { p.tracer = t }
@@ -327,14 +335,25 @@ func (p *Proc) WaitUntil(t sim.Time) { p.waitUntil(t, ledger.SyncWait) }
 func (p *Proc) WaitUntilDMA(t sim.Time) { p.waitUntil(t, ledger.DMAWait) }
 
 func (p *Proc) waitUntil(t sim.Time, c ledger.Class) {
+	p.chargeWait(t, c)
+	p.task.Sync()
+}
+
+// chargeWait is waitUntil's accounting without the yield: advance the
+// core to t and charge the gap to the Sync bucket under class c.
+func (p *Proc) chargeWait(t sim.Time, c ledger.Class) {
 	if now := p.task.Time(); t > now {
 		p.bd.Sync += t - now
 		p.charge(c, t-now)
 		p.span("sync-wait", now, t-now)
 		p.task.SetTime(t)
 	}
-	p.task.Sync()
 }
+
+// ChargeDMAWait is WaitUntilDMA without the trailing yield — the
+// pre-yield half for inline (state machine) core bodies, which must
+// return StatusRunning where the goroutine body's WaitUntilDMA synced.
+func (p *Proc) ChargeDMAWait(t sim.Time) { p.chargeWait(t, ledger.DMAWait) }
 
 // AddSync charges d of synchronization time without advancing the clock
 // (used when a primitive has already moved the task's clock, e.g. after
@@ -500,6 +519,14 @@ func elemsIn(lo, hi, base mem.Addr, elemSize uint64) uint64 {
 // Finish drains the store buffer and the memory model and records the
 // core's completion time. Call it at the end of the workload body.
 func (p *Proc) Finish() {
+	p.DrainStores()
+	p.CompleteFinish(p.memory.Flush(p))
+}
+
+// DrainStores empties the store buffer, charging store stalls. It never
+// yields (pure SetTime), so inline core bodies call it directly before
+// their model's flush machine.
+func (p *Proc) DrainStores() {
 	now := p.task.Time()
 	for p.sbLen > 0 {
 		done := p.storeBuf[p.sbHead]
@@ -512,7 +539,14 @@ func (p *Proc) Finish() {
 			now = done
 		}
 	}
-	if d := p.memory.Flush(p); d > p.task.Time() {
+}
+
+// CompleteFinish applies the memory-model drain time d (what Flush
+// returned, or what an inline flush machine computed), charging the gap
+// to the Sync bucket under the model's FlushClasser class, and records
+// the core's completion.
+func (p *Proc) CompleteFinish(d sim.Time) {
+	if d > p.task.Time() {
 		wait := d - p.task.Time()
 		p.bd.Sync += wait
 		c := ledger.SyncWait

@@ -85,6 +85,29 @@ func (s Stats) AvgPutLatency() sim.Time {
 	return s.PutLatency / sim.Time(s.PutCommands)
 }
 
+// dmaState is the engine state machine's resume point (where the
+// goroutine body would be parked).
+type dmaState uint8
+
+const (
+	// dmaIdle: between commands; check the queue (block when empty).
+	dmaIdle dmaState = iota
+	// dmaBeat: a beat's issue yield has happened; perform the access,
+	// then issue the next beat.
+	dmaBeat
+	// dmaTail: the final catch-up to the last outstanding beat has
+	// yielded; finish the command.
+	dmaTail
+)
+
+// beat is one 32-byte (or sparse-element) access of a command.
+type beat struct {
+	addr   mem.Addr
+	n      uint64 // bytes moved by this beat
+	sparse bool   // strided/indexed element vs whole-line beat
+	full   bool   // line beat covers the whole line (Put write-allocate)
+}
+
 // Engine is one core's DMA engine.
 type Engine struct {
 	name    string
@@ -92,6 +115,7 @@ type Engine struct {
 	unc     *uncore.Uncore
 	ls      *lstore.Store
 	task    *sim.Task
+	period  sim.Time // network clock period: one access issued per cycle
 
 	window   int
 	queue    []command
@@ -103,6 +127,21 @@ type Engine struct {
 
 	waiter     *sim.Task
 	waitingFor Tag
+
+	// State-machine registers: the engine body runs as an inline task
+	// (sim.Runnable), so the locals the goroutine version kept on its
+	// stack live here between steps.
+	pc       dmaState
+	cur      command
+	cmdStart sim.Time
+	beatNo   int
+	pending  beat
+	last     sim.Time
+	ring     []sim.Time // completion times of the window's accesses
+	// Beat-iterator cursor: element index, and the line walk within the
+	// current element for sequential/wide-strided shapes.
+	ei             uint64
+	la, lbase, lend mem.Addr
 
 	stats Stats
 	lat   *ledger.Latency // nil = latency histograms disabled
@@ -125,14 +164,20 @@ func NewWithWindow(name string, cluster int, unc *uncore.Uncore, ls *lstore.Stor
 		cluster: cluster,
 		unc:     unc,
 		ls:      ls,
+		period:  unc.Network().Config().Clock.Period,
 		window:  window,
+		ring:    make([]sim.Time, window),
 		done:    make(map[Tag]sim.Time),
 	}
 }
 
-// Spawn starts the engine's simulation task.
+// Spawn starts the engine's simulation task. The body is a state
+// machine (Step), so the task is inline: the engine's beats dispatch as
+// plain function calls on whatever goroutine is scheduling, with no
+// goroutine of their own — the hot "kernel loop" of every streaming
+// figure.
 func (e *Engine) Spawn(eng *sim.Engine, start sim.Time) {
-	e.task = eng.Spawn(e.name, start, e.run)
+	e.task = eng.SpawnInline(e.name, start, e)
 }
 
 // Stats returns a snapshot of the counters.
@@ -237,25 +282,50 @@ func (e *Engine) Done(tag Tag) (sim.Time, bool) {
 // Wait blocks the calling task until tag completes, returning the
 // completion time. The caller charges the wait to its own sync bucket.
 func (e *Engine) Wait(caller *sim.Task, tag Tag) sim.Time {
+	if t, ok := e.WaitStart(caller, tag); ok {
+		return t
+	}
+	caller.BlockOn(e.WaitLabel(tag))
+	return e.WaitCollect(tag)
+}
+
+// WaitStart is the non-blocking half of Wait: if tag has already
+// completed it returns (completion time, true); otherwise it registers
+// caller as the engine's waiter and returns (0, false), after which the
+// caller must suspend itself — BlockOn(WaitLabel(tag)) for a
+// goroutine-backed task, or StatusBlocked with WillBlockOn for an
+// inline one — and call WaitCollect once woken.
+func (e *Engine) WaitStart(caller *sim.Task, tag Tag) (sim.Time, bool) {
 	if tag > e.nextTag {
 		panic(fmt.Sprintf("dma: wait for unissued tag %d", tag))
 	}
 	if t, ok := e.done[tag]; ok {
 		delete(e.done, tag)
-		return t
+		return t, true
 	}
 	if tag <= e.lastDone {
-		return caller.Time() // completed and already collected
+		return caller.Time(), true // completed and already collected
 	}
 	if e.waiter != nil {
 		panic("dma: engine " + e.name + " already has a waiter")
 	}
 	e.waiter = caller
 	e.waitingFor = tag
-	caller.BlockOn(fmt.Sprintf("dma %s tag %d", e.name, tag))
+	return 0, false
+}
+
+// WaitCollect retrieves tag's completion time after a WaitStart that
+// registered the caller (the engine has unblocked it).
+func (e *Engine) WaitCollect(tag Tag) sim.Time {
 	t := e.done[tag]
 	delete(e.done, tag)
 	return t
+}
+
+// WaitLabel names the resource a waiter on tag blocks on, for deadlock
+// diagnostics.
+func (e *Engine) WaitLabel(tag Tag) string {
+	return fmt.Sprintf("dma %s tag %d", e.name, tag)
 }
 
 // Stop tells the engine to exit once its queue drains. Must be called
@@ -271,178 +341,224 @@ func (e *Engine) Stop() {
 	}
 }
 
-// run is the engine task body.
-func (e *Engine) run(t *sim.Task) {
+// Step is the engine task body as a resumable state machine
+// (sim.Runnable): the goroutine version's nested loops — pop a command,
+// issue its beats with up to Outstanding in flight, catch up to the
+// last completion — flattened so every yield point (the per-beat Sync,
+// the idle BlockOn, the final AdvanceTo) becomes a return. The yield
+// placement matches the goroutine body exactly, which is what keeps the
+// schedule — and the full paperbench output — byte-identical.
+func (e *Engine) Step(t *sim.Task) sim.Status {
 	for {
-		if len(e.queue) == 0 {
-			if e.stopping {
-				return
+		switch e.pc {
+		case dmaIdle:
+			if len(e.queue) == 0 {
+				if e.stopping {
+					return sim.StatusDone
+				}
+				e.idle = true
+				t.WillBlockOn("dma " + e.name + " command queue")
+				return sim.StatusBlocked // resumes here: recheck the queue
 			}
-			e.idle = true
-			t.BlockOn("dma " + e.name + " command queue")
-			continue
-		}
-		cmd := e.queue[0]
-		e.queue = e.queue[1:]
-		start := t.Time()
-		done := e.process(t, cmd)
-		e.stats.BusyTime += done - start
-		cmdLat := done - cmd.issued
-		if cmd.dir == Get {
-			e.stats.GetCommands++
-			e.stats.GetLatency += cmdLat
-			if e.lat != nil {
-				e.lat.DMAGet.Record(uint64(cmdLat))
+			e.cur = e.queue[0]
+			e.queue = e.queue[1:]
+			e.cmdStart = t.Time()
+			e.beatNo = 0
+			e.last = 0
+			e.startIter()
+			if s, yield := e.issueNext(t); yield {
+				return s
 			}
-		} else {
-			e.stats.PutCommands++
-			e.stats.PutLatency += cmdLat
-			if e.lat != nil {
-				e.lat.DMAPut.Record(uint64(cmdLat))
+		case dmaBeat:
+			// Past the beat's sync: perform the access at the synced time.
+			done := e.performBeat(t)
+			e.ring[e.beatNo%e.window] = done
+			if done > e.last {
+				e.last = done
 			}
-		}
-		e.done[cmd.tag] = done
-		e.lastDone = cmd.tag
-		if e.waiter != nil && e.waitingFor <= cmd.tag {
-			w := e.waiter
-			e.waiter = nil
-			w.Unblock(done)
+			e.beatNo++
+			if s, yield := e.issueNext(t); yield {
+				return s
+			}
+		case dmaTail:
+			e.finishCmd(t.Time())
+			e.pc = dmaIdle
 		}
 	}
 }
 
-// process performs one command, advancing the engine task through its
-// beats with up to Outstanding accesses in flight. It returns the time
-// the last beat completes.
-func (e *Engine) process(t *sim.Task, cmd command) sim.Time {
-	ring := make([]sim.Time, e.window)
-	var last sim.Time
-	beat := 0
-	issue := func(fn func(at sim.Time) sim.Time) {
-		// Engine issues one access per network cycle.
-		t.Advance(e.unc.Network().Config().Clock.Period)
-		// Respect the outstanding-access window.
-		if prev := ring[beat%e.window]; beat >= e.window && prev > t.Time() {
-			t.SetTime(prev)
+// issueNext advances the beat iterator: it either issues the next beat
+// (advance one network cycle, clamp to the outstanding window, yield
+// for the beat's sync) or ends the command (yielding once more if the
+// engine must catch up to the last outstanding completion, as the
+// goroutine body's final AdvanceTo did). The bool result reports
+// whether Step must return s now.
+func (e *Engine) issueNext(t *sim.Task) (sim.Status, bool) {
+	b, ok := e.nextBeat()
+	if !ok {
+		if e.last > t.Time() {
+			t.SetTime(e.last)
+			e.pc = dmaTail
+			return sim.StatusRunning, true
 		}
-		// The per-beat Sync cannot convert to a local charge: fn touches
-		// the shared uncore servers. While the DMA task streams behind
-		// its blocked core it is globally minimal, so the engine's Sync
-		// fast path makes this yield handshake-free.
-		t.Sync()
-		done := fn(t.Time())
-		ring[beat%e.window] = done
-		if done > last {
-			last = done
-		}
-		beat++
+		e.finishCmd(t.Time())
+		e.pc = dmaIdle
+		return 0, false
 	}
+	e.pending = b
+	// Engine issues one access per network cycle.
+	t.Advance(e.period)
+	// Respect the outstanding-access window.
+	if prev := e.ring[e.beatNo%e.window]; e.beatNo >= e.window && prev > t.Time() {
+		t.SetTime(prev)
+	}
+	// The per-beat yield cannot convert to a local charge: the access
+	// touches the shared uncore servers. While the DMA task streams
+	// behind its blocked core it is globally minimal, so the dispatcher
+	// re-steps it without touching the heap (the inline spin, the
+	// state-machine analog of the Sync fast path).
+	e.pc = dmaBeat
+	return sim.StatusRunning, true
+}
 
+// startIter resets the beat iterator for e.cur: element 0, and for the
+// line-walk shapes (sequential, wide strided) the first line of the
+// first element.
+func (e *Engine) startIter() {
+	e.ei = 0
+	c := &e.cur
 	switch {
-	case cmd.index != nil:
-		for _, a := range cmd.index {
-			a := a
-			e.stats.SparseElems++
-			e.ls.CountDMABeat()
-			if cmd.dir == Get {
-				e.stats.GetBytes += cmd.elemBytes
-				issue(func(at sim.Time) sim.Time {
-					d := e.unc.ReadSparse(at, e.cluster, a, cmd.elemBytes)
-					return e.unc.Network().BusData(d, e.cluster, cmd.elemBytes)
-				})
-			} else {
-				e.stats.PutBytes += cmd.elemBytes
-				issue(func(at sim.Time) sim.Time {
-					d := e.unc.Network().BusData(at, e.cluster, cmd.elemBytes)
-					return e.unc.WriteSparse(d, e.cluster, a, cmd.elemBytes)
-				})
-			}
-		}
-	case cmd.stride != 0 && cmd.elemBytes >= mem.LineSize:
+	case c.index != nil:
+	case c.stride != 0 && c.elemBytes < mem.LineSize:
+	case c.stride != 0:
 		// Wide strided elements (row strips of an image, matrix tiles)
 		// transfer as whole-line beats through the cached path.
-		for i := uint64(0); i < cmd.count; i++ {
-			base := cmd.base + mem.Addr(i*cmd.stride)
-			end := base + mem.Addr(cmd.elemBytes)
-			for a := base.Line(); a < end; a += mem.LineSize {
-				lo, hi := a, a+mem.LineSize
-				if base > lo {
-					lo = base
-				}
-				if end < hi {
-					hi = end
-				}
-				n := uint64(hi - lo)
-				a := a
-				e.stats.Beats++
-				e.ls.CountDMABeat()
-				if cmd.dir == Get {
-					e.stats.GetBytes += n
-					issue(func(at sim.Time) sim.Time {
-						d, _ := e.unc.ReadLine(at, e.cluster, a)
-						return e.unc.Network().BusData(d, e.cluster, n)
-					})
-				} else {
-					e.stats.PutBytes += n
-					issue(func(at sim.Time) sim.Time {
-						d := e.unc.Network().BusData(at, e.cluster, n)
-						return e.unc.WriteLine(d, e.cluster, a, n, n == mem.LineSize)
-					})
-				}
-			}
-		}
-	case cmd.stride != 0:
-		for i := uint64(0); i < cmd.count; i++ {
-			a := cmd.base + mem.Addr(i*cmd.stride)
-			e.stats.SparseElems++
-			e.ls.CountDMABeat()
-			if cmd.dir == Get {
-				e.stats.GetBytes += cmd.elemBytes
-				issue(func(at sim.Time) sim.Time {
-					d := e.unc.ReadSparse(at, e.cluster, a, cmd.elemBytes)
-					return e.unc.Network().BusData(d, e.cluster, cmd.elemBytes)
-				})
-			} else {
-				e.stats.PutBytes += cmd.elemBytes
-				issue(func(at sim.Time) sim.Time {
-					d := e.unc.Network().BusData(at, e.cluster, cmd.elemBytes)
-					return e.unc.WriteSparse(d, e.cluster, a, cmd.elemBytes)
-				})
-			}
-		}
+		e.lbase = c.base
+		e.lend = c.base + mem.Addr(c.elemBytes)
+		e.la = e.lbase.Line()
 	default:
 		// Sequential: whole 32-byte beats; a partial tail beat of a Put
 		// is a narrow write (the L2 refills for it).
-		end := cmd.base + mem.Addr(cmd.bytes)
-		for a := cmd.base.Line(); a < end; a += mem.LineSize {
-			lo, hi := a, a+mem.LineSize
-			if cmd.base > lo {
-				lo = cmd.base
+		e.lbase = c.base
+		e.lend = c.base + mem.Addr(c.bytes)
+		e.la = e.lbase.Line()
+	}
+}
+
+// nextBeat yields the current command's next access and bumps the
+// traffic counters for it, exactly as the goroutine body did just
+// before each issue.
+func (e *Engine) nextBeat() (beat, bool) {
+	c := &e.cur
+	switch {
+	case c.index != nil:
+		if e.ei >= uint64(len(c.index)) {
+			return beat{}, false
+		}
+		a := c.index[e.ei]
+		e.ei++
+		e.countSparse()
+		return beat{addr: a, n: c.elemBytes, sparse: true}, true
+	case c.stride != 0 && c.elemBytes < mem.LineSize:
+		if e.ei >= c.count {
+			return beat{}, false
+		}
+		a := c.base + mem.Addr(e.ei*c.stride)
+		e.ei++
+		e.countSparse()
+		return beat{addr: a, n: c.elemBytes, sparse: true}, true
+	default:
+		for {
+			if e.la < e.lend {
+				lo, hi := e.la, e.la+mem.LineSize
+				if e.lbase > lo {
+					lo = e.lbase
+				}
+				if e.lend < hi {
+					hi = e.lend
+				}
+				n := uint64(hi - lo)
+				a := e.la
+				e.la += mem.LineSize
+				e.stats.Beats++
+				e.ls.CountDMABeat()
+				if c.dir == Get {
+					e.stats.GetBytes += n
+				} else {
+					e.stats.PutBytes += n
+				}
+				return beat{addr: a, n: n, full: n == mem.LineSize}, true
 			}
-			if end < hi {
-				hi = end
+			// Next wide-strided element; sequential commands have one.
+			e.ei++
+			if c.stride == 0 || e.ei >= c.count {
+				return beat{}, false
 			}
-			n := uint64(hi - lo)
-			e.stats.Beats++
-			e.ls.CountDMABeat()
-			if cmd.dir == Get {
-				e.stats.GetBytes += n
-				issue(func(at sim.Time) sim.Time {
-					d, _ := e.unc.ReadLine(at, e.cluster, a)
-					return e.unc.Network().BusData(d, e.cluster, n)
-				})
-			} else {
-				full := n == mem.LineSize
-				e.stats.PutBytes += n
-				issue(func(at sim.Time) sim.Time {
-					d := e.unc.Network().BusData(at, e.cluster, n)
-					return e.unc.WriteLine(d, e.cluster, a, n, full)
-				})
-			}
+			e.lbase = c.base + mem.Addr(e.ei*c.stride)
+			e.lend = e.lbase + mem.Addr(c.elemBytes)
+			e.la = e.lbase.Line()
 		}
 	}
-	if last > t.Time() {
-		t.AdvanceTo(last)
+}
+
+// countSparse bumps the per-element counters shared by the strided and
+// indexed shapes.
+func (e *Engine) countSparse() {
+	e.stats.SparseElems++
+	e.ls.CountDMABeat()
+	if e.cur.dir == Get {
+		e.stats.GetBytes += e.cur.elemBytes
+	} else {
+		e.stats.PutBytes += e.cur.elemBytes
 	}
-	return t.Time()
+}
+
+// performBeat runs the pending access at the task's (synced) time and
+// returns its completion time.
+func (e *Engine) performBeat(t *sim.Task) sim.Time {
+	at := t.Time()
+	b := e.pending
+	c := &e.cur
+	if b.sparse {
+		if c.dir == Get {
+			d := e.unc.ReadSparse(at, e.cluster, b.addr, c.elemBytes)
+			return e.unc.Network().BusData(d, e.cluster, c.elemBytes)
+		}
+		d := e.unc.Network().BusData(at, e.cluster, c.elemBytes)
+		return e.unc.WriteSparse(d, e.cluster, b.addr, c.elemBytes)
+	}
+	if c.dir == Get {
+		d, _ := e.unc.ReadLine(at, e.cluster, b.addr)
+		return e.unc.Network().BusData(d, e.cluster, b.n)
+	}
+	d := e.unc.Network().BusData(at, e.cluster, b.n)
+	return e.unc.WriteLine(d, e.cluster, b.addr, b.n, b.full)
+}
+
+// finishCmd retires the current command at completion time done:
+// latency accounting, the done map, and the waiter wake.
+func (e *Engine) finishCmd(done sim.Time) {
+	e.stats.BusyTime += done - e.cmdStart
+	cmdLat := done - e.cur.issued
+	if e.cur.dir == Get {
+		e.stats.GetCommands++
+		e.stats.GetLatency += cmdLat
+		if e.lat != nil {
+			e.lat.DMAGet.Record(uint64(cmdLat))
+		}
+	} else {
+		e.stats.PutCommands++
+		e.stats.PutLatency += cmdLat
+		if e.lat != nil {
+			e.lat.DMAPut.Record(uint64(cmdLat))
+		}
+	}
+	e.done[e.cur.tag] = done
+	e.lastDone = e.cur.tag
+	if e.waiter != nil && e.waitingFor <= e.cur.tag {
+		w := e.waiter
+		e.waiter = nil
+		w.Unblock(done)
+	}
+	e.cur = command{} // release the indexed shape's address slice
 }

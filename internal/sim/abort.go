@@ -190,6 +190,12 @@ func (e *Engine) Shutdown() {
 		if t.done {
 			continue
 		}
+		if t.inline != nil {
+			// Inline tasks have no goroutine to unwind; just retire them.
+			t.done = true
+			e.live--
+			continue
+		}
 		t.resume <- struct{}{} // parked in pause(); unwinds via taskAbortSignal
 		<-e.sched              // its wrapper's acknowledgement
 		t.done = true

@@ -8,12 +8,13 @@ import (
 )
 
 // Engine is a conservative discrete-event engine. Every simulated agent
-// (a processor core, a DMA engine, a scheduling thread) is a Task backed
-// by a goroutine. Exactly one goroutine — either the engine or a single
-// task — runs at a time, so model code needs no locking. The engine always
-// resumes the runnable task with the smallest local time, which keeps
-// mutations of shared model state (caches, resource servers) ordered by
-// timestamp.
+// (a processor core, a DMA engine, a scheduling thread) is a Task: either
+// backed by its own goroutine (Spawn) or an inline state machine stepped
+// by the dispatcher itself (SpawnInline; see inline.go). Exactly one
+// goroutine — the engine or a single task — runs at a time, so model code
+// needs no locking. The engine always resumes the runnable task with the
+// smallest local time, which keeps mutations of shared model state
+// (caches, resource servers) ordered by timestamp.
 //
 // Concurrency contract: an Engine and its Tasks form one isolated
 // scheduling domain driven by the single goroutine that calls Run — the
@@ -95,6 +96,11 @@ type Engine struct {
 	// tests set it (the handoff must be unobservable — the schedule-
 	// equivalence suite runs the full 2×2 fastpath × handoff matrix).
 	noHandoff bool
+	// noInline makes SpawnInline fall back to a goroutine-backed task
+	// driving the same Runnable (DriveRunnable); only the determinism
+	// tests set it (the inline representation must be unobservable — the
+	// equivalence suite runs inline on/off against the 2×2 matrix above).
+	noInline bool
 
 	// Cooperative cancellation (Abort) and post-failure goroutine drain
 	// (Shutdown). abortFlag is atomic because Abort may come from any
@@ -136,11 +142,12 @@ type Engine struct {
 // count and exist so the fast path's effectiveness is continuously
 // measurable in every run instead of one-off benchmarked.
 type Metrics struct {
-	SyncFast   uint64 // Syncs answered without the engine handshake
-	SyncSlow   uint64 // Syncs that yielded through the scheduler
-	Dispatches uint64 // events dispatched by Run's loop (engine resumes)
-	Handoffs   uint64 // events dispatched task-to-task, engine parked
-	Spawns     uint64 // tasks ever spawned
+	SyncFast    uint64 // Syncs answered without the engine handshake
+	SyncSlow    uint64 // Syncs that yielded through the scheduler
+	Dispatches  uint64 // events dispatched by Run's loop (engine resumes)
+	Handoffs    uint64 // events dispatched task-to-task, engine parked
+	InlineSteps uint64 // inline-task steps run as plain function calls
+	Spawns      uint64 // tasks ever spawned
 	Blocks     uint64 // yields that blocked awaiting an Unblock
 	Unblocks   uint64 // wake-ups of blocked tasks
 	HeapPushes uint64
@@ -170,6 +177,20 @@ func (m Metrics) HandoffRate() float64 {
 	return float64(m.Handoffs) / float64(tot)
 }
 
+// InlineRate returns the fraction of dispatched events that ran as
+// inline steps — plain function calls on the scheduling goroutine, no
+// channel operation and no goroutine switch, cheaper even than a
+// handoff. Events here are inline steps plus goroutine-task dispatches
+// (engine resumes and handoffs); fast-path Syncs are excluded, as in
+// HandoffRate.
+func (m Metrics) InlineRate() float64 {
+	tot := m.InlineSteps + m.Dispatches + m.Handoffs
+	if tot == 0 {
+		return 0
+	}
+	return float64(m.InlineSteps) / float64(tot)
+}
+
 // Snapshot emits the counters in a fixed order; it satisfies the probe
 // layer's snapshot contract (internal/probe). HeapMax is monotone
 // non-decreasing, so it is well-defined as a probe Counter like the
@@ -185,6 +206,7 @@ func (m Metrics) Snapshot(put func(name string, value float64)) {
 	put("heap_pushes", float64(m.HeapPushes))
 	put("heap_pops", float64(m.HeapPops))
 	put("heap_max", float64(m.HeapMax))
+	put("inline_steps", float64(m.InlineSteps))
 }
 
 // NewEngine returns an empty engine.
@@ -238,6 +260,7 @@ const (
 	yieldDone                     // task finished
 	yieldPanic                    // task goroutine panicked; engine must re-panic
 	yieldAborted                  // task unwound via the Shutdown drain sentinel
+	yieldResched                  // inline dispatch hit a cold edge; engine re-diagnoses
 )
 
 type yieldMsg struct {
@@ -264,6 +287,13 @@ type Task struct {
 	// goroutine, read by the engine in snapshotState — ordered by the
 	// sched/resume handshake.
 	waitingOn string
+	// inline, when non-nil, is the task's state-machine body: the task
+	// has no goroutine and no resume channel, and the dispatcher calls
+	// inline.Step directly (see inline.go).
+	inline Runnable
+	// blockLabel is the pending WillBlockOn label, consumed by the next
+	// StatusBlocked an inline Step (or DriveRunnable) returns.
+	blockLabel string
 }
 
 // Spawn registers fn as a new task starting at time start. It may be called
@@ -359,7 +389,9 @@ func (e *Engine) Run() {
 		t := e.queue.pop()
 		t.queued = false
 		e.met.HeapPops++
-		e.met.Dispatches++
+		if t.inline == nil {
+			e.met.Dispatches++
+		}
 		if t.time < e.now {
 			panic(fmt.Sprintf("sim: task %q scheduled in the past (%v < %v)", t.name, t.time, e.now))
 		}
@@ -369,6 +401,10 @@ func (e *Engine) Run() {
 		}
 		if e.now >= e.nextEpoch {
 			e.epochTick()
+		}
+		if t.inline != nil {
+			e.driveInlineEngine(t)
+			continue
 		}
 		t.resume <- struct{}{}
 		msg := <-e.sched
@@ -383,6 +419,9 @@ func (e *Engine) Run() {
 		case yieldPanic:
 			e.live--
 			panic(&TaskPanicError{TaskName: msg.task.name, Value: msg.val, Stack: msg.stack, State: e.snapshotState()})
+		case yieldResched:
+			// A task-goroutine dispatcher hit a cold edge mid-inline-chain
+			// and handed control back; the loop re-diagnoses from the top.
 		}
 	}
 }
@@ -440,6 +479,9 @@ func (t *Task) Sync() {
 		return
 	}
 	e.met.SyncSlow++
+	if t.inline != nil {
+		panic("sim: Sync from inline task " + t.name + "'s Step; return StatusRunning instead")
+	}
 	if e.handoffOK(t.time) {
 		e.met.HeapPushes++
 		e.met.HeapPops++
@@ -455,6 +497,10 @@ func (t *Task) Sync() {
 		t.queued = true
 		n.queued = false
 		e.dispatchClock(n)
+		if n.inline != nil {
+			e.handoffInline(t, n)
+			return
+		}
 		e.met.Handoffs++
 		n.resume <- struct{}{}
 		t.pause()
@@ -544,8 +590,11 @@ func (t *Task) Block() { t.block("") }
 func (t *Task) BlockOn(label string) { t.block(label) }
 
 func (t *Task) block(label string) {
-	t.waitingOn = label
 	e := t.engine
+	if t.inline != nil {
+		panic("sim: Block from inline task " + t.name + "'s Step; return StatusBlocked instead")
+	}
+	t.waitingOn = label
 	if e.queue.len() > 0 && e.handoffOK(e.queue.peek().time) {
 		// Runnable peers remain: mark this task blocked and dispatch the
 		// heap minimum directly, exactly as the engine's yieldBlock
@@ -558,9 +607,13 @@ func (t *Task) block(label string) {
 		n.queued = false
 		e.met.HeapPops++
 		e.dispatchClock(n)
-		e.met.Handoffs++
-		n.resume <- struct{}{}
-		t.pause()
+		if n.inline != nil {
+			e.handoffInline(t, n)
+		} else {
+			e.met.Handoffs++
+			n.resume <- struct{}{}
+			t.pause()
+		}
 	} else {
 		e.sched <- yieldMsg{task: t, kind: yieldBlock}
 		t.pause()

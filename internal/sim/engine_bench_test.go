@@ -110,6 +110,63 @@ func BenchmarkDispatchLockstep(b *testing.B) {
 	e.Run()
 }
 
+// benchStepper is the inline twin of BenchmarkDispatch's worker body:
+// advance 10ns per step until per steps have run.
+type benchStepper struct{ n, per int }
+
+func (s *benchStepper) Step(t *Task) Status {
+	if s.n >= s.per {
+		return StatusDone
+	}
+	s.n++
+	t.Advance(10 * Nanosecond)
+	return StatusRunning
+}
+
+// BenchmarkDispatchInline is BenchmarkDispatch with the 8 lockstep
+// workers as inline state machines: every dispatch is a heap sift plus a
+// plain function call on the engine goroutine — zero channel operations,
+// zero goroutine switches. The gap between this and BenchmarkDispatch is
+// the measured value of the inline representation, and bench-check pins
+// the pair as a same-run ratio so host drift cannot fake a result.
+func BenchmarkDispatchInline(b *testing.B) {
+	e := NewEngine()
+	const tasks = 8
+	per := b.N/tasks + 1
+	for i := 0; i < tasks; i++ {
+		e.SpawnInline("w", 0, &benchStepper{per: per})
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkDispatchInlineGoroutine is BenchmarkDispatchInline with the
+// identical Runnables forced onto goroutines (the noInline escape
+// hatch): the same-day A/B control measuring exactly what the inline
+// representation removes — the dispatch-path difference with zero
+// workload-code difference.
+func BenchmarkDispatchInlineGoroutine(b *testing.B) {
+	e := NewEngine()
+	e.noInline = true
+	const tasks = 8
+	per := b.N/tasks + 1
+	for i := 0; i < tasks; i++ {
+		e.SpawnInline("w", 0, &benchStepper{per: per})
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkSyncFastPathInline is BenchmarkSyncFastPath for a lone inline
+// task: always globally minimal, so every step takes the inline spin —
+// no heap traffic at all, just the Step call and the clock bump.
+func BenchmarkSyncFastPathInline(b *testing.B) {
+	e := NewEngine()
+	e.SpawnInline("solo", 0, &benchStepper{per: b.N})
+	b.ResetTimer()
+	e.Run()
+}
+
 // BenchmarkServerAcquire measures the dominant calendar operation:
 // monotone arrivals appending at the end of a busy calendar whose live
 // window holds ~200 reservations (1us steps inside the 200us prune

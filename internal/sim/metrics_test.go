@@ -121,6 +121,7 @@ func TestMetricsSnapshotEmitsHandoffCounters(t *testing.T) {
 	for _, name := range []string{
 		"sync_fast", "sync_slow", "dispatches", "handoffs", "spawns",
 		"blocks", "unblocks", "heap_pushes", "heap_pops", "heap_max",
+		"inline_steps",
 	} {
 		if _, ok := got[name]; !ok {
 			t.Errorf("Snapshot missing counter %q (got %v)", name, got)
