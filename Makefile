@@ -38,7 +38,7 @@ bench:
 # calendar, the cycle-ledger charge path, the histogram record path,
 # plus the end-to-end runner grid).
 bench-engine:
-	go test -bench 'BenchmarkSyncFastPath|BenchmarkDispatch|BenchmarkServerAcquire' -run xxx ./internal/sim/
+	go test -bench 'BenchmarkSyncFastPath|BenchmarkDispatch|BenchmarkServerAcquire|BenchmarkFlightRecorder' -run xxx ./internal/sim/
 	go test -bench BenchmarkLedger -run xxx ./internal/cpu/
 	go test -bench BenchmarkHistogramRecord -run xxx ./internal/stats/
 	go test -bench BenchmarkRunner -run xxx -benchtime 3x ./internal/bench/
@@ -48,7 +48,7 @@ bench-engine:
 # intentional engine change, regenerate the record with bench-engine and
 # update the file.
 bench-check:
-	go test -bench 'BenchmarkSyncFastPath|BenchmarkDispatch|BenchmarkServerAcquire' -run xxx ./internal/sim/ > /tmp/bench-engine-check.txt
+	go test -bench 'BenchmarkSyncFastPath|BenchmarkDispatch|BenchmarkServerAcquire|BenchmarkFlightRecorder' -run xxx ./internal/sim/ > /tmp/bench-engine-check.txt
 	go test -bench BenchmarkLedger -run xxx ./internal/cpu/ >> /tmp/bench-engine-check.txt
 	go test -bench BenchmarkHistogramRecord -run xxx ./internal/stats/ >> /tmp/bench-engine-check.txt
 	go test -bench BenchmarkRunner -run xxx -benchtime 3x ./internal/bench/ >> /tmp/bench-engine-check.txt

@@ -7,7 +7,13 @@
 //	memsim -w fir -model str -cores 16 -mhz 3200 -bw 6400 -pf 4 -scale default
 //	memsim -w fir -model str -sample 1us          # per-epoch time series
 //	memsim -w fir -model str -breakdown           # cycle accounting + latency distributions
+//	memsim -w fir -http :9090 -http-linger 30s    # live /metrics, /progress, /debug/pprof
 //	memsim -list
+//
+// Every run arms an engine flight recorder (-flightrec events, default
+// 256): when the simulation dies with a typed failure — deadlock,
+// livelock, panic — the last scheduler events that led there are printed
+// to stderr along with the error.
 //
 // Exit codes (shared with paperbench): 0 success, 1 runtime or
 // simulation failure, 2 flag or configuration validation error.
@@ -25,6 +31,7 @@ import (
 	memsys "repro"
 	"repro/internal/probe"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -159,6 +166,24 @@ func writeBreakdownText(w io.Writer, rep *memsys.Report) {
 	lt.WriteText(w)
 }
 
+// writeFlightTail prints the flight recorder's last scheduler events
+// from a typed failure's EngineState: the concrete dispatch/handoff/
+// block sequence that led into a deadlock or watchdog abort.
+func writeFlightTail(w io.Writer, st memsys.EngineState) {
+	if len(st.Recent) == 0 {
+		return
+	}
+	tail := st.Recent
+	const max = 16
+	if len(tail) > max {
+		tail = tail[len(tail)-max:]
+	}
+	fmt.Fprintf(w, "memsim: flight recorder: last %d of %d scheduler events:\n", len(tail), st.EventsRecorded)
+	for _, ev := range tail {
+		fmt.Fprintf(w, "  %12v  %-11s %s (task %d)\n", ev.Time, ev.Kind, ev.Task, ev.ID)
+	}
+}
+
 // run is the testable entry point; it returns the process exit code.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("memsim", flag.ContinueOnError)
@@ -180,6 +205,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sampleCSV := fs.String("sample-csv", "", "write the per-epoch samples as CSV to this file (requires -sample)")
 	breakdown := fs.Bool("breakdown", false, "enable the cycle ledger and print cycle-accounting and latency-distribution tables")
 	latencyCSV := fs.String("latency-csv", "", "write the latency histogram buckets as CSV to this file (requires -breakdown)")
+	httpAddr := fs.String("http", "", "serve run telemetry on this address: GET /metrics, /progress, /debug/pprof (empty = off)")
+	httpLinger := fs.Duration("http-linger", 0, "keep -http serving this long after the run finishes (ends early on /quit)")
+	flightRec := fs.Int("flightrec", 256, "flight-recorder depth: last K scheduler events printed with a typed failure (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -210,6 +238,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "memsim: -latency-csv requires -breakdown")
 		return 2
 	}
+	if *flightRec < 0 {
+		fmt.Fprintln(stderr, "memsim: -flightrec must be non-negative")
+		return 2
+	}
+	if *httpLinger < 0 {
+		fmt.Fprintln(stderr, "memsim: -http-linger must be non-negative")
+		return 2
+	}
+	if *httpLinger > 0 && *httpAddr == "" {
+		fmt.Fprintln(stderr, "memsim: -http-linger requires -http")
+		return 2
+	}
 
 	cfg := memsys.DefaultConfig(m, *cores)
 	cfg.CoreMHz = *mhz
@@ -218,6 +258,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.NoWriteAllocate = *nwa
 	cfg.SnoopFilter = *filter
 	cfg.CycleLedger = *breakdown
+	cfg.FlightRecorder = *flightRec
 	if err := flagErrors(cfg.Validate(), m); err != nil {
 		fmt.Fprintln(stderr, "memsim:", err)
 		return 2
@@ -238,11 +279,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Probe = pr
 	}
 
+	// -http serves this run as a one-span campaign: workers=1, the span
+	// walks queued → running → done/failed, and the process lingers on
+	// -http-linger so /metrics and /debug/pprof outlive the simulation.
+	var tele *telemetry.Campaign
+	var srv *telemetry.Server
+	finish := func(code int) int {
+		tele.SetComplete()
+		if srv != nil {
+			srv.WaitQuit(*httpLinger)
+			srv.Close()
+		}
+		return code
+	}
+	var sp *telemetry.Span
+	if *httpAddr != "" {
+		tele = telemetry.NewCampaign()
+		tele.SetWorkers(1)
+		var serr error
+		if srv, serr = telemetry.Serve(*httpAddr, tele); serr != nil {
+			fmt.Fprintf(stderr, "memsim: -http: %v\n", serr)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "memsim: telemetry on http://%s (/metrics, /progress, /debug/pprof)\n", srv.Addr())
+		sp = tele.Enqueue(*name, fmt.Sprintf("%v %d cores @%d MHz bw=%d pf=%d",
+			cfg.Model, cfg.Cores, cfg.CoreMHz, cfg.DRAMBandwidthMBps, cfg.PrefetchDepth))
+	}
+
+	sp.Start()
 	rep, err := memsys.Run(cfg, *name, scale)
 	if err != nil {
+		sp.Fail("error")
 		fmt.Fprintf(stderr, "memsim: %v\n", err)
-		return 1
+		var rerr memsys.RunError
+		if errors.As(err, &rerr) {
+			writeFlightTail(stderr, rerr.EngineState())
+		}
+		return finish(1)
 	}
+	sp.Done()
 	if *asJSON {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -255,7 +331,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if err := enc.Encode(out); err != nil {
 			fmt.Fprintf(stderr, "memsim: %v\n", err)
-			return 1
+			return finish(1)
 		}
 	} else {
 		fmt.Fprint(stdout, rep)
@@ -270,7 +346,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		f, ferr := os.Create(*latencyCSV)
 		if ferr != nil {
 			fmt.Fprintf(stderr, "memsim: %v\n", ferr)
-			return 1
+			return finish(1)
 		}
 		rep.Latency.WriteBucketsCSV(f)
 		f.Close()
@@ -282,11 +358,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		f, ferr := os.Create(*sampleCSV)
 		if ferr != nil {
 			fmt.Fprintf(stderr, "memsim: %v\n", ferr)
-			return 1
+			return finish(1)
 		}
 		if werr := pr.WriteCSV(f); werr != nil {
 			fmt.Fprintf(stderr, "memsim: %v\n", werr)
-			return 1
+			return finish(1)
 		}
 		f.Close()
 		if !*asJSON {
@@ -300,11 +376,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		f, ferr := os.Create(*traceOut)
 		if ferr != nil {
 			fmt.Fprintf(stderr, "memsim: %v\n", ferr)
-			return 1
+			return finish(1)
 		}
 		if werr := tr.WriteChrome(f); werr != nil {
 			fmt.Fprintf(stderr, "memsim: %v\n", werr)
-			return 1
+			return finish(1)
 		}
 		f.Close()
 		if !*asJSON {
@@ -332,7 +408,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			rep.Engine.Dispatches+rep.Engine.Handoffs+rep.Engine.InlineSteps, 100*rep.Engine.FastPathRate(),
 			100*rep.Engine.HandoffRate(), 100*rep.Engine.InlineRate(), rep.Engine.HeapMax, rep.Servers.Pruned)
 	}
-	return 0
+	return finish(0)
 }
 
 func main() {

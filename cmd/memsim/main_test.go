@@ -125,3 +125,50 @@ func TestHeadlineSeriesMerge(t *testing.T) {
 		t.Error("CC-only series merged on an STR run")
 	}
 }
+
+// TestFlightTailOnTypedFailure pins the stderr rendering of the flight
+// recorder: a deadlock run prints the scheduler-event tail that led
+// there, and -flightrec 0 turns it off.
+func TestFlightTailOnTypedFailure(t *testing.T) {
+	fault.RegisterWorkloads()
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-w", fault.Deadlock, "-cores", "4"}, &stdout, &stderr); got != 1 {
+		t.Fatalf("run = %d, want 1 (stderr: %s)", got, stderr.String())
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "flight recorder: last ") {
+		t.Fatalf("no flight-recorder tail on deadlock stderr:\n%s", out)
+	}
+	if !strings.Contains(out, "block") {
+		t.Fatalf("tail lacks the blocking events that formed the deadlock:\n%s", out)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if got := run([]string{"-w", fault.Deadlock, "-cores", "4", "-flightrec", "0"}, &stdout, &stderr); got != 1 {
+		t.Fatalf("run = %d, want 1", got)
+	}
+	if strings.Contains(stderr.String(), "flight recorder") {
+		t.Fatalf("-flightrec 0 still printed a tail:\n%s", stderr.String())
+	}
+}
+
+// TestMemsimHTTP serves one run's telemetry: the span must reach done
+// and the contract metric must report it.
+func TestMemsimHTTP(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	got := run([]string{"-w", "fir", "-cores", "2", "-scale", "small", "-http", "127.0.0.1:0"}, &stdout, &stderr)
+	if got != 0 {
+		t.Fatalf("run = %d (stderr: %s)", got, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "memsim: telemetry on http://") {
+		t.Fatalf("no serving line on stderr: %q", stderr.String())
+	}
+	// Flag validation for the linger/addr pairing.
+	if got := run([]string{"-w", "fir", "-http-linger", "5s"}, &stdout, &stderr); got != 2 {
+		t.Fatalf("-http-linger without -http: exit %d, want 2", got)
+	}
+	if got := run([]string{"-w", "fir", "-flightrec", "-1"}, &stdout, &stderr); got != 2 {
+		t.Fatalf("-flightrec -1: exit %d, want 2", got)
+	}
+}

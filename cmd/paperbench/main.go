@@ -6,6 +6,7 @@
 //	paperbench [-scale small|default|paper] [-only table3,fig2,...] [-apps fir,depth] [-j N]
 //	           [-job-timeout 2m] [-retries 2] [-artifacts DIR] [-resume]
 //	           [-cpuprofile cpu.pprof] [-blockprofile block.pprof]
+//	           [-http :9090] [-http-linger 60s] [-flightrec 256]
 //
 // The default scale runs the same workload shapes as the paper at
 // reduced dataset sizes; -scale paper uses paper-sized inputs (slow).
@@ -21,6 +22,17 @@
 // -resume replays an existing manifest.jsonl (requires -artifacts),
 // seeding every previously successful run so only missing and failed
 // jobs simulate again.
+//
+// -http serves live campaign telemetry while the figures run: GET
+// /metrics (Prometheus text), GET /progress (JSON span table with
+// per-figure completion and a rate-based ETA), and net/http/pprof under
+// /debug/pprof. -http-linger keeps the endpoint up after the campaign
+// finishes (until the duration passes or /quit is hit) so scrapers can
+// collect the final state. When stderr is a terminal, a single in-place
+// status line summarizes the pool; pipes get the plain progress lines,
+// byte-identical to previous releases. Every fresh simulation also arms
+// an engine flight recorder (-flightrec events), so failure records
+// carry the scheduler-event tail that led to the deadlock or abort.
 //
 // Exit codes (shared with memsim): 0 success, 1 runtime/IO failure,
 // 2 flag or configuration validation error, 3 grid completed partially
@@ -45,6 +57,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/ledger"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -180,6 +193,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	resume := fs.Bool("resume", false, "seed completed jobs from an existing manifest.jsonl (requires -artifacts) and re-run only missing/failed ones")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole campaign to this file")
 	blockProfile := fs.String("blockprofile", "", "write a pprof blocking profile (rate 1) to this file; shows where goroutines wait")
+	httpAddr := fs.String("http", "", "serve live campaign telemetry on this address: GET /metrics, /progress, /debug/pprof (empty = off)")
+	httpLinger := fs.Duration("http-linger", 0, "keep -http serving this long after the campaign finishes (ends early on /quit)")
+	flightRec := fs.Int("flightrec", 0, "per-job flight-recorder depth: last K scheduler events in failure dumps (0 = default 256, negative = off)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -206,6 +222,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *resume && *artifactsDir == "" {
 		fmt.Fprintln(stderr, "paperbench: -resume requires -artifacts (the manifest.jsonl to replay)")
+		return 2
+	}
+	if *httpLinger < 0 {
+		fmt.Fprintln(stderr, "paperbench: -http-linger must be non-negative")
+		return 2
+	}
+	if *httpLinger > 0 && *httpAddr == "" {
+		fmt.Fprintln(stderr, "paperbench: -http-linger requires -http")
 		return 2
 	}
 
@@ -336,8 +360,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 	r.Workers = *jobs
 	r.JobTimeout = *jobTimeout
 	r.Retries = *retries
+	r.FlightRecorder = *flightRec
+
+	// Campaign telemetry: allocated when anything will read it (-http, or
+	// the in-place status line on an interactive stderr). With neither,
+	// r.Telemetry stays nil and every span call is a no-op — figure
+	// output is byte-identical regardless.
+	useStatus := !*quiet && telemetry.IsTerminal(stderr)
+	var tele *telemetry.Campaign
+	if *httpAddr != "" || useStatus {
+		tele = telemetry.NewCampaign()
+		r.Telemetry = tele
+	}
+	var srv *telemetry.Server
+	if *httpAddr != "" {
+		var err error
+		if srv, err = telemetry.Serve(*httpAddr, tele); err != nil {
+			fmt.Fprintf(stderr, "paperbench: -http: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "# paperbench: telemetry on http://%s (/metrics, /progress, /debug/pprof)\n", srv.Addr())
+	}
+	var sl *telemetry.StatusLine
 	if !*quiet {
-		r.Progress = stderr
+		if useStatus {
+			// Interactive terminal: progress lines scroll above a single
+			// redrawn-in-place campaign summary line.
+			sl = telemetry.NewStatusLine(stderr, tele)
+			sl.Start(0)
+			r.Progress = sl.Writer()
+		} else {
+			r.Progress = stderr
+		}
 	}
 	if *resume {
 		seeded, prevFailed, err := seedFromManifest(filepath.Join(*artifactsDir, "manifest.jsonl"), r, stderr)
@@ -385,6 +440,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(out)
 	}
 	if sel("table3") && !fatal {
+		tele.BeginGroup("table3")
 		rows, err := r.Table3(out)
 		if check("table3", err) {
 			tb := stats.NewTable("", "app", "l1miss", "l2miss", "instrPerL1Miss", "cycPerL2Miss", "offchipMBps")
@@ -400,6 +456,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if sel("fig2") && !fatal {
+		tele.BeginGroup("fig2")
 		series, err := r.Figure2(out, apps)
 		if check("fig2", err) {
 			for _, app := range bench.SortedKeys(series) {
@@ -409,6 +466,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if sel("fig3") && !fatal {
+		tele.BeginGroup("fig3")
 		series, err := r.Figure3(out)
 		if check("fig3", err) {
 			for _, app := range bench.SortedKeys(series) {
@@ -418,6 +476,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if sel("fig4") && !fatal {
+		tele.BeginGroup("fig4")
 		series, err := r.Figure4(out)
 		if check("fig4", err) {
 			for _, app := range bench.SortedKeys(series) {
@@ -427,6 +486,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if sel("fig5") && !fatal {
+		tele.BeginGroup("fig5")
 		series, err := r.Figure5(out)
 		if check("fig5", err) {
 			for _, app := range bench.SortedKeys(series) {
@@ -436,6 +496,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if sel("fig6") && !fatal {
+		tele.BeginGroup("fig6")
 		bars, err := r.Figure6(out)
 		if check("fig6", err) {
 			barsCSV("fig6-fir", bars)
@@ -443,6 +504,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if sel("fig7") && !fatal {
+		tele.BeginGroup("fig7")
 		series, err := r.Figure7(out)
 		if check("fig7", err) {
 			for _, app := range bench.SortedKeys(series) {
@@ -452,6 +514,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if sel("fig8") && !fatal {
+		tele.BeginGroup("fig8")
 		traffic, energy, err := r.Figure8(out)
 		if check("fig8", err) {
 			for _, app := range bench.SortedKeys(traffic) {
@@ -462,6 +525,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if sel("fig9") && !fatal {
+		tele.BeginGroup("fig9")
 		bars, traffic, err := r.Figure9(out)
 		if check("fig9", err) {
 			barsCSV("fig9-mpeg2-time", bars)
@@ -470,6 +534,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if sel("fig10") && !fatal {
+		tele.BeginGroup("fig10")
 		bars, err := r.Figure10(out)
 		if check("fig10", err) {
 			barsCSV("fig10-art", bars)
@@ -477,6 +542,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if sel("breakdown") && !fatal {
+		tele.BeginGroup("breakdown")
 		series, err := r.FigureBreakdown(out, apps)
 		if check("breakdown", err) {
 			for _, app := range bench.SortedKeys(series) {
@@ -486,26 +552,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	r.Close() // drain pending progress lines before the summary
+	sl.Stop() // clear the status line; summary lines below scroll normally
+
+	// finish seals the campaign for scrapers — the completion gauge flips
+	// so /progress reports "complete": true with the final counts — then
+	// lingers on -http-linger so an external collector (CI) can take its
+	// last scrape before the process exits.
+	finish := func(code int) int {
+		tele.SetComplete()
+		if srv != nil {
+			srv.WaitQuit(*httpLinger)
+			srv.Close()
+		}
+		return code
+	}
 	if manifest != nil {
 		if err := manifest.close(); err != nil {
 			fmt.Fprintf(stderr, "paperbench: manifest: %v\n", err)
-			return 1
+			return finish(1)
 		}
 	}
 	if ioFail != nil {
 		fmt.Fprintf(stderr, "paperbench: csv: %v\n", ioFail)
-		return 1
+		return finish(1)
 	}
 	fmt.Fprintf(stderr, "# paperbench finished in %v\n", time.Since(start).Round(time.Millisecond))
 	if fatal {
-		return 1
+		return finish(1)
 	}
 	if partial {
 		ok, failed := r.Outcome()
 		fmt.Fprintf(stderr, "# paperbench: partial results: %d ok / %d failed\n", ok, failed)
-		return 3
+		return finish(3)
 	}
-	return 0
+	return finish(0)
 }
 
 func main() {

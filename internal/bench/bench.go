@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -41,10 +42,13 @@ type cfgKey struct {
 }
 
 func keyOf(cfg core.Config, name string) cfgKey {
-	// Tracer and probe are run-scoped observers, not part of the
-	// machine's identity; nil them so the struct stays comparable.
+	// Tracer, probe and flight recorder are run-scoped observers, not
+	// part of the machine's identity; zero them so the struct stays
+	// comparable and observed runs memoize against unobserved ones (and
+	// manifests written before the recorder existed still seed -resume).
 	cfg.Trace = nil
 	cfg.Probe = nil
+	cfg.FlightRecorder = 0
 	return cfgKey{name: name, cfg: cfg}
 }
 
@@ -66,6 +70,12 @@ type Record struct {
 	ErrKind     string           `json:"error_kind,omitempty"`
 	Attempts    int              `json:"attempts,omitempty"`
 	EngineState *sim.EngineState `json:"engine_state,omitempty"`
+	// Pool-residency diagnostics: how long the job waited for a worker
+	// slot after admission, and each attempt's wall time (len > 1 means
+	// the watchdog or a panic forced retries). Together with HostNS they
+	// let -resume analysis distinguish queue pressure from slow sims.
+	QueueWaitNS int64   `json:"queue_wait_ns"`
+	AttemptsNS  []int64 `json:"attempts_ns,omitempty"`
 }
 
 // flight is one simulation's singleflight slot: the first requester of a
@@ -74,6 +84,10 @@ type flight struct {
 	done chan struct{}
 	rep  *core.Report
 	err  error
+	// enqueuedAt stamps admission so queue_wait_ns works with or without
+	// a Campaign attached; span is the job's telemetry handle (nil-safe).
+	enqueuedAt time.Time
+	span       *telemetry.Span
 }
 
 // Runner executes workload/configuration pairs on a bounded worker pool
@@ -112,11 +126,26 @@ type Runner struct {
 	// by exponential backoff whose jitter derives from the deterministic
 	// job key, not the clock. Deterministic failures are never retried.
 	Retries int
+	// Telemetry, when non-nil, receives per-job lifecycle spans and
+	// campaign counters (internal/telemetry) for the -http endpoints and
+	// the TTY status line. Purely observational: figure output is
+	// byte-identical with it attached or not. Set it before the first
+	// Run or Prefetch. All Campaign methods are nil-safe, so the zero
+	// Runner needs no guards.
+	Telemetry *telemetry.Campaign
+	// FlightRecorder sizes the engine flight recorder armed for every
+	// fresh simulation (the last K scheduler events, embedded in typed
+	// failures' engine-state snapshots): 0 means the default of 256
+	// events, negative disables recording. The recorder is run-scoped —
+	// excluded from the memo key and from manifest configs — and its
+	// disabled cost on the engine is one nil compare per record site.
+	FlightRecorder int
 
-	initOnce sync.Once
-	sem      chan struct{} // worker slots
-	progCh   chan string
-	progWG   sync.WaitGroup
+	initOnce  sync.Once
+	closeOnce sync.Once
+	sem       chan struct{} // worker slots
+	progCh    chan string
+	progWG    sync.WaitGroup
 
 	mu        sync.Mutex
 	cache     map[cfgKey]*flight
@@ -125,6 +154,12 @@ type Runner struct {
 	okCount   int // fresh simulations that succeeded
 	failCount int // fresh simulations that failed (after retries)
 }
+
+// defaultFlightRecorder is the per-job flight-recorder depth when the
+// Runner's FlightRecorder field is zero: enough events to cover the
+// whole dispatch chain around a deadlock or watchdog abort while
+// keeping a ring small enough to embed in manifest records.
+const defaultFlightRecorder = 256
 
 // NewRunner returns a Runner at the given dataset scale.
 func NewRunner(scale workload.Scale) *Runner {
@@ -139,6 +174,7 @@ func (r *Runner) init() {
 			n = runtime.GOMAXPROCS(0)
 		}
 		r.sem = make(chan struct{}, n)
+		r.Telemetry.SetWorkers(n)
 		if r.Progress != nil {
 			r.progCh = make(chan string, 64)
 			r.progWG.Add(1)
@@ -153,14 +189,19 @@ func (r *Runner) init() {
 }
 
 // Close drains the progress collector. Call it after the last Run when
-// Progress is set; the Runner must not be used afterwards.
+// Progress is set; the Runner must not be used afterwards. Idempotent:
+// a second Close — including after a zero-job campaign — is a safe
+// no-op (closeOnce guards the channel close, so double-Close can never
+// panic even as Close grows more teardown).
 func (r *Runner) Close() {
 	r.init()
-	if r.progCh != nil {
-		close(r.progCh)
-		r.progWG.Wait()
-		r.progCh = nil
-	}
+	r.closeOnce.Do(func() {
+		if r.progCh != nil {
+			close(r.progCh)
+			r.progWG.Wait()
+			r.progCh = nil
+		}
+	})
 }
 
 // admit returns the flight for a key, creating it (leader=true) if this
@@ -171,12 +212,21 @@ func (r *Runner) admit(cfg core.Config, name string) (fl *flight, leader bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if fl, ok := r.cache[key]; ok {
+		r.Telemetry.MemoHit()
 		return fl, false
 	}
-	fl = &flight{done: make(chan struct{})}
+	fl = &flight{done: make(chan struct{}), enqueuedAt: time.Now()}
+	fl.span = r.Telemetry.Enqueue(name, cfgLabel(cfg))
 	r.cache[key] = fl
 	r.scheduled++
 	return fl, true
+}
+
+// cfgLabel is the short config descriptor spans carry in /progress,
+// mirroring the progress line's fields.
+func cfgLabel(cfg core.Config) string {
+	return fmt.Sprintf("%v %d cores @%d MHz bw=%d pf=%d",
+		cfg.Model, cfg.Cores, cfg.CoreMHz, cfg.DRAMBandwidthMBps, cfg.PrefetchDepth)
 }
 
 // simulate runs one admitted job — with validation, watchdog and retry
@@ -185,13 +235,19 @@ func (r *Runner) admit(cfg core.Config, name string) (fl *flight, leader bool) {
 func (r *Runner) simulate(fl *flight, cfg core.Config, name string) {
 	defer close(fl.done)
 	started := time.Now()
-	rep, jerr := r.attemptWithRetries(cfg, name)
+	queueWait := started.Sub(fl.enqueuedAt)
+	fl.span.Start()
+	rep, attemptsNS, jerr := r.attemptWithRetries(cfg, name, fl.span)
 	fl.rep = rep
 	if jerr != nil {
 		fl.err = jerr // typed-nil guard: only assign a non-nil *JobError
+		fl.span.Fail(string(jerr.Kind))
+	} else {
+		fl.span.Done()
 	}
 	if r.OnRecord != nil {
-		rec := Record{Name: name, Cfg: cfg, Report: rep, HostNS: time.Since(started).Nanoseconds()}
+		rec := Record{Name: name, Cfg: cfg, Report: rep, HostNS: time.Since(started).Nanoseconds(),
+			QueueWaitNS: queueWait.Nanoseconds(), AttemptsNS: attemptsNS}
 		if jerr != nil {
 			rec.Err = jerr.Error()
 			rec.ErrKind = string(jerr.Kind)
@@ -222,17 +278,26 @@ func (r *Runner) simulate(fl *flight, cfg core.Config, name string) {
 
 // attemptWithRetries drives the retry loop: one attempt, plus up to
 // Retries more for retryable failures, spaced by deterministic backoff.
-func (r *Runner) attemptWithRetries(cfg core.Config, name string) (*core.Report, *JobError) {
+// It returns each attempt's wall time alongside the result, and walks
+// the span through retrying → running around every backoff.
+func (r *Runner) attemptWithRetries(cfg core.Config, name string, sp *telemetry.Span) (*core.Report, []int64, *JobError) {
+	var attemptsNS []int64
 	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
 		rep, jerr := r.attempt(cfg, name)
+		d := time.Since(t0)
+		attemptsNS = append(attemptsNS, d.Nanoseconds())
+		sp.Attempt(d)
 		if jerr == nil {
-			return rep, nil
+			return rep, attemptsNS, nil
 		}
 		jerr.Attempts = attempt + 1
 		if attempt >= r.Retries || !jerr.Retryable() {
-			return nil, jerr
+			return nil, attemptsNS, jerr
 		}
+		sp.Retry()
 		time.Sleep(backoffDelay(name, cfg, attempt))
+		sp.Start()
 	}
 }
 
@@ -246,6 +311,21 @@ func (r *Runner) attempt(cfg core.Config, name string) (*core.Report, *JobError)
 	}
 	if verr := keyOf(cfg, name).cfg.Validate(); verr != nil {
 		return nil, &JobError{Name: name, Cfg: cfg, Kind: ErrConfig, Attempts: 1, Err: verr}
+	}
+	// Arm the flight recorder for this run (it is run-scoped: keyOf
+	// strips it, and Record.Cfg carries the caller's value, so manifests
+	// and memo identity are unchanged). A caller-set size wins; else the
+	// Runner's default, so every typed failure in a campaign carries the
+	// event tail that led there.
+	if cfg.FlightRecorder == 0 {
+		switch {
+		case r.FlightRecorder > 0:
+			cfg.FlightRecorder = r.FlightRecorder
+		case r.FlightRecorder == 0:
+			cfg.FlightRecorder = defaultFlightRecorder
+		}
+	} else if cfg.FlightRecorder < 0 {
+		cfg.FlightRecorder = 0
 	}
 	sys := core.New(cfg)
 	if r.JobTimeout > 0 {
@@ -274,9 +354,10 @@ func (r *Runner) Seed(cfg core.Config, name string, rep *core.Report) bool {
 	if _, ok := r.cache[key]; ok {
 		return false
 	}
-	fl := &flight{done: make(chan struct{}), rep: rep}
+	fl := &flight{done: make(chan struct{}), rep: rep, enqueuedAt: time.Now()}
 	close(fl.done)
 	r.cache[key] = fl
+	r.Telemetry.Seed(name, cfgLabel(cfg))
 	return true
 }
 
@@ -321,6 +402,11 @@ func (r *Runner) Run(cfg core.Config, name string) (*core.Report, error) {
 		<-r.sem
 	} else {
 		<-fl.done
+	}
+	if fl.err != nil {
+		// Every collection of a failed key is one poisoned figure cell
+		// (the ERR markers); count the blast radius for telemetry.
+		r.Telemetry.ErrCell()
 	}
 	return fl.rep, fl.err
 }

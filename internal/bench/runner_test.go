@@ -2,12 +2,14 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -169,6 +171,109 @@ func TestProgressCollector(t *testing.T) {
 	for _, want := range []string{"# [1/3", "# [2/3", "# [3/3"} {
 		if !seen[want] {
 			t.Errorf("no progress line with prefix %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestCloseIdempotent is the regression test for double-Close: the CLI
+// closes the runner on its normal path and again from its finish
+// wrapper, and a second Close used to be a latent panic on the progress
+// channel once Close grew teardown. Both orders — after a campaign and
+// on a zero-job runner — must be safe no-ops.
+func TestCloseIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(workload.ScaleSmall)
+	r.Progress = &buf
+	if _, err := r.Run(core.DefaultConfig(core.CC, 1), "fir"); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r.Close()
+
+	zero := NewRunner(workload.ScaleSmall)
+	zero.Progress = &buf
+	zero.Close()
+	zero.Close()
+}
+
+// TestRunnerFeedsTelemetry proves the runner walks spans through the
+// campaign table: fresh simulations open and close spans, duplicate
+// requests count as memo hits without opening one, and seeded results
+// arrive in the memo-hit terminal state.
+func TestRunnerFeedsTelemetry(t *testing.T) {
+	c := telemetry.NewCampaign()
+	c.BeginGroup("fig2")
+	r := NewRunner(workload.ScaleSmall)
+	r.Workers = 2
+	r.Telemetry = c
+	r.Seed(core.DefaultConfig(core.CC, 2), "fir", &core.Report{})
+	cfg := core.DefaultConfig(core.CC, 1)
+	if _, err := r.Run(cfg, "fir"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(cfg, "fir"); err != nil { // same key: memo hit
+		t.Fatal(err)
+	}
+	r.Close()
+
+	s := c.Snapshot(true)
+	if s.Enqueued != 2 || s.Done != 1 || s.MemoSpan != 1 || s.MemoHits != 1 || s.MemoMisses != 1 {
+		t.Fatalf("campaign snapshot: %+v", s)
+	}
+	if s.Queued+s.Running+s.Retrying != 0 {
+		t.Fatalf("spans left open: %+v", s)
+	}
+	var fresh *telemetry.SpanSnapshot
+	for i := range s.Spans {
+		if s.Spans[i].State == "done" {
+			fresh = &s.Spans[i]
+		}
+	}
+	if fresh == nil {
+		t.Fatalf("no done span: %+v", s.Spans)
+	}
+	if fresh.Workload != "fir" || fresh.Figure != "fig2" || fresh.Attempts != 1 || len(fresh.AttemptsNS) != 1 {
+		t.Fatalf("fresh span: %+v", fresh)
+	}
+	if fresh.EndedNS == 0 || fresh.AttemptsNS[0] <= 0 {
+		t.Fatalf("span timings: %+v", fresh)
+	}
+}
+
+// TestRecordCarriesPoolResidency pins the manifest schema additions:
+// every fresh-simulation Record reports its queue wait and per-attempt
+// wall times under the queue_wait_ns / attempts_ns keys.
+func TestRecordCarriesPoolResidency(t *testing.T) {
+	r := NewRunner(workload.ScaleSmall)
+	var mu sync.Mutex
+	var recs []Record
+	r.OnRecord = func(rec Record) {
+		mu.Lock()
+		recs = append(recs, rec)
+		mu.Unlock()
+	}
+	if _, err := r.Run(core.DefaultConfig(core.CC, 1), "fir"); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if len(rec.AttemptsNS) != 1 || rec.AttemptsNS[0] <= 0 {
+		t.Fatalf("attempts_ns = %v, want one positive entry", rec.AttemptsNS)
+	}
+	if rec.QueueWaitNS < 0 || rec.AttemptsNS[0] > rec.HostNS+rec.QueueWaitNS {
+		t.Fatalf("implausible residency: queue=%d attempt=%d host=%d",
+			rec.QueueWaitNS, rec.AttemptsNS[0], rec.HostNS)
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"queue_wait_ns"`, `"attempts_ns"`} {
+		if !bytes.Contains(raw, []byte(key)) {
+			t.Fatalf("marshalled record lacks %s: %s", key, raw)
 		}
 	}
 }

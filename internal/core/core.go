@@ -103,6 +103,14 @@ type Config struct {
 	// counters only, so the simulated outcome is identical with it on or
 	// off. Like Trace, a Recorder belongs to exactly one run.
 	Probe *probe.Recorder `json:"-"`
+
+	// FlightRecorder, when positive, arms the engine's flight recorder
+	// to retain the last K scheduler events (sim.SetFlightRecorder),
+	// embedded in every typed failure's EngineState. Like Trace and
+	// Probe it is a run-scoped observer, not part of the simulated
+	// machine: it never moves a clock, so the outcome is identical with
+	// it on or off, and the run layer excludes it from the memo key.
+	FlightRecorder int `json:"flight_recorder,omitempty"`
 }
 
 // DefaultConfig is the paper's default machine: 800 MHz cores, 1.6 GB/s
@@ -195,6 +203,9 @@ func New(cfg Config) *System {
 		net: noc.New(ncfg),
 	}
 	s.eng.MaxTime = cfg.MaxSimTime
+	if cfg.FlightRecorder > 0 {
+		s.eng.SetFlightRecorder(cfg.FlightRecorder)
+	}
 	ucfg := uncore.DefaultConfig()
 	ucfg.DRAM = dram.DefaultConfig()
 	if cfg.DRAMBandwidthMBps != 0 {

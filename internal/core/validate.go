@@ -94,6 +94,9 @@ func (c Config) Validate() error {
 			add(n.field, "must be non-negative (got %d; 0 means the Table 2 default)", n.v)
 		}
 	}
+	if c.FlightRecorder < 0 {
+		add("FlightRecorder", "must be non-negative (got %d; 0 disables the recorder)", c.FlightRecorder)
+	}
 	if len(errs) == 0 {
 		return nil
 	}

@@ -66,6 +66,14 @@ func TestDeadlockProducesTypedRecord(t *testing.T) {
 	if jerr.State == nil || len(jerr.State.Tasks) == 0 {
 		t.Fatalf("deadlock JobError carries no engine state: %+v", jerr)
 	}
+	if len(jerr.State.Recent) == 0 || jerr.State.EventsRecorded == 0 {
+		t.Fatalf("deadlock state has no flight-recorder tail: %+v", jerr.State)
+	}
+	for _, ev := range jerr.State.Recent {
+		if ev.Kind == "" || ev.Task == "" {
+			t.Fatalf("flight event missing kind or task name: %+v", ev)
+		}
+	}
 	if !strings.Contains(jerr.Error(), "awaiting lock fault.poison") {
 		t.Fatalf("error %q does not name the contended lock", jerr.Error())
 	}
@@ -107,6 +115,9 @@ func TestWatchdogAbortsStall(t *testing.T) {
 	}
 	if jerr.State == nil || len(jerr.State.Tasks) == 0 || jerr.State.HeapDepth < 0 {
 		t.Fatalf("timeout carries no progress dump: %+v", jerr.State)
+	}
+	if len(jerr.State.Recent) == 0 {
+		t.Fatalf("timeout state has no flight-recorder tail: %+v", jerr.State)
 	}
 }
 
@@ -155,6 +166,18 @@ func TestWatchdogAbortMidHandoff(t *testing.T) {
 	}
 	if len(rec.recs) != 1 || rec.recs[0].ErrKind != "timeout" || rec.recs[0].EngineState == nil {
 		t.Fatalf("manifest record = %+v, want one timeout record with engine state", rec.recs)
+	}
+	// The run was dispatching by handoff when it died, so the recorded
+	// tail must say so: flight events ride the same channel edges as the
+	// scheduler state, making this snapshot coherent without locks.
+	handoffs := 0
+	for _, ev := range rec.recs[0].EngineState.Recent {
+		if ev.Kind == "handoff" {
+			handoffs++
+		}
+	}
+	if handoffs == 0 {
+		t.Fatalf("handoff-dispatched stall recorded no handoff events: %+v", rec.recs[0].EngineState.Recent)
 	}
 }
 
@@ -328,4 +351,55 @@ func TestSeedSkipsSimulation(t *testing.T) {
 	if ok != 0 || failed != 0 || len(rec.recs) != 0 {
 		t.Fatalf("seeded hit produced side effects: ok=%d failed=%d recs=%d", ok, failed, len(rec.recs))
 	}
+}
+
+// TestFlightRecorderTailCoverage sweeps the remaining typed-failure
+// kinds — livelock and task panic — plus the opt-out: every failure
+// whose engine produced a snapshot must carry the scheduler-event tail
+// that led there, and a negative Runner.FlightRecorder must disarm it.
+func TestFlightRecorderTailCoverage(t *testing.T) {
+	t.Run("livelock", func(t *testing.T) {
+		r := newRunner(nil)
+		defer r.Close()
+		cfg := core.DefaultConfig(core.CC, 1)
+		cfg.MaxSimTime = 10 * sim.Microsecond
+		_, err := r.Run(cfg, fault.Stall)
+		var jerr *bench.JobError
+		if !errors.As(err, &jerr) || jerr.Kind != bench.ErrLivelock {
+			t.Fatalf("err = %v, want livelock JobError", err)
+		}
+		if jerr.State == nil || len(jerr.State.Recent) == 0 {
+			t.Fatalf("livelock state has no flight-recorder tail: %+v", jerr.State)
+		}
+	})
+	t.Run("panic", func(t *testing.T) {
+		r := newRunner(nil)
+		defer r.Close()
+		fault.SetFlakyFailures(10)
+		defer fault.SetFlakyFailures(0)
+		_, err := r.Run(core.DefaultConfig(core.CC, 1), fault.Flaky)
+		var jerr *bench.JobError
+		if !errors.As(err, &jerr) || jerr.Kind != bench.ErrPanic {
+			t.Fatalf("err = %v, want panic JobError", err)
+		}
+		if jerr.State == nil || len(jerr.State.Recent) == 0 {
+			t.Fatalf("panic state has no flight-recorder tail: %+v", jerr.State)
+		}
+	})
+	t.Run("disabled", func(t *testing.T) {
+		r := newRunner(nil)
+		defer r.Close()
+		r.FlightRecorder = -1
+		_, err := r.Run(core.DefaultConfig(core.CC, 4), fault.Deadlock)
+		var jerr *bench.JobError
+		if !errors.As(err, &jerr) || jerr.Kind != bench.ErrDeadlock {
+			t.Fatalf("err = %v, want deadlock JobError", err)
+		}
+		if jerr.State == nil {
+			t.Fatalf("deadlock lost its engine state: %+v", jerr)
+		}
+		if len(jerr.State.Recent) != 0 || jerr.State.EventsRecorded != 0 {
+			t.Fatalf("disabled recorder still captured events: %+v", jerr.State)
+		}
+	})
 }

@@ -39,12 +39,23 @@ type EngineState struct {
 	Live      int         `json:"live_tasks"`
 	Metrics   Metrics     `json:"metrics"`
 	Tasks     []TaskState `json:"tasks,omitempty"`
+	// Recent is the flight recorder's ring at the moment of failure,
+	// oldest first — the last K scheduler events that led here (empty
+	// when the recorder was disabled). EventsRecorded counts every event
+	// the recorder ever saw, so readers can tell "K events, ring full"
+	// from "K events, that was the whole run".
+	Recent         []FlightEvent `json:"recent_events,omitempty"`
+	EventsRecorded uint64        `json:"events_recorded,omitempty"`
 }
 
 // snapshotState captures the domain. Engine-goroutine only (it reads
 // scheduling state without locks).
 func (e *Engine) snapshotState() EngineState {
 	st := EngineState{Now: e.now, HeapDepth: e.queue.len(), Live: e.live, Metrics: e.met}
+	if e.fr != nil {
+		st.Recent = e.fr.snapshot(e.tasks)
+		st.EventsRecorded = e.fr.n
+	}
 	for _, t := range e.tasks {
 		ts := TaskState{Name: t.name, ID: t.id, Time: t.time, WaitingOn: t.waitingOn}
 		switch {

@@ -133,6 +133,13 @@ type Engine struct {
 	nextEpoch Time
 	onEpoch   func(boundary Time)
 
+	// fr, when non-nil, is the flight recorder (SetFlightRecorder): a
+	// ring of the last K scheduler events embedded in every typed
+	// failure's EngineState. Disabled it is one always-false nil compare
+	// per record site; the Sync fast path never records, so its cost is
+	// untouched in both modes. See flightrec.go.
+	fr *flightRecorder
+
 	met Metrics
 }
 
@@ -391,6 +398,7 @@ func (e *Engine) Run() {
 		e.met.HeapPops++
 		if t.inline == nil {
 			e.met.Dispatches++
+			e.record(flightDispatch, t)
 		}
 		if t.time < e.now {
 			panic(fmt.Sprintf("sim: task %q scheduled in the past (%v < %v)", t.name, t.time, e.now))
@@ -414,6 +422,7 @@ func (e *Engine) Run() {
 		case yieldBlock:
 			msg.task.blocked = true
 			e.met.Blocks++
+			e.record(flightBlock, msg.task)
 		case yieldDone:
 			e.live--
 		case yieldPanic:
@@ -502,6 +511,7 @@ func (t *Task) Sync() {
 			return
 		}
 		e.met.Handoffs++
+		e.record(flightHandoff, n)
 		n.resume <- struct{}{}
 		t.pause()
 		return
@@ -602,6 +612,7 @@ func (t *Task) block(label string) {
 		// empty heap stays on the engine path — that is the deadlock the
 		// engine must diagnose with a snapshot.
 		e.met.Blocks++
+		e.record(flightBlock, t)
 		t.blocked = true
 		n := e.queue.pop()
 		n.queued = false
@@ -611,6 +622,7 @@ func (t *Task) block(label string) {
 			e.handoffInline(t, n)
 		} else {
 			e.met.Handoffs++
+			e.record(flightHandoff, n)
 			n.resume <- struct{}{}
 			t.pause()
 		}
@@ -638,6 +650,7 @@ func (t *Task) Unblock(at Time) {
 	}
 	t.SetTime(at)
 	t.engine.met.Unblocks++
+	t.engine.record(flightUnblock, t)
 	t.engine.push(t)
 }
 

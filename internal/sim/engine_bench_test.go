@@ -180,3 +180,38 @@ func BenchmarkServerAcquire(b *testing.B) {
 		at += Microsecond
 	}
 }
+
+// BenchmarkFlightRecorderDisabled is BenchmarkDispatchInline with the
+// flight recorder explicitly disarmed: the record sites compile to one
+// always-false nil compare per dispatch. bench-check pins this against
+// BenchmarkDispatchInline as a same-run ratio to prove the disabled
+// recorder costs nothing on the hot dispatch path.
+func BenchmarkFlightRecorderDisabled(b *testing.B) {
+	e := NewEngine()
+	e.SetFlightRecorder(0)
+	const tasks = 8
+	per := b.N/tasks + 1
+	for i := 0; i < tasks; i++ {
+		e.SpawnInline("w", 0, &benchStepper{per: per})
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkFlightRecorderEnabled arms a 256-event ring on the same
+// workload: per dispatch, the extra work is one masked ring store — the
+// price every fresh paperbench simulation pays for crash forensics.
+func BenchmarkFlightRecorderEnabled(b *testing.B) {
+	e := NewEngine()
+	e.SetFlightRecorder(256)
+	const tasks = 8
+	per := b.N/tasks + 1
+	for i := 0; i < tasks; i++ {
+		e.SpawnInline("w", 0, &benchStepper{per: per})
+	}
+	b.ResetTimer()
+	e.Run()
+	if e.fr == nil || e.fr.n == 0 {
+		b.Fatal("recorder armed but no events recorded")
+	}
+}

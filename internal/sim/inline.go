@@ -121,6 +121,7 @@ func (t *Task) takeBlockLabel() string {
 // sched when a task goroutine was driving).
 func (e *Engine) runStep(n, driver *Task) Status {
 	e.met.InlineSteps++
+	e.record(flightInlineStep, n)
 	n.waitingOn = ""
 	defer func() {
 		r := recover()
@@ -183,6 +184,7 @@ func (e *Engine) driveInlineEngine(t *Task) {
 			t.blocked = true
 			t.waitingOn = t.takeBlockLabel()
 			e.met.Blocks++
+			e.record(flightBlock, t)
 			return
 		case StatusDone:
 			t.done = true
@@ -234,6 +236,7 @@ func (e *Engine) handoffInline(t, n *Task) {
 			n.blocked = true
 			n.waitingOn = n.takeBlockLabel()
 			e.met.Blocks++
+			e.record(flightBlock, n)
 			if e.queue.len() == 0 {
 				// No runnable task remains. With t blocked too this is the
 				// deadlock the engine must diagnose with a snapshot.
@@ -268,6 +271,7 @@ func (e *Engine) handoffInline(t, n *Task) {
 			continue
 		}
 		e.met.Handoffs++
+		e.record(flightHandoff, m)
 		m.resume <- struct{}{}
 		t.pause()
 		return

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server exposes a campaign over HTTP: GET /metrics (Prometheus text),
+// GET /progress (JSON Snapshot with the full span table), the standard
+// net/http/pprof handlers under /debug/pprof/, and POST|GET /quit,
+// which releases WaitQuit so a supervisor (or the CI scrape script) can
+// end a -http-linger period early. The server owns its listener and
+// mux; nothing touches http.DefaultServeMux.
+type Server struct {
+	c    *Campaign
+	ln   net.Listener
+	srv  *http.Server
+	quit chan struct{}
+	once sync.Once
+}
+
+// Serve binds addr (":0" picks a free port — tests use this) and
+// serves c in the background until Close.
+func Serve(addr string, c *Campaign) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{c: c, ln: ln, quit: make(chan struct{})}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		c.WriteMetrics(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.c.Snapshot(true))
+	})
+	mux.HandleFunc("/quit", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("bye\n"))
+		s.once.Do(func() { close(s.quit) })
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolves ":0" to the actual
+// port).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// WaitQuit blocks until /quit is hit or d elapses, whichever is first.
+// d <= 0 returns immediately. This is the -http-linger hook: the CLI
+// finishes its campaign, marks it complete, then lingers here so
+// scrapers can collect the final state.
+func (s *Server) WaitQuit(d time.Duration) {
+	if s == nil || d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-s.quit:
+	case <-t.C:
+	}
+}
+
+// Close stops the listener and releases any WaitQuit. Safe to call
+// twice and on nil.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.once.Do(func() { close(s.quit) })
+	return s.srv.Close()
+}

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestEscapeLabel pins the three escapes of the exposition format.
+func TestEscapeLabel(t *testing.T) {
+	got := escapeLabel("a\\b\"c\nd")
+	want := `a\\b\"c\nd`
+	if got != want {
+		t.Fatalf("escapeLabel = %q, want %q", got, want)
+	}
+}
+
+// TestWriteMetricsGolden drives a deterministic campaign on a fake
+// clock through every counter and gauge, then compares the full
+// exposition text byte for byte: metric names, HELP/TYPE headers,
+// label escaping (the second figure's label needs all three escapes),
+// and value formatting.
+func TestWriteMetricsGolden(t *testing.T) {
+	c, fc := testCampaign()
+	c.SetWorkers(4)
+
+	c.BeginGroup("fig2")
+	spA := c.Enqueue("fir", "CC 4 cores @800 MHz bw=1600 pf=0")
+	spB := c.Enqueue("aes", "STR 8 cores @3200 MHz bw=6400 pf=0")
+	c.Seed("fir", "CC 1 cores @800 MHz bw=1600 pf=0")
+	c.MemoHit()
+
+	fc.advance(1 * time.Second)
+	spA.Start()
+	fc.advance(2 * time.Second)
+	spA.Done()
+	spB.Start()
+	spB.Retry()
+	spB.Start()
+	fc.advance(1 * time.Second)
+	spB.Fail("timeout")
+
+	c.BeginGroup("tbl\"3\\x\ny")
+	c.ErrCell()
+
+	fc.advance(6 * time.Second)
+	c.SetComplete()
+
+	var b strings.Builder
+	if err := c.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP memsim_jobs_enqueued_total Jobs admitted to the campaign (fresh simulations plus manifest-seeded results).
+# TYPE memsim_jobs_enqueued_total counter
+memsim_jobs_enqueued_total 3
+# HELP memsim_jobs_done_total Jobs whose simulation completed successfully in this campaign.
+# TYPE memsim_jobs_done_total counter
+memsim_jobs_done_total 1
+# HELP memsim_jobs_failed_total Jobs that failed after exhausting retries.
+# TYPE memsim_jobs_failed_total counter
+memsim_jobs_failed_total 1
+# HELP memsim_jobs_memo_seeded_total Jobs answered by replaying a previous campaign's manifest (-resume).
+# TYPE memsim_jobs_memo_seeded_total counter
+memsim_jobs_memo_seeded_total 1
+# HELP memsim_memo_hits_total Run requests answered from the in-campaign memo table.
+# TYPE memsim_memo_hits_total counter
+memsim_memo_hits_total 1
+# HELP memsim_memo_misses_total Run requests that admitted a fresh simulation.
+# TYPE memsim_memo_misses_total counter
+memsim_memo_misses_total 2
+# HELP memsim_job_retries_total Retry attempts started after retryable failures.
+# TYPE memsim_job_retries_total counter
+memsim_job_retries_total 1
+# HELP memsim_watchdog_aborts_total Jobs aborted by the per-job watchdog timeout.
+# TYPE memsim_watchdog_aborts_total counter
+memsim_watchdog_aborts_total 1
+# HELP memsim_err_cells_total Figure cells rendered as ERR because their job failed.
+# TYPE memsim_err_cells_total counter
+memsim_err_cells_total 1
+# HELP memsim_workers_busy Worker slots currently running a simulation attempt.
+# TYPE memsim_workers_busy gauge
+memsim_workers_busy 0
+# HELP memsim_workers Size of the worker pool.
+# TYPE memsim_workers gauge
+memsim_workers 4
+# HELP memsim_queue_depth Jobs admitted and waiting for a worker slot.
+# TYPE memsim_queue_depth gauge
+memsim_queue_depth 0
+# HELP memsim_inflight_keys Singleflight keys not yet resolved (queued + running + retrying).
+# TYPE memsim_inflight_keys gauge
+memsim_inflight_keys 0
+# HELP memsim_campaign_elapsed_seconds Wall time since the campaign began.
+# TYPE memsim_campaign_elapsed_seconds gauge
+memsim_campaign_elapsed_seconds 10
+# HELP memsim_campaign_eta_seconds Estimated seconds to finish the remaining jobs at the observed rate (-1 = unknown).
+# TYPE memsim_campaign_eta_seconds gauge
+memsim_campaign_eta_seconds 0
+# HELP memsim_campaign_complete 1 once every figure has rendered and no further transitions will arrive.
+# TYPE memsim_campaign_complete gauge
+memsim_campaign_complete 1
+# HELP memsim_figure_jobs_total Jobs attributed to each figure, by terminal state.
+# TYPE memsim_figure_jobs_total counter
+memsim_figure_jobs_total{figure="fig2",state="done"} 1
+memsim_figure_jobs_total{figure="fig2",state="failed"} 1
+memsim_figure_jobs_total{figure="fig2",state="memo-hit"} 1
+memsim_figure_jobs_total{figure="tbl\"3\\x\ny",state="done"} 0
+memsim_figure_jobs_total{figure="tbl\"3\\x\ny",state="failed"} 0
+memsim_figure_jobs_total{figure="tbl\"3\\x\ny",state="memo-hit"} 0
+# HELP memsim_figure_jobs_pending Jobs attributed to each figure not yet in a terminal state.
+# TYPE memsim_figure_jobs_pending gauge
+memsim_figure_jobs_pending{figure="fig2"} 0
+memsim_figure_jobs_pending{figure="tbl\"3\\x\ny"} 0
+# HELP memsim_figure_err_cells_total ERR cells rendered per figure.
+# TYPE memsim_figure_err_cells_total counter
+memsim_figure_err_cells_total{figure="fig2"} 0
+memsim_figure_err_cells_total{figure="tbl\"3\\x\ny"} 1
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -193,6 +193,22 @@ type Trace = trace.Collector
 // NewTrace returns an empty span collector with the default cap.
 func NewTrace() *Trace { return trace.New() }
 
+// RunError is the interface of every typed simulation failure raised by
+// the engine (deadlock, livelock, watchdog abort, task panic). Extract
+// it from Run's error with errors.As to reach the EngineState snapshot —
+// including the flight recorder's last scheduler events — taken at the
+// moment of failure.
+type RunError = sim.RunError
+
+// EngineState is the diagnostic snapshot every RunError carries: last
+// event time, per-task states, engine self-metrics, and (when a flight
+// recorder was armed via Config.FlightRecorder) the recent scheduler
+// events that led to the failure.
+type EngineState = sim.EngineState
+
+// FlightEvent is one recorded scheduler event in EngineState.Recent.
+type FlightEvent = sim.FlightEvent
+
 // Time is a simulated timestamp/duration in femtoseconds.
 type Time = sim.Time
 
