@@ -17,15 +17,19 @@ test:
 # shape tests exercise single-threaded model code and are ~20x slower
 # under race, blowing the go test timeout).
 race:
-	go test -race -timeout 20m -run 'Runner|Parallel|Prefetch|Progress|CfgKey' ./internal/bench/...
+	go test -race -timeout 20m -run 'Runner|Parallel|Prefetch|Progress|CfgKey|Store' ./internal/bench/...
 	go test -race -timeout 20m ./internal/sim/...
+	go test -race -timeout 20m ./internal/resultstore/
 
 # fault runs the fault-injection suite and the CLI exit-code contracts
 # under the race detector: injected deadlocks, watchdog-aborted stalls,
 # panics, flaky retries and corrupted configs must all surface as typed
-# job records while every engine drains its goroutines cleanly.
+# job records while every engine drains its goroutines cleanly. The
+# disk-fault wrappers (torn writes, bit flips, short reads, ENOSPC
+# against the result store) and the SIGKILL crash-recovery re-exec test
+# live in the same packages and run here too.
 fault:
-	go test -race -timeout 20m ./internal/fault/ ./cmd/memsim/ ./cmd/paperbench/
+	go test -race -timeout 20m ./internal/fault/ ./internal/resultstore/ ./cmd/memsim/ ./cmd/paperbench/
 
 # bench regenerates the perf numbers tracked in BENCH_runner.json.
 bench:

@@ -8,7 +8,15 @@
 //	memsim -w fir -model str -sample 1us          # per-epoch time series
 //	memsim -w fir -model str -breakdown           # cycle accounting + latency distributions
 //	memsim -w fir -http :9090 -http-linger 30s    # live /metrics, /progress, /debug/pprof
+//	memsim -w fir -store ~/.memsim-store          # reuse verified results across runs
 //	memsim -list
+//
+// With -store DIR the run first looks its exact configuration up in the
+// crash-safe result store shared with paperbench; a hit prints the
+// stored report byte-identically and skips the simulation, a miss
+// simulates and persists the fresh report. Runs that collect artifacts
+// only a live simulation can produce (-trace, -sample) always simulate,
+// but still persist their reports.
 //
 // Every run arms an engine flight recorder (-flightrec events, default
 // 256): when the simulation dies with a typed failure — deadlock,
@@ -26,14 +34,26 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"strings"
 
 	memsys "repro"
 	"repro/internal/probe"
+	"repro/internal/resultstore"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
+
+// gitDescribe identifies the running code for the result store's record
+// keys; "unknown" outside a checkout (matching paperbench).
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
 
 // flagOf maps Config fields validated by Config.Validate to the memsim
 // flags that set them.
@@ -208,6 +228,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	httpAddr := fs.String("http", "", "serve run telemetry on this address: GET /metrics, /progress, /debug/pprof (empty = off)")
 	httpLinger := fs.Duration("http-linger", 0, "keep -http serving this long after the run finishes (ends early on /quit)")
 	flightRec := fs.Int("flightrec", 256, "flight-recorder depth: last K scheduler events printed with a typed failure (0 = off)")
+	storeDir := fs.String("store", "", "reuse verified results from this persistent store directory, creating it if missing (empty = off)")
+	storeMax := fs.Int64("store-max-bytes", 0, "evict the oldest store records once the journal exceeds this size (0 = unlimited; requires -store)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -250,6 +272,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "memsim: -http-linger requires -http")
 		return 2
 	}
+	if *storeMax < 0 {
+		fmt.Fprintln(stderr, "memsim: -store-max-bytes must be non-negative")
+		return 2
+	}
+	if *storeMax > 0 && *storeDir == "" {
+		fmt.Fprintln(stderr, "memsim: -store-max-bytes requires -store")
+		return 2
+	}
 
 	cfg := memsys.DefaultConfig(m, *cores)
 	cfg.CoreMHz = *mhz
@@ -279,12 +309,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Probe = pr
 	}
 
+	var store *resultstore.Store
+	if *storeDir != "" {
+		var serr error
+		store, serr = resultstore.Open(resultstore.Options{
+			Dir: *storeDir, Version: gitDescribe(), MaxBytes: *storeMax, Log: stderr,
+		})
+		if serr != nil {
+			fmt.Fprintf(stderr, "memsim: -store: %v\n", serr)
+			return 1
+		}
+	}
+
 	// -http serves this run as a one-span campaign: workers=1, the span
 	// walks queued → running → done/failed, and the process lingers on
 	// -http-linger so /metrics and /debug/pprof outlive the simulation.
 	var tele *telemetry.Campaign
 	var srv *telemetry.Server
 	finish := func(code int) int {
+		if store != nil {
+			if cerr := store.Close(); cerr != nil && code == 0 {
+				fmt.Fprintf(stderr, "memsim: store: %v\n", cerr)
+				code = 1
+			}
+			store = nil
+		}
 		tele.SetComplete()
 		if srv != nil {
 			srv.WaitQuit(*httpLinger)
@@ -305,20 +354,54 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "memsim: telemetry on http://%s (/metrics, /progress, /debug/pprof)\n", srv.Addr())
 		sp = tele.Enqueue(*name, fmt.Sprintf("%v %d cores @%d MHz bw=%d pf=%d",
 			cfg.Model, cfg.Cores, cfg.CoreMHz, cfg.DRAMBandwidthMBps, cfg.PrefetchDepth))
+		if store != nil {
+			tele.SetStoreStats(func() telemetry.StoreStats {
+				st := store.Stats()
+				return telemetry.StoreStats{
+					Records: st.Records, Bytes: st.Bytes,
+					Hits: st.Hits, Misses: st.Misses,
+					Puts: st.Puts, PutErrors: st.PutErrors,
+					Evictions: st.Evictions, Compactions: st.Compactions,
+					Recovered: st.Recovered, Corrupt: st.Corrupt,
+					TruncatedBytes: st.TruncatedBytes,
+				}
+			})
+		}
 	}
 
 	sp.Start()
-	rep, err := memsys.Run(cfg, *name, scale)
-	if err != nil {
-		sp.Fail("error")
-		fmt.Fprintf(stderr, "memsim: %v\n", err)
-		var rerr memsys.RunError
-		if errors.As(err, &rerr) {
-			writeFlightTail(stderr, rerr.EngineState())
+	// A store hit replays the persisted report through the exact printing
+	// paths a fresh run uses, so the output is byte-identical either way.
+	// Runs collecting live-only artifacts (-trace, -sample) must really
+	// simulate; they skip the probe but still persist their reports.
+	var rep *memsys.Report
+	fromStore := false
+	if store != nil && tr == nil && pr == nil {
+		if hit, ok := store.Get(cfg, *name); ok {
+			rep, fromStore = hit, true
+			sp.StoreHit()
+			fmt.Fprintf(stderr, "memsim: result served from store %s\n", *storeDir)
 		}
-		return finish(1)
 	}
-	sp.Done()
+	if !fromStore {
+		var err error
+		rep, err = memsys.Run(cfg, *name, scale)
+		if err != nil {
+			sp.Fail("error")
+			fmt.Fprintf(stderr, "memsim: %v\n", err)
+			var rerr memsys.RunError
+			if errors.As(err, &rerr) {
+				writeFlightTail(stderr, rerr.EngineState())
+			}
+			return finish(1)
+		}
+		sp.Done()
+		if store != nil {
+			if perr := store.Put(cfg, *name, rep); perr != nil {
+				fmt.Fprintf(stderr, "memsim: store: write failed: %v\n", perr)
+			}
+		}
+	}
 	if *asJSON {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")

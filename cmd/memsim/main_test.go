@@ -172,3 +172,103 @@ func TestMemsimHTTP(t *testing.T) {
 		t.Fatalf("-flightrec -1: exit %d, want 2", got)
 	}
 }
+
+// TestStoreWarmRunByteIdentical: with -store, a second identical run is
+// served from the journal and prints byte-identical output; the output
+// also matches a run with no store at all.
+func TestStoreWarmRunByteIdentical(t *testing.T) {
+	fault.RegisterWorkloads()
+	dir := t.TempDir()
+	args := []string{"-w", "fir", "-cores", "2", "-scale", "small", "-v"}
+	withStore := append(append([]string{}, args...), "-store", dir)
+
+	var bare, cold, warm bytes.Buffer
+	var coldErr, warmErr bytes.Buffer
+	if code := run(args, &bare, &coldErr); code != 0 {
+		t.Fatalf("bare run exited %d: %s", code, coldErr.String())
+	}
+	coldErr.Reset()
+	if code := run(withStore, &cold, &coldErr); code != 0 {
+		t.Fatalf("cold store run exited %d: %s", code, coldErr.String())
+	}
+	if code := run(withStore, &warm, &warmErr); code != 0 {
+		t.Fatalf("warm store run exited %d: %s", code, warmErr.String())
+	}
+	if !strings.Contains(warmErr.String(), "served from store") {
+		t.Fatalf("warm run did not hit the store: %s", warmErr.String())
+	}
+	if strings.Contains(coldErr.String(), "served from store") {
+		t.Fatalf("cold run claims a store hit: %s", coldErr.String())
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Errorf("warm store output differs from cold:\ncold:\n%s\nwarm:\n%s", cold.String(), warm.String())
+	}
+	if !bytes.Equal(bare.Bytes(), cold.Bytes()) {
+		t.Errorf("-store changed the output:\nbare:\n%s\nstore:\n%s", bare.String(), cold.String())
+	}
+}
+
+// TestStoreJSONWarmRun: the JSON printing path is byte-identical too.
+func TestStoreJSONWarmRun(t *testing.T) {
+	fault.RegisterWorkloads()
+	dir := t.TempDir()
+	args := []string{"-w", "fir", "-cores", "2", "-scale", "small", "-json", "-store", dir}
+	var cold, warm, errs bytes.Buffer
+	if code := run(args, &cold, &errs); code != 0 {
+		t.Fatalf("cold run exited %d: %s", code, errs.String())
+	}
+	if code := run(args, &warm, &errs); code != 0 {
+		t.Fatalf("warm run exited %d: %s", code, errs.String())
+	}
+	if !bytes.Equal(cold.Bytes(), warm.Bytes()) {
+		t.Errorf("JSON output differs between cold and warm store runs:\n%s\n---\n%s", cold.String(), warm.String())
+	}
+}
+
+// TestStoreFlagValidation pins the -store flag contract.
+func TestStoreFlagValidation(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-w", "fir", "-store-max-bytes", "1024"}, &out, &errs); code != 2 {
+		t.Fatalf("-store-max-bytes without -store exited %d", code)
+	}
+	if !strings.Contains(errs.String(), "-store-max-bytes requires -store") {
+		t.Fatalf("stderr: %s", errs.String())
+	}
+	errs.Reset()
+	if code := run([]string{"-w", "fir", "-store", t.TempDir(), "-store-max-bytes", "-1"}, &out, &errs); code != 2 {
+		t.Fatalf("negative -store-max-bytes exited %d", code)
+	}
+	if !strings.Contains(errs.String(), "must be non-negative") {
+		t.Fatalf("stderr: %s", errs.String())
+	}
+}
+
+// TestStoreTraceRunAlwaysSimulates: artifact-collecting runs skip the
+// store probe (a hit could not produce the trace) but still persist, so
+// a later plain run hits.
+func TestStoreTraceRunAlwaysSimulates(t *testing.T) {
+	fault.RegisterWorkloads()
+	dir := t.TempDir()
+	traceFile := dir + "/t.json"
+	plain := []string{"-w", "fir", "-cores", "2", "-scale", "small", "-store", dir}
+	traced := append(append([]string{}, plain...), "-trace", traceFile)
+
+	var out, errs bytes.Buffer
+	if code := run(plain, &out, &errs); code != 0 {
+		t.Fatalf("seed run exited %d: %s", code, errs.String())
+	}
+	errs.Reset()
+	if code := run(traced, &out, &errs); code != 0 {
+		t.Fatalf("traced run exited %d: %s", code, errs.String())
+	}
+	if strings.Contains(errs.String(), "served from store") {
+		t.Fatal("traced run was served from the store; its trace would be empty")
+	}
+	errs.Reset()
+	if code := run(plain, &out, &errs); code != 0 {
+		t.Fatalf("warm run exited %d: %s", code, errs.String())
+	}
+	if !strings.Contains(errs.String(), "served from store") {
+		t.Fatalf("plain rerun missed after traced run persisted: %s", errs.String())
+	}
+}

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	paperbench [-scale small|default|paper] [-only table3,fig2,...] [-apps fir,depth] [-j N]
-//	           [-job-timeout 2m] [-retries 2] [-artifacts DIR] [-resume]
+//	           [-job-timeout 2m] [-retries 2] [-artifacts DIR] [-resume] [-manifest-sync]
+//	           [-store DIR] [-store-max-bytes N]
 //	           [-cpuprofile cpu.pprof] [-blockprofile block.pprof]
 //	           [-http :9090] [-http-linger 60s] [-flightrec 256]
 //
@@ -23,6 +24,14 @@
 // seeding every previously successful run so only missing and failed
 // jobs simulate again.
 //
+// -store DIR attaches a persistent, crash-safe result store shared
+// across campaigns: each job probes it before simulating and a verified
+// hit (matching config hash, workload and code version) is recalled
+// instead of re-run, while fresh results are journaled back with CRC32C
+// checksums. Corrupt or stale records are quarantined to
+// quarantine.jsonl and re-simulated — never served. Figure output is
+// byte-identical with or without the store.
+//
 // -http serves live campaign telemetry while the figures run: GET
 // /metrics (Prometheus text), GET /progress (JSON span table with
 // per-figure completion and a rate-based ETA), and net/http/pprof under
@@ -40,6 +49,8 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -56,6 +67,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/ledger"
+	"repro/internal/resultstore"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -85,17 +97,24 @@ type manifestRun struct {
 }
 
 // manifestWriter serializes concurrent OnRecord callbacks into one
-// append-only JSONL stream.
+// append-only JSONL stream. The header is fsynced at open so a
+// powerloss mid-campaign can never lose the whole journal; -manifest-sync
+// extends that to every record. Write errors surface once (the first),
+// then are suppressed — a dead disk would otherwise print one error per
+// simulation.
 type manifestWriter struct {
-	mu  sync.Mutex
-	f   *os.File
-	enc *json.Encoder
+	mu       sync.Mutex
+	f        *os.File
+	enc      *json.Encoder
+	syncEach bool
+	stderr   io.Writer
+	failed   bool
 }
 
 // newManifestWriter opens dir/manifest.jsonl and writes this
 // invocation's header. With resume the journal is appended to, keeping
 // the prior campaign's records; otherwise it is truncated.
-func newManifestWriter(dir string, scale string, resume bool) (*manifestWriter, error) {
+func newManifestWriter(dir string, scale string, resume, syncEach bool, stderr io.Writer) (*manifestWriter, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -107,7 +126,7 @@ func newManifestWriter(dir string, scale string, resume bool) (*manifestWriter, 
 	if err != nil {
 		return nil, err
 	}
-	m := &manifestWriter{f: f, enc: json.NewEncoder(f)}
+	m := &manifestWriter{f: f, enc: json.NewEncoder(f), syncEach: syncEach, stderr: stderr}
 	header := struct {
 		Kind    string `json:"kind"` // "header"
 		Git     string `json:"git"`
@@ -115,6 +134,10 @@ func newManifestWriter(dir string, scale string, resume bool) (*manifestWriter, 
 		Started string `json:"started"`
 	}{"header", gitDescribe(), scale, time.Now().UTC().Format(time.RFC3339)}
 	if err := m.enc.Encode(header); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -132,19 +155,42 @@ func (m *manifestWriter) record(rec bench.Record) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if err := m.enc.Encode(run); err != nil {
-		fmt.Fprintf(os.Stderr, "paperbench: manifest: %v\n", err)
+	err := m.enc.Encode(run)
+	if err == nil && m.syncEach {
+		err = m.f.Sync()
+	}
+	if err != nil && !m.failed {
+		m.failed = true
+		fmt.Fprintf(m.stderr, "paperbench: manifest: write failed (suppressing further errors): %v\n", err)
 	}
 }
 
-func (m *manifestWriter) close() error { return m.f.Close() }
+// close syncs and closes the journal; a write failure anywhere in the
+// campaign surfaces here too, so the exit code reflects a bad manifest
+// even when the one-time warning scrolled away.
+func (m *manifestWriter) close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	serr := m.f.Sync()
+	cerr := m.f.Close()
+	switch {
+	case m.failed:
+		return errors.New("one or more records failed to write (see first error above)")
+	case serr != nil:
+		return serr
+	default:
+		return cerr
+	}
+}
 
 // seedFromManifest replays a previous campaign's journal into the
 // runner's memo table: every "run" record that completed cleanly is
 // seeded (first record wins), so the resumed campaign simulates only
-// missing and failed jobs. A truncated trailing line — a campaign
-// killed mid-write — ends the replay with a warning rather than an
-// error, matching append-only journal semantics.
+// missing and failed jobs. Replay is per line and skip-and-warn: a
+// malformed record anywhere in the journal costs that record, never the
+// valid ones after it. A torn final line — a campaign killed mid-write —
+// is tolerated with its own warning, matching append-only journal
+// semantics (a torn line that still parses is seeded normally).
 func seedFromManifest(path string, r *bench.Runner, stderr io.Writer) (seeded, failed int, err error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -154,27 +200,32 @@ func seedFromManifest(path string, r *bench.Runner, stderr io.Writer) (seeded, f
 		return 0, 0, err
 	}
 	defer f.Close()
-	dec := json.NewDecoder(f)
-	for {
-		var rec manifestRun
-		if derr := dec.Decode(&rec); derr == io.EOF {
-			break
-		} else if derr != nil {
-			fmt.Fprintf(stderr, "# paperbench: resume: stopping replay at malformed record: %v\n", derr)
-			break
+	br := bufio.NewReader(f)
+	for line := 1; ; line++ {
+		raw, rerr := br.ReadBytes('\n')
+		if len(bytes.TrimSpace(raw)) > 0 {
+			var rec manifestRun
+			if jerr := json.Unmarshal(raw, &rec); jerr != nil {
+				if rerr == nil {
+					fmt.Fprintf(stderr, "# paperbench: resume: skipping malformed manifest line %d: %v\n", line, jerr)
+				} else {
+					fmt.Fprintf(stderr, "# paperbench: resume: ignoring torn final manifest line %d (campaign killed mid-write?)\n", line)
+				}
+			} else if rec.Kind == "run" {
+				if rec.Err != "" || rec.Report == nil {
+					failed++
+				} else if r.Seed(rec.Cfg, rec.Name, rec.Report) {
+					seeded++
+				}
+			}
 		}
-		if rec.Kind != "run" {
-			continue
-		}
-		if rec.Err != "" || rec.Report == nil {
-			failed++
-			continue
-		}
-		if r.Seed(rec.Cfg, rec.Name, rec.Report) {
-			seeded++
+		if rerr != nil {
+			if rerr != io.EOF {
+				return seeded, failed, rerr
+			}
+			return seeded, failed, nil
 		}
 	}
-	return seeded, failed, nil
 }
 
 // run is the testable entry point; it returns the process exit code.
@@ -191,6 +242,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jobTimeout := fs.Duration("job-timeout", 0, "wall-clock watchdog per simulation (0 = off); timed-out jobs fail with a progress dump")
 	retries := fs.Int("retries", 0, "retry budget per job for retryable failures (timeouts, panics)")
 	resume := fs.Bool("resume", false, "seed completed jobs from an existing manifest.jsonl (requires -artifacts) and re-run only missing/failed ones")
+	storeDir := fs.String("store", "", "persistent cross-campaign result store directory: verified results are recalled instead of re-simulated (crash-safe; corrupt records are quarantined and re-run)")
+	storeMax := fs.Int64("store-max-bytes", 0, "cap the -store journal at this many bytes via LRU compaction (0 = unbounded)")
+	manifestSync := fs.Bool("manifest-sync", false, "fsync manifest.jsonl after every record (slower; survives powerloss, not just process death)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole campaign to this file")
 	blockProfile := fs.String("blockprofile", "", "write a pprof blocking profile (rate 1) to this file; shows where goroutines wait")
 	httpAddr := fs.String("http", "", "serve live campaign telemetry on this address: GET /metrics, /progress, /debug/pprof (empty = off)")
@@ -230,6 +284,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *httpLinger > 0 && *httpAddr == "" {
 		fmt.Fprintln(stderr, "paperbench: -http-linger requires -http")
+		return 2
+	}
+	if *manifestSync && *artifactsDir == "" {
+		fmt.Fprintln(stderr, "paperbench: -manifest-sync requires -artifacts")
+		return 2
+	}
+	if *storeMax < 0 {
+		fmt.Fprintln(stderr, "paperbench: -store-max-bytes must be non-negative")
+		return 2
+	}
+	if *storeMax > 0 && *storeDir == "" {
+		fmt.Fprintln(stderr, "paperbench: -store-max-bytes requires -store")
 		return 2
 	}
 
@@ -362,6 +428,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	r.Retries = *retries
 	r.FlightRecorder = *flightRec
 
+	// The persistent result store: verified results from any previous
+	// campaign of this code version are recalled instead of re-simulated.
+	// Opening recovers from whatever a crash left behind (torn tails are
+	// truncated, corrupt records quarantined), so -store after a SIGKILL
+	// just works.
+	var store *resultstore.Store
+	if *storeDir != "" {
+		var err error
+		store, err = resultstore.Open(resultstore.Options{
+			Dir: *storeDir, Version: gitDescribe(), MaxBytes: *storeMax, Log: stderr,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "paperbench: -store: %v\n", err)
+			return 1
+		}
+		defer store.Close()
+		r.Store = store
+	}
+
 	// Campaign telemetry: allocated when anything will read it (-http, or
 	// the in-place status line on an interactive stderr). With neither,
 	// r.Telemetry stays nil and every span call is a no-op — figure
@@ -371,6 +456,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *httpAddr != "" || useStatus {
 		tele = telemetry.NewCampaign()
 		r.Telemetry = tele
+		if store != nil {
+			tele.SetStoreStats(func() telemetry.StoreStats {
+				s := store.Stats()
+				return telemetry.StoreStats{
+					Records: s.Records, Bytes: s.Bytes,
+					Hits: s.Hits, Misses: s.Misses, Puts: s.Puts, PutErrors: s.PutErrors,
+					Evictions: s.Evictions, Compactions: s.Compactions,
+					Recovered: s.Recovered, Corrupt: s.Corrupt, TruncatedBytes: s.TruncatedBytes,
+				}
+			})
+		}
 	}
 	var srv *telemetry.Server
 	if *httpAddr != "" {
@@ -406,7 +502,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var manifest *manifestWriter
 	if *artifactsDir != "" {
 		var err error
-		if manifest, err = newManifestWriter(*artifactsDir, *scaleFlag, *resume); err != nil {
+		if manifest, err = newManifestWriter(*artifactsDir, *scaleFlag, *resume, *manifestSync, stderr); err != nil {
 			fmt.Fprintf(stderr, "paperbench: %v\n", err)
 			return 1
 		}
@@ -575,6 +671,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if ioFail != nil {
 		fmt.Fprintf(stderr, "paperbench: csv: %v\n", ioFail)
 		return finish(1)
+	}
+	if store != nil {
+		// Seal the journal before reporting: Close syncs pending records,
+		// so everything this campaign simulated is durable by the time
+		// the summary prints.
+		if err := store.Close(); err != nil {
+			fmt.Fprintf(stderr, "paperbench: -store: %v\n", err)
+			return finish(1)
+		}
+		st := store.Stats()
+		fmt.Fprintf(stderr, "# paperbench: store: %d hits, %d misses, %d results persisted (%d records, %d bytes)\n",
+			st.Hits, st.Misses, st.Puts, st.Records, st.Bytes)
 	}
 	fmt.Fprintf(stderr, "# paperbench finished in %v\n", time.Since(start).Round(time.Millisecond))
 	if fatal {

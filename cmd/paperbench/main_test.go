@@ -14,6 +14,12 @@ import (
 
 func TestMain(m *testing.M) {
 	fault.RegisterWorkloads()
+	// Child mode for the SIGKILL crash-recovery test: re-exec'ed with the
+	// CLI args joined by the ASCII unit separator in the environment, run
+	// the real entry point.
+	if env := os.Getenv("PAPERBENCH_CHILD_ARGS"); env != "" {
+		os.Exit(run(strings.Split(env, "\x1f"), os.Stdout, os.Stderr))
+	}
 	os.Exit(m.Run())
 }
 

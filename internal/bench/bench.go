@@ -8,12 +8,14 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/resultstore"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -42,14 +44,13 @@ type cfgKey struct {
 }
 
 func keyOf(cfg core.Config, name string) cfgKey {
-	// Tracer, probe and flight recorder are run-scoped observers, not
-	// part of the machine's identity; zero them so the struct stays
-	// comparable and observed runs memoize against unobserved ones (and
-	// manifests written before the recorder existed still seed -resume).
-	cfg.Trace = nil
-	cfg.Probe = nil
-	cfg.FlightRecorder = 0
-	return cfgKey{name: name, cfg: cfg}
+	// Config.Normalize strips the run-scoped observers (tracer, probe,
+	// flight recorder): they are not part of the machine's identity, so
+	// the struct stays comparable, observed runs memoize against
+	// unobserved ones (and manifests written before the recorder existed
+	// still seed -resume). The persistent result store hashes the same
+	// normalized config, so memo identity and store identity agree.
+	return cfgKey{name: name, cfg: cfg.Normalize()}
 }
 
 // Record describes one fresh simulation for machine-readable run
@@ -133,6 +134,15 @@ type Runner struct {
 	// Run or Prefetch. All Campaign methods are nil-safe, so the zero
 	// Runner needs no guards.
 	Telemetry *telemetry.Campaign
+	// Store, when non-nil, is the persistent cross-campaign result store
+	// (-store): each admitted job probes it before simulating and a hit
+	// resolves the flight without running the engine — no Record, no
+	// ok/failed movement, a "(store)" progress marker — while a miss
+	// simulates normally and writes the verified report back. Corrupt or
+	// version-mismatched records are misses by construction (the store
+	// quarantines them), so an un-trustworthy store can only cost time,
+	// never correctness. Set it before the first Run or Prefetch.
+	Store *resultstore.Store
 	// FlightRecorder sizes the engine flight recorder armed for every
 	// fresh simulation (the last K scheduler events, embedded in typed
 	// failures' engine-state snapshots): 0 means the default of 256
@@ -147,12 +157,15 @@ type Runner struct {
 	progCh    chan string
 	progWG    sync.WaitGroup
 
+	storeWarn sync.Once // store write failures surface once, not per-job
+
 	mu        sync.Mutex
 	cache     map[cfgKey]*flight
 	scheduled int // simulations admitted to the pool (the "/88")
 	completed int // simulations finished (the "12")
 	okCount   int // fresh simulations that succeeded
 	failCount int // fresh simulations that failed (after retries)
+	storeHits int // jobs answered by the persistent store
 }
 
 // defaultFlightRecorder is the per-job flight-recorder depth when the
@@ -237,6 +250,27 @@ func (r *Runner) simulate(fl *flight, cfg core.Config, name string) {
 	started := time.Now()
 	queueWait := started.Sub(fl.enqueuedAt)
 	fl.span.Start()
+	// Probe the persistent store before simulating. A verified hit
+	// resolves the flight like a memo hit from a previous campaign: no
+	// Record (nothing ran here), no ok/fail movement, and the progress
+	// line carries a "(store)" marker so a resumed campaign's log shows
+	// what was recalled versus re-simulated.
+	if r.Store != nil {
+		if rep, ok := r.Store.Get(cfg, name); ok {
+			fl.rep = rep
+			fl.span.StoreHit()
+			r.mu.Lock()
+			r.completed++
+			r.storeHits++
+			done, total := r.completed, r.scheduled
+			r.mu.Unlock()
+			if r.progCh != nil {
+				r.progCh <- fmt.Sprintf("# [%d/%d] %-14s %v %2d cores @%4d MHz bw=%d pf=%d (store)\n",
+					done, total, name, cfg.Model, cfg.Cores, cfg.CoreMHz, cfg.DRAMBandwidthMBps, cfg.PrefetchDepth)
+			}
+			return
+		}
+	}
 	rep, attemptsNS, jerr := r.attemptWithRetries(cfg, name, fl.span)
 	fl.rep = rep
 	if jerr != nil {
@@ -244,6 +278,16 @@ func (r *Runner) simulate(fl *flight, cfg core.Config, name string) {
 		fl.span.Fail(string(jerr.Kind))
 	} else {
 		fl.span.Done()
+		// Persist the verified result. A failed write never fails the
+		// job — the report is already in hand — and the first failure is
+		// warned once; the store's PutErrors counter tracks the rest.
+		if r.Store != nil && rep != nil {
+			if perr := r.Store.Put(cfg, name, rep); perr != nil {
+				r.storeWarn.Do(func() {
+					fmt.Fprintf(os.Stderr, "# result store: write failed (further errors counted, not repeated): %v\n", perr)
+				})
+			}
+		}
 	}
 	if r.OnRecord != nil {
 		rec := Record{Name: name, Cfg: cfg, Report: rep, HostNS: time.Since(started).Nanoseconds(),
@@ -362,11 +406,20 @@ func (r *Runner) Seed(cfg core.Config, name string, rep *core.Report) bool {
 }
 
 // Outcome returns how many fresh simulations succeeded and failed so
-// far. Seeded and memoized results are not counted.
+// far. Seeded, memoized and store-served results are not counted: they
+// reflect work a previous campaign already did.
 func (r *Runner) Outcome() (ok, failed int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.okCount, r.failCount
+}
+
+// StoreHits returns how many admitted jobs the persistent result store
+// answered without simulating.
+func (r *Runner) StoreHits() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.storeHits
 }
 
 // Prefetch fans jobs out to the worker pool without blocking. Keys

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/probe"
+	"repro/internal/sim"
+)
+
+// TestNormalizeStripsObservers: two configs differing only in run-scoped
+// observers normalize to the same value, so they memoize and hash alike.
+func TestNormalizeStripsObservers(t *testing.T) {
+	plain := DefaultConfig(CC, 4)
+	observed := plain
+	observed.Probe = probe.NewRecorder(sim.Microsecond)
+	observed.FlightRecorder = 256
+	if observed.Normalize() != plain.Normalize() {
+		t.Fatal("Normalize did not strip run-scoped observers")
+	}
+	if observed.Normalize().Probe != nil || observed.Normalize().FlightRecorder != 0 {
+		t.Fatal("observers survive Normalize")
+	}
+	// Normalize must not mutate the receiver.
+	if observed.Probe == nil || observed.FlightRecorder != 256 {
+		t.Fatal("Normalize mutated its receiver")
+	}
+}
+
+// TestHashDiscriminates pins the key properties of the canonical hash:
+// stable for equal inputs, different for any differing machine field,
+// workload, or version, and insensitive to observers.
+func TestHashDiscriminates(t *testing.T) {
+	base := DefaultConfig(CC, 4)
+	h := base.Hash("fir", "v1")
+	if h2 := base.Hash("fir", "v1"); h2 != h {
+		t.Fatalf("hash not stable: %s vs %s", h, h2)
+	}
+	if len(h) != 64 {
+		t.Fatalf("hash length %d, want 64 hex chars", len(h))
+	}
+
+	cases := map[string]string{
+		"workload": base.Hash("fem", "v1"),
+		"version":  base.Hash("fir", "v2"),
+	}
+	other := base
+	other.Cores = 8
+	cases["cores"] = other.Hash("fir", "v1")
+	other = base
+	other.Model = STR
+	cases["model"] = other.Hash("fir", "v1")
+	other = base
+	other.DRAMBandwidthMBps = 6400
+	cases["bandwidth"] = other.Hash("fir", "v1")
+	other = base
+	other.PrefetchDepth = 4
+	cases["prefetch"] = other.Hash("fir", "v1")
+	seen := map[string]string{h: "base"}
+	for what, hh := range cases {
+		if prev, dup := seen[hh]; dup {
+			t.Fatalf("hash collision between %s and %s", what, prev)
+		}
+		seen[hh] = what
+	}
+
+	observed := base
+	observed.Probe = probe.NewRecorder(sim.Microsecond)
+	observed.FlightRecorder = 64
+	if observed.Hash("fir", "v1") != h {
+		t.Fatal("observers perturb the hash")
+	}
+}

@@ -1,0 +1,171 @@
+package fault
+
+import (
+	"sync"
+	"syscall"
+
+	"repro/internal/resultstore"
+)
+
+// Disk-fault injection for the persistent result store: wrappers over
+// resultstore.File that fail deterministically — after a byte budget,
+// at a fixed offset — never from the clock, mirroring the package's
+// workload faults. Tests hand them to resultstore.Options.OpenFile to
+// prove the journal survives torn writes, flipped bits, short reads and
+// a full disk.
+
+// DiskFile is the subset of file behavior the wrappers inject into; it
+// matches resultstore.File exactly.
+type DiskFile = resultstore.File
+
+// tornWriteFile models a crash mid-write: writes consume a byte budget,
+// and the write that exhausts it persists only the bytes that fit, then
+// fails — after which every mutation fails too, like a process that
+// died. Reads keep working so the "dead" journal can be inspected.
+type tornWriteFile struct {
+	mu     sync.Mutex
+	inner  DiskFile
+	budget int64
+	dead   bool
+}
+
+// NewTornWriteFile wraps inner with a write budget in bytes. The write
+// crossing the budget is torn (a prefix lands on disk), and the file is
+// dead to further writes, truncates and syncs from then on.
+func NewTornWriteFile(inner DiskFile, budget int64) DiskFile {
+	return &tornWriteFile{inner: inner, budget: budget}
+}
+
+func (f *tornWriteFile) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return 0, syscall.EIO
+	}
+	if int64(len(p)) <= f.budget {
+		f.budget -= int64(len(p))
+		return f.inner.WriteAt(p, off)
+	}
+	keep := f.budget
+	f.budget = 0
+	f.dead = true
+	if keep > 0 {
+		f.inner.WriteAt(p[:keep], off)
+	}
+	return int(keep), syscall.EIO
+}
+
+func (f *tornWriteFile) Truncate(n int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return syscall.EIO
+	}
+	return f.inner.Truncate(n)
+}
+
+func (f *tornWriteFile) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return syscall.EIO
+	}
+	return f.inner.Sync()
+}
+
+func (f *tornWriteFile) ReadAt(p []byte, off int64) (int, error) { return f.inner.ReadAt(p, off) }
+func (f *tornWriteFile) Size() (int64, error)                    { return f.inner.Size() }
+func (f *tornWriteFile) Close() error                            { return f.inner.Close() }
+
+// bitFlipFile corrupts data on its way to disk: any write covering the
+// target absolute offset lands with one bit of that byte inverted, the
+// silent-corruption case checksums exist for.
+type bitFlipFile struct {
+	inner  DiskFile
+	target int64
+}
+
+// NewBitFlipFile wraps inner so writes covering absolute offset target
+// flip bit 5 of that byte.
+func NewBitFlipFile(inner DiskFile, target int64) DiskFile {
+	return &bitFlipFile{inner: inner, target: target}
+}
+
+func (f *bitFlipFile) WriteAt(p []byte, off int64) (int, error) {
+	if off <= f.target && f.target < off+int64(len(p)) {
+		q := append([]byte(nil), p...)
+		q[f.target-off] ^= 0x20
+		p = q
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+func (f *bitFlipFile) ReadAt(p []byte, off int64) (int, error) { return f.inner.ReadAt(p, off) }
+func (f *bitFlipFile) Truncate(n int64) error                  { return f.inner.Truncate(n) }
+func (f *bitFlipFile) Sync() error                             { return f.inner.Sync() }
+func (f *bitFlipFile) Size() (int64, error)                    { return f.inner.Size() }
+func (f *bitFlipFile) Close() error                            { return f.inner.Close() }
+
+// shortReadFile starves reads: any read at or past the cutoff offset
+// returns at most one byte per call less than asked (and an EIO once
+// nothing fits), modeling a file system returning less than requested.
+type shortReadFile struct {
+	inner  DiskFile
+	cutoff int64
+}
+
+// NewShortReadFile wraps inner so reads reaching at or past cutoff fail
+// with EIO.
+func NewShortReadFile(inner DiskFile, cutoff int64) DiskFile {
+	return &shortReadFile{inner: inner, cutoff: cutoff}
+}
+
+func (f *shortReadFile) ReadAt(p []byte, off int64) (int, error) {
+	if off+int64(len(p)) > f.cutoff {
+		keep := f.cutoff - off
+		if keep < 0 {
+			keep = 0
+		}
+		n, _ := f.inner.ReadAt(p[:keep], off)
+		return n, syscall.EIO
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+func (f *shortReadFile) WriteAt(p []byte, off int64) (int, error) { return f.inner.WriteAt(p, off) }
+func (f *shortReadFile) Truncate(n int64) error                   { return f.inner.Truncate(n) }
+func (f *shortReadFile) Sync() error                              { return f.inner.Sync() }
+func (f *shortReadFile) Size() (int64, error)                     { return f.inner.Size() }
+func (f *shortReadFile) Close() error                             { return f.inner.Close() }
+
+// noSpaceFile models a full disk: writes consume a byte budget and the
+// one that would exceed it fails atomically with ENOSPC (no partial
+// bytes land — the torn variant covers that). Reads, truncates and
+// syncs keep working, as they do on a full file system.
+type noSpaceFile struct {
+	mu     sync.Mutex
+	inner  DiskFile
+	budget int64
+}
+
+// NewNoSpaceFile wraps inner with a write budget in bytes; writes past
+// it fail whole with ENOSPC.
+func NewNoSpaceFile(inner DiskFile, budget int64) DiskFile {
+	return &noSpaceFile{inner: inner, budget: budget}
+}
+
+func (f *noSpaceFile) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if int64(len(p)) > f.budget {
+		return 0, syscall.ENOSPC
+	}
+	f.budget -= int64(len(p))
+	return f.inner.WriteAt(p, off)
+}
+
+func (f *noSpaceFile) ReadAt(p []byte, off int64) (int, error) { return f.inner.ReadAt(p, off) }
+func (f *noSpaceFile) Truncate(n int64) error                  { return f.inner.Truncate(n) }
+func (f *noSpaceFile) Sync() error                             { return f.inner.Sync() }
+func (f *noSpaceFile) Size() (int64, error)                    { return f.inner.Size() }
+func (f *noSpaceFile) Close() error                            { return f.inner.Close() }

@@ -1,0 +1,260 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/resultstore"
+	"repro/internal/sim"
+)
+
+func diskCfg(i int) core.Config {
+	cfg := core.DefaultConfig(core.CC, 2)
+	cfg.CoreMHz = uint64(700 + i)
+	return cfg
+}
+
+func diskRep(i int) *core.Report {
+	return &core.Report{Model: core.CC, Cores: 2, Wall: sim.Time(100 + i), Instructions: uint64(i + 1)}
+}
+
+// faultyOpener wraps resultstore.OpenOSFile so only the live journal is
+// faulted; compaction temporaries open clean.
+func faultyOpener(wrap func(resultstore.File) resultstore.File) func(string) (resultstore.File, error) {
+	return func(path string) (resultstore.File, error) {
+		f, err := resultstore.OpenOSFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if filepath.Ext(path) == ".journal" {
+			return wrap(f), nil
+		}
+		return f, nil
+	}
+}
+
+// journalSize reads the on-disk journal length.
+func journalSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	fi, err := os.Stat(filepath.Join(dir, "store.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// TestTornWriteRecovers: a write budget dies mid-record, leaving a torn
+// tail on disk. The put fails, the store keeps serving what it has, and
+// a clean reopen truncates the torn bytes and restores every record
+// written before the crash.
+func TestTornWriteRecovers(t *testing.T) {
+	dir := t.TempDir()
+
+	// Find one record's journal footprint to size the budget mid-record.
+	s, err := resultstore.Open(resultstore.Options{Dir: dir, Version: "v1", SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(diskCfg(0), "fir", diskRep(0)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	recSize := journalSize(t, dir) - 16 // header is 16 bytes
+	os.RemoveAll(dir)
+
+	// Budget: header + one full record + half of the next.
+	budget := 16 + recSize + recSize/2
+	s, err = resultstore.Open(resultstore.Options{
+		Dir: dir, Version: "v1", SyncEvery: 1,
+		OpenFile: faultyOpener(func(f resultstore.File) resultstore.File {
+			return NewTornWriteFile(f, budget)
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(diskCfg(0), "fir", diskRep(0)); err != nil {
+		t.Fatalf("first put within budget: %v", err)
+	}
+	if err := s.Put(diskCfg(1), "fir", diskRep(1)); err == nil {
+		t.Fatal("torn write reported success")
+	}
+	// The dead file also fails rollback, so torn bytes stay on disk —
+	// exactly what a crash leaves behind.
+	if st := s.Stats(); st.PutErrors != 1 {
+		t.Fatalf("put errors: %+v", st)
+	}
+	if _, ok := s.Get(diskCfg(0), "fir"); !ok {
+		t.Fatal("surviving record unreadable after torn write")
+	}
+	s.Close()
+	if sz := journalSize(t, dir); sz <= 16+recSize {
+		t.Fatalf("journal %d bytes: expected torn bytes past the good record", sz)
+	}
+
+	s2, err := resultstore.Open(resultstore.Options{Dir: dir, Version: "v1"})
+	if err != nil {
+		t.Fatalf("reopen after torn write: %v", err)
+	}
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Recovered != 1 || st.TruncatedBytes == 0 || st.Corrupt != 0 {
+		t.Fatalf("recovery stats after torn write: %+v", st)
+	}
+	if rep, ok := s2.Get(diskCfg(0), "fir"); !ok || rep.Wall != diskRep(0).Wall {
+		t.Fatal("record written before the crash lost")
+	}
+	if _, ok := s2.Get(diskCfg(1), "fir"); ok {
+		t.Fatal("torn record served")
+	}
+}
+
+// TestBitFlipQuarantined: one bit flipped on its way to disk is caught
+// by the record checksum at read time — quarantined, never served.
+func TestBitFlipQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	// Flip a byte inside the first record's payload (header 16 + record
+	// header 12 + a few bytes in).
+	s, err := resultstore.Open(resultstore.Options{
+		Dir: dir, Version: "v1", SyncEvery: 1,
+		OpenFile: faultyOpener(func(f resultstore.File) resultstore.File {
+			return NewBitFlipFile(f, 16+12+8)
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(diskCfg(0), "fir", diskRep(0)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := s.Put(diskCfg(1), "fir", diskRep(1)); err != nil {
+		t.Fatalf("put 2: %v", err)
+	}
+	if _, ok := s.Get(diskCfg(0), "fir"); ok {
+		t.Fatal("bit-flipped record served")
+	}
+	st := s.Stats()
+	if st.Corrupt == 0 {
+		t.Fatalf("flip not quarantined: %+v", st)
+	}
+	if _, ok := s.Get(diskCfg(1), "fir"); !ok {
+		t.Fatal("undamaged record lost")
+	}
+	s.Close()
+	if _, err := os.Stat(filepath.Join(dir, "quarantine.jsonl")); err != nil {
+		t.Fatalf("quarantine file: %v", err)
+	}
+
+	// Reopen clean: the flipped record is dropped during recovery (or on
+	// read), the good one survives.
+	s2, err := resultstore.Open(resultstore.Options{Dir: dir, Version: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get(diskCfg(0), "fir"); ok {
+		t.Fatal("bit-flipped record served after reopen")
+	}
+	if rep, ok := s2.Get(diskCfg(1), "fir"); !ok || rep.Wall != diskRep(1).Wall {
+		t.Fatal("undamaged record lost after reopen")
+	}
+}
+
+// TestShortReadIsAMiss: a file system returning less than asked turns a
+// hit into a quarantined miss, never an error or bad data.
+func TestShortReadIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := resultstore.Open(resultstore.Options{Dir: dir, Version: "v1", SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(diskCfg(0), "fir", diskRep(0)); err != nil {
+		t.Fatal(err)
+	}
+	firstEnd := journalSize(t, dir)
+	if err := s.Put(diskCfg(1), "fir", diskRep(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := resultstore.Open(resultstore.Options{
+		Dir: dir, Version: "v1",
+		OpenFile: faultyOpener(func(f resultstore.File) resultstore.File {
+			// Reads reaching past the first record fail.
+			return NewShortReadFile(f, firstEnd)
+		}),
+	})
+	if err != nil {
+		t.Fatalf("open with starved reads: %v", err)
+	}
+	defer s2.Close()
+	if rep, ok := s2.Get(diskCfg(0), "fir"); !ok || rep.Wall != diskRep(0).Wall {
+		t.Fatal("readable record lost")
+	}
+	if _, ok := s2.Get(diskCfg(1), "fir"); ok {
+		t.Fatal("short-read record served")
+	}
+	if st := s2.Stats(); st.Misses == 0 {
+		t.Fatalf("short read not a miss: %+v", st)
+	}
+}
+
+// TestNoSpaceRollsBack: ENOSPC fails the put, rolls the journal back,
+// and the store keeps serving; freeing space (a fresh opener) makes
+// puts work again on the same journal.
+func TestNoSpaceRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	s, err := resultstore.Open(resultstore.Options{Dir: dir, Version: "v1", SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(diskCfg(0), "fir", diskRep(0)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	goodSize := journalSize(t, dir)
+
+	s2, err := resultstore.Open(resultstore.Options{
+		Dir: dir, Version: "v1", SyncEvery: 1,
+		OpenFile: faultyOpener(func(f resultstore.File) resultstore.File {
+			return NewNoSpaceFile(f, 0) // disk already full
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s2.Put(diskCfg(1), "fir", diskRep(1))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("put on full disk: %v", err)
+	}
+	if st := s2.Stats(); st.PutErrors != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if _, ok := s2.Get(diskCfg(0), "fir"); !ok {
+		t.Fatal("full disk broke reads")
+	}
+	if _, ok := s2.Get(diskCfg(1), "fir"); ok {
+		t.Fatal("failed put served")
+	}
+	s2.Close()
+	if sz := journalSize(t, dir); sz != goodSize {
+		t.Fatalf("journal grew to %d bytes on a full disk (want %d)", sz, goodSize)
+	}
+
+	// Space freed: same journal, fresh opener, puts succeed.
+	s3, err := resultstore.Open(resultstore.Options{Dir: dir, Version: "v1", SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if err := s3.Put(diskCfg(1), "fir", diskRep(1)); err != nil {
+		t.Fatalf("put after space freed: %v", err)
+	}
+	if rep, ok := s3.Get(diskCfg(1), "fir"); !ok || rep.Wall != diskRep(1).Wall {
+		t.Fatal("record lost after recovery from full disk")
+	}
+}

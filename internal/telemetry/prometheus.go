@@ -98,6 +98,8 @@ func (c *Campaign) WriteMetrics(w io.Writer) error {
 	m.metric("memsim_jobs_failed_total", snap.Failed)
 	m.header("memsim_jobs_memo_seeded_total", "Jobs answered by replaying a previous campaign's manifest (-resume).", "counter")
 	m.metric("memsim_jobs_memo_seeded_total", snap.MemoSpan)
+	m.header("memsim_jobs_store_hit_total", "Jobs answered by the persistent result store (-store) without simulating.", "counter")
+	m.metric("memsim_jobs_store_hit_total", snap.StoreSpan)
 
 	m.header("memsim_memo_hits_total", "Run requests answered from the in-campaign memo table.", "counter")
 	m.metric("memsim_memo_hits_total", snap.MemoHits)
@@ -126,6 +128,31 @@ func (c *Campaign) WriteMetrics(w io.Writer) error {
 	m.header("memsim_campaign_complete", "1 once every figure has rendered and no further transitions will arrive.", "gauge")
 	m.metric("memsim_campaign_complete", boolGauge(snap.Complete))
 
+	if st := snap.Store; st != nil {
+		m.header("memsim_store_hits_total", "Result-store lookups answered by a verified on-disk record.", "counter")
+		m.metric("memsim_store_hits_total", st.Hits)
+		m.header("memsim_store_misses_total", "Result-store lookups that found no usable record.", "counter")
+		m.metric("memsim_store_misses_total", st.Misses)
+		m.header("memsim_store_puts_total", "Records appended to the result-store journal.", "counter")
+		m.metric("memsim_store_puts_total", st.Puts)
+		m.header("memsim_store_put_errors_total", "Record appends that failed and were rolled back.", "counter")
+		m.metric("memsim_store_put_errors_total", st.PutErrors)
+		m.header("memsim_store_evictions_total", "Records dropped by the size-capped LRU compaction.", "counter")
+		m.metric("memsim_store_evictions_total", st.Evictions)
+		m.header("memsim_store_compactions_total", "Atomic journal rewrites triggered by the size cap.", "counter")
+		m.metric("memsim_store_compactions_total", st.Compactions)
+		m.header("memsim_store_corrupt_records_total", "Corrupt records detected and quarantined (never served).", "counter")
+		m.metric("memsim_store_corrupt_records_total", st.Corrupt)
+		m.header("memsim_store_recovered_records_total", "Records restored by the opening recovery scan.", "counter")
+		m.metric("memsim_store_recovered_records_total", st.Recovered)
+		m.header("memsim_store_truncated_bytes_total", "Torn-tail bytes truncated during recovery.", "counter")
+		m.metric("memsim_store_truncated_bytes_total", st.TruncatedBytes)
+		m.header("memsim_store_records", "Records currently indexed in the store.", "gauge")
+		m.metric("memsim_store_records", st.Records)
+		m.header("memsim_store_bytes", "Journal size in bytes.", "gauge")
+		m.metric("memsim_store_bytes", st.Bytes)
+	}
+
 	if len(snap.Figures) > 0 {
 		figs := append([]FigureSnapshot(nil), snap.Figures...)
 		sort.Slice(figs, func(i, j int) bool { return figs[i].Figure < figs[j].Figure })
@@ -134,10 +161,11 @@ func (c *Campaign) WriteMetrics(w io.Writer) error {
 			m.metric("memsim_figure_jobs_total", f.Done, "figure", f.Figure, "state", "done")
 			m.metric("memsim_figure_jobs_total", f.Failed, "figure", f.Figure, "state", "failed")
 			m.metric("memsim_figure_jobs_total", f.MemoHits, "figure", f.Figure, "state", "memo-hit")
+			m.metric("memsim_figure_jobs_total", f.StoreHits, "figure", f.Figure, "state", "store-hit")
 		}
 		m.header("memsim_figure_jobs_pending", "Jobs attributed to each figure not yet in a terminal state.", "gauge")
 		for _, f := range figs {
-			m.metric("memsim_figure_jobs_pending", f.Total-f.Done-f.Failed-f.MemoHits, "figure", f.Figure)
+			m.metric("memsim_figure_jobs_pending", f.Total-f.Done-f.Failed-f.MemoHits-f.StoreHits, "figure", f.Figure)
 		}
 		m.header("memsim_figure_err_cells_total", "ERR cells rendered per figure.", "counter")
 		for _, f := range figs {

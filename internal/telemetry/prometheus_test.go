@@ -24,9 +24,15 @@ func TestWriteMetricsGolden(t *testing.T) {
 	c, fc := testCampaign()
 	c.SetWorkers(4)
 
+	c.SetStoreStats(func() StoreStats {
+		return StoreStats{Records: 7, Bytes: 4096, Hits: 1, Misses: 2, Puts: 3,
+			Evictions: 4, Compactions: 1, Recovered: 5, Corrupt: 1, TruncatedBytes: 12}
+	})
+
 	c.BeginGroup("fig2")
 	spA := c.Enqueue("fir", "CC 4 cores @800 MHz bw=1600 pf=0")
 	spB := c.Enqueue("aes", "STR 8 cores @3200 MHz bw=6400 pf=0")
+	spC := c.Enqueue("fem", "CC 2 cores @800 MHz bw=1600 pf=0")
 	c.Seed("fir", "CC 1 cores @800 MHz bw=1600 pf=0")
 	c.MemoHit()
 
@@ -39,6 +45,8 @@ func TestWriteMetricsGolden(t *testing.T) {
 	spB.Start()
 	fc.advance(1 * time.Second)
 	spB.Fail("timeout")
+	spC.Start()
+	spC.StoreHit()
 
 	c.BeginGroup("tbl\"3\\x\ny")
 	c.ErrCell()
@@ -52,7 +60,7 @@ func TestWriteMetricsGolden(t *testing.T) {
 	}
 	want := `# HELP memsim_jobs_enqueued_total Jobs admitted to the campaign (fresh simulations plus manifest-seeded results).
 # TYPE memsim_jobs_enqueued_total counter
-memsim_jobs_enqueued_total 3
+memsim_jobs_enqueued_total 4
 # HELP memsim_jobs_done_total Jobs whose simulation completed successfully in this campaign.
 # TYPE memsim_jobs_done_total counter
 memsim_jobs_done_total 1
@@ -62,12 +70,15 @@ memsim_jobs_failed_total 1
 # HELP memsim_jobs_memo_seeded_total Jobs answered by replaying a previous campaign's manifest (-resume).
 # TYPE memsim_jobs_memo_seeded_total counter
 memsim_jobs_memo_seeded_total 1
+# HELP memsim_jobs_store_hit_total Jobs answered by the persistent result store (-store) without simulating.
+# TYPE memsim_jobs_store_hit_total counter
+memsim_jobs_store_hit_total 1
 # HELP memsim_memo_hits_total Run requests answered from the in-campaign memo table.
 # TYPE memsim_memo_hits_total counter
 memsim_memo_hits_total 1
 # HELP memsim_memo_misses_total Run requests that admitted a fresh simulation.
 # TYPE memsim_memo_misses_total counter
-memsim_memo_misses_total 2
+memsim_memo_misses_total 3
 # HELP memsim_job_retries_total Retry attempts started after retryable failures.
 # TYPE memsim_job_retries_total counter
 memsim_job_retries_total 1
@@ -98,14 +109,49 @@ memsim_campaign_eta_seconds 0
 # HELP memsim_campaign_complete 1 once every figure has rendered and no further transitions will arrive.
 # TYPE memsim_campaign_complete gauge
 memsim_campaign_complete 1
+# HELP memsim_store_hits_total Result-store lookups answered by a verified on-disk record.
+# TYPE memsim_store_hits_total counter
+memsim_store_hits_total 1
+# HELP memsim_store_misses_total Result-store lookups that found no usable record.
+# TYPE memsim_store_misses_total counter
+memsim_store_misses_total 2
+# HELP memsim_store_puts_total Records appended to the result-store journal.
+# TYPE memsim_store_puts_total counter
+memsim_store_puts_total 3
+# HELP memsim_store_put_errors_total Record appends that failed and were rolled back.
+# TYPE memsim_store_put_errors_total counter
+memsim_store_put_errors_total 0
+# HELP memsim_store_evictions_total Records dropped by the size-capped LRU compaction.
+# TYPE memsim_store_evictions_total counter
+memsim_store_evictions_total 4
+# HELP memsim_store_compactions_total Atomic journal rewrites triggered by the size cap.
+# TYPE memsim_store_compactions_total counter
+memsim_store_compactions_total 1
+# HELP memsim_store_corrupt_records_total Corrupt records detected and quarantined (never served).
+# TYPE memsim_store_corrupt_records_total counter
+memsim_store_corrupt_records_total 1
+# HELP memsim_store_recovered_records_total Records restored by the opening recovery scan.
+# TYPE memsim_store_recovered_records_total counter
+memsim_store_recovered_records_total 5
+# HELP memsim_store_truncated_bytes_total Torn-tail bytes truncated during recovery.
+# TYPE memsim_store_truncated_bytes_total counter
+memsim_store_truncated_bytes_total 12
+# HELP memsim_store_records Records currently indexed in the store.
+# TYPE memsim_store_records gauge
+memsim_store_records 7
+# HELP memsim_store_bytes Journal size in bytes.
+# TYPE memsim_store_bytes gauge
+memsim_store_bytes 4096
 # HELP memsim_figure_jobs_total Jobs attributed to each figure, by terminal state.
 # TYPE memsim_figure_jobs_total counter
 memsim_figure_jobs_total{figure="fig2",state="done"} 1
 memsim_figure_jobs_total{figure="fig2",state="failed"} 1
 memsim_figure_jobs_total{figure="fig2",state="memo-hit"} 1
+memsim_figure_jobs_total{figure="fig2",state="store-hit"} 1
 memsim_figure_jobs_total{figure="tbl\"3\\x\ny",state="done"} 0
 memsim_figure_jobs_total{figure="tbl\"3\\x\ny",state="failed"} 0
 memsim_figure_jobs_total{figure="tbl\"3\\x\ny",state="memo-hit"} 0
+memsim_figure_jobs_total{figure="tbl\"3\\x\ny",state="store-hit"} 0
 # HELP memsim_figure_jobs_pending Jobs attributed to each figure not yet in a terminal state.
 # TYPE memsim_figure_jobs_pending gauge
 memsim_figure_jobs_pending{figure="fig2"} 0

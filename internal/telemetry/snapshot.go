@@ -22,12 +22,13 @@ type SpanSnapshot struct {
 
 // FigureSnapshot is one figure's completion rollup.
 type FigureSnapshot struct {
-	Figure   string `json:"figure"`
-	Total    int    `json:"total"`
-	Done     int    `json:"done"`
-	Failed   int    `json:"failed"`
-	MemoHits int    `json:"memo_hits"`
-	ErrCells int    `json:"err_cells"`
+	Figure    string `json:"figure"`
+	Total     int    `json:"total"`
+	Done      int    `json:"done"`
+	Failed    int    `json:"failed"`
+	MemoHits  int    `json:"memo_hits"`
+	StoreHits int    `json:"store_hits"`
+	ErrCells  int    `json:"err_cells"`
 }
 
 // Snapshot is the /progress payload: campaign counters and gauges, the
@@ -42,9 +43,10 @@ type Snapshot struct {
 	Queued   int `json:"queued"`
 	Running  int `json:"running"`
 	Retrying int `json:"retrying"`
-	Done     int `json:"done"`
-	Failed   int `json:"failed"`
-	MemoSpan int `json:"memo_seeded"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	MemoSpan  int `json:"memo_seeded"`
+	StoreSpan int `json:"store_hits_spans"`
 
 	MemoHits       uint64 `json:"memo_hits"`
 	MemoMisses     uint64 `json:"memo_misses"`
@@ -56,6 +58,10 @@ type Snapshot struct {
 	// completion rate (finished-per-elapsed). Negative means unknown
 	// (nothing has finished yet).
 	ETASeconds float64 `json:"eta_seconds"`
+
+	// Store holds the persistent result store's counters while one is
+	// attached (-store); absent otherwise.
+	Store *StoreStats `json:"store,omitempty"`
 
 	Figures []FigureSnapshot `json:"figures,omitempty"`
 	Spans   []SpanSnapshot   `json:"spans,omitempty"`
@@ -90,9 +96,10 @@ func (c *Campaign) Snapshot(withSpans bool) Snapshot {
 		Queued:   c.byState[StateQueued],
 		Running:  c.byState[StateRunning],
 		Retrying: c.byState[StateRetrying],
-		Done:     c.byState[StateDone],
-		Failed:   c.byState[StateFailed],
-		MemoSpan: c.byState[StateMemoHit],
+		Done:      c.byState[StateDone],
+		Failed:    c.byState[StateFailed],
+		MemoSpan:  c.byState[StateMemoHit],
+		StoreSpan: c.byState[StateStoreHit],
 
 		MemoHits:       c.memoHits,
 		MemoMisses:     c.memoMisses,
@@ -101,6 +108,14 @@ func (c *Campaign) Snapshot(withSpans bool) Snapshot {
 		ErrCells:       c.errCells,
 	}
 
+	if c.storeStats != nil {
+		st := c.storeStats()
+		snap.Store = &st
+	}
+
+	// The ETA extrapolates only real simulations: memo-seeded and
+	// store-hit spans are terminal the moment they resolve and would
+	// otherwise inflate the completion rate toward zero ETA.
 	finished := snap.Done + snap.Failed
 	remaining := snap.Queued + snap.Running + snap.Retrying
 	switch {
@@ -116,12 +131,13 @@ func (c *Campaign) Snapshot(withSpans bool) Snapshot {
 	for _, fig := range c.figOrder {
 		f := c.figures[fig]
 		snap.Figures = append(snap.Figures, FigureSnapshot{
-			Figure:   fig,
-			Total:    f.total,
-			Done:     f.done,
-			Failed:   f.failed,
-			MemoHits: f.memo,
-			ErrCells: f.errCells,
+			Figure:    fig,
+			Total:     f.total,
+			Done:      f.done,
+			Failed:    f.failed,
+			MemoHits:  f.memo,
+			StoreHits: f.store,
+			ErrCells:  f.errCells,
 		})
 	}
 

@@ -46,11 +46,14 @@ const (
 	// StateMemoHit: the result was seeded from a previous campaign's
 	// manifest (resume); no simulation ran in this campaign.
 	StateMemoHit
+	// StateStoreHit: the result was served by the persistent result
+	// store (-store); the job was admitted but never simulated here.
+	StateStoreHit
 	numStates
 )
 
 var stateNames = [numStates]string{
-	"queued", "running", "retrying", "done", "failed", "memo-hit",
+	"queued", "running", "retrying", "done", "failed", "memo-hit", "store-hit",
 }
 
 // String returns the state's wire name ("queued", "running", ...).
@@ -93,7 +96,27 @@ type figureAgg struct {
 	done     int
 	failed   int
 	memo     int
+	store    int
 	errCells int
+}
+
+// StoreStats is the persistent result store's counter block as exposed
+// through /progress and /metrics. telemetry deliberately does not
+// import internal/resultstore (the dependency points the other way for
+// every other consumer); the runner or CLI bridges the two with a
+// provider closure via SetStoreStats.
+type StoreStats struct {
+	Records        int    `json:"records"`
+	Bytes          int64  `json:"bytes"`
+	Hits           uint64 `json:"hits"`
+	Misses         uint64 `json:"misses"`
+	Puts           uint64 `json:"puts"`
+	PutErrors      uint64 `json:"put_errors"`
+	Evictions      uint64 `json:"evictions"`
+	Compactions    uint64 `json:"compactions"`
+	Recovered      uint64 `json:"recovered"`
+	Corrupt        uint64 `json:"corrupt"`
+	TruncatedBytes int64  `json:"truncated_bytes"`
 }
 
 // Campaign is the span table plus the campaign-wide counters. The zero
@@ -121,6 +144,12 @@ type Campaign struct {
 
 	workers  int // pool size, for utilization readers (0 = unknown)
 	complete bool
+
+	// storeStats, when set, is polled at snapshot time for the result
+	// store's counters. The provider must not call back into telemetry
+	// (it runs under the campaign mutex); resultstore.Stats satisfies
+	// that trivially.
+	storeStats func() StoreStats
 }
 
 // NewCampaign returns an empty campaign whose clock starts now.
@@ -136,6 +165,19 @@ func (c *Campaign) SetWorkers(n int) {
 	}
 	c.mu.Lock()
 	c.workers = n
+	c.mu.Unlock()
+}
+
+// SetStoreStats attaches a provider for the persistent result store's
+// counters; snapshots and metrics include a store block while one is
+// attached. Call it before serving. The provider is invoked under the
+// campaign mutex and must not call back into this package.
+func (c *Campaign) SetStoreStats(provider func() StoreStats) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.storeStats = provider
 	c.mu.Unlock()
 }
 
@@ -301,6 +343,25 @@ func (sp *Span) Attempt(d time.Duration) {
 
 // Done closes the span successfully.
 func (sp *Span) Done() { sp.finish(StateDone, "") }
+
+// StoreHit closes the span as answered by the persistent result store:
+// the job was admitted (a memo miss) but a verified on-disk record made
+// simulation unnecessary. Terminal like Done, but counted apart so
+// completion rates and ETAs only reflect real simulations.
+func (sp *Span) StoreHit() {
+	if sp == nil {
+		return
+	}
+	c := sp.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := sp.s
+	c.transition(s, StateStoreHit)
+	s.ended = c.now()
+	if f := c.figureOf(s.figure); f != nil {
+		f.store++
+	}
+}
 
 // Fail closes the span as failed after its last attempt, recording the
 // failure kind ("deadlock", "timeout", ...). Timeouts are additionally

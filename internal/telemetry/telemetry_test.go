@@ -40,7 +40,45 @@ func testCampaign() (*Campaign, *fakeClock) {
 // conserved checks the span-conservation invariant on a snapshot:
 // every opened span is in exactly one state.
 func conserved(s Snapshot) bool {
-	return s.Enqueued == s.Queued+s.Running+s.Retrying+s.Done+s.Failed+s.MemoSpan
+	return s.Enqueued == s.Queued+s.Running+s.Retrying+s.Done+s.Failed+s.MemoSpan+s.StoreSpan
+}
+
+// TestStoreHitSpanAndStats pins the store-hit terminal state: it
+// conserves spans, rolls up per figure, stays out of the ETA rate, and
+// the attached StoreStats provider surfaces in snapshots.
+func TestStoreHitSpanAndStats(t *testing.T) {
+	c, fc := testCampaign()
+	c.SetStoreStats(func() StoreStats { return StoreStats{Hits: 3, Misses: 1, Puts: 1} })
+	c.BeginGroup("fig2")
+	hit := c.Enqueue("fir", "cfg")
+	sim := c.Enqueue("aes", "cfg")
+	hit.Start()
+	hit.StoreHit()
+
+	s := c.Snapshot(true)
+	if s.StoreSpan != 1 || !conserved(s) {
+		t.Fatalf("after store hit: %+v", s)
+	}
+	if s.Spans[0].State != "store-hit" {
+		t.Fatalf("span state: %+v", s.Spans[0])
+	}
+	if s.Store == nil || s.Store.Hits != 3 {
+		t.Fatalf("store stats block: %+v", s.Store)
+	}
+	if s.Figures[0].StoreHits != 1 {
+		t.Fatalf("figure rollup: %+v", s.Figures[0])
+	}
+	// Only the unsimulated job remains; the store hit finished nothing,
+	// so the ETA is still unknown.
+	fc.advance(time.Second)
+	if eta := c.Snapshot(false).ETASeconds; eta != -1 {
+		t.Fatalf("eta after store hit = %v, want -1 (no real completion yet)", eta)
+	}
+	sim.Start()
+	sim.Done()
+	if eta := c.Snapshot(false).ETASeconds; eta != 0 {
+		t.Fatalf("eta after completion = %v, want 0", eta)
+	}
 }
 
 // TestSpanLifecycle walks one job through queued → running → retrying →
