@@ -14,9 +14,12 @@
 // With -store DIR the run first looks its exact configuration up in the
 // crash-safe result store shared with paperbench; a hit prints the
 // stored report byte-identically and skips the simulation, a miss
-// simulates and persists the fresh report. Runs that collect artifacts
-// only a live simulation can produce (-trace, -sample) always simulate,
-// but still persist their reports.
+// simulates and persists the fresh report. Store keys include the
+// dataset -scale, so one store directory can hold results at every
+// scale without ever serving one as another. One process owns a store
+// directory at a time (a concurrent open fails with "in use"). Runs
+// that collect artifacts only a live simulation can produce (-trace,
+// -sample) always simulate, but still persist their reports.
 //
 // Every run arms an engine flight recorder (-flightrec events, default
 // 256): when the simulation dies with a typed failure — deadlock,
@@ -377,7 +380,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var rep *memsys.Report
 	fromStore := false
 	if store != nil && tr == nil && pr == nil {
-		if hit, ok := store.Get(cfg, *name); ok {
+		if hit, ok := store.Get(cfg, *name, scale.String()); ok {
 			rep, fromStore = hit, true
 			sp.StoreHit()
 			fmt.Fprintf(stderr, "memsim: result served from store %s\n", *storeDir)
@@ -397,7 +400,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		sp.Done()
 		if store != nil {
-			if perr := store.Put(cfg, *name, rep); perr != nil {
+			if perr := store.Put(cfg, *name, scale.String(), rep); perr != nil {
 				fmt.Fprintf(stderr, "memsim: store: write failed: %v\n", perr)
 			}
 		}

@@ -26,11 +26,13 @@
 //
 // -store DIR attaches a persistent, crash-safe result store shared
 // across campaigns: each job probes it before simulating and a verified
-// hit (matching config hash, workload and code version) is recalled
-// instead of re-run, while fresh results are journaled back with CRC32C
-// checksums. Corrupt or stale records are quarantined to
-// quarantine.jsonl and re-simulated — never served. Figure output is
-// byte-identical with or without the store.
+// hit (matching config hash, workload, dataset -scale and code version)
+// is recalled instead of re-run, while fresh results are journaled back
+// with CRC32C checksums. Corrupt or stale records are quarantined to
+// quarantine.jsonl and re-simulated — never served; results stored at
+// one -scale never answer a campaign at another. One process owns a
+// store directory at a time (a concurrent open fails with "in use").
+// Figure output is byte-identical with or without the store.
 //
 // -http serves live campaign telemetry while the figures run: GET
 // /metrics (Prometheus text), GET /progress (JSON span table with

@@ -138,10 +138,13 @@ type Runner struct {
 	// (-store): each admitted job probes it before simulating and a hit
 	// resolves the flight without running the engine — no Record, no
 	// ok/failed movement, a "(store)" progress marker — while a miss
-	// simulates normally and writes the verified report back. Corrupt or
-	// version-mismatched records are misses by construction (the store
-	// quarantines them), so an un-trustworthy store can only cost time,
-	// never correctness. Set it before the first Run or Prefetch.
+	// simulates normally and writes the verified report back. Store keys
+	// include the Runner's dataset Scale, so campaigns sharing one store
+	// directory at different -scale values never serve each other's
+	// reports. Corrupt or version-mismatched records are misses by
+	// construction (the store quarantines them), so an un-trustworthy
+	// store can only cost time, never correctness. Set it before the
+	// first Run or Prefetch.
 	Store *resultstore.Store
 	// FlightRecorder sizes the engine flight recorder armed for every
 	// fresh simulation (the last K scheduler events, embedded in typed
@@ -256,7 +259,7 @@ func (r *Runner) simulate(fl *flight, cfg core.Config, name string) {
 	// line carries a "(store)" marker so a resumed campaign's log shows
 	// what was recalled versus re-simulated.
 	if r.Store != nil {
-		if rep, ok := r.Store.Get(cfg, name); ok {
+		if rep, ok := r.Store.Get(cfg, name, r.Scale.String()); ok {
 			fl.rep = rep
 			fl.span.StoreHit()
 			r.mu.Lock()
@@ -282,7 +285,7 @@ func (r *Runner) simulate(fl *flight, cfg core.Config, name string) {
 		// job — the report is already in hand — and the first failure is
 		// warned once; the store's PutErrors counter tracks the rest.
 		if r.Store != nil && rep != nil {
-			if perr := r.Store.Put(cfg, name, rep); perr != nil {
+			if perr := r.Store.Put(cfg, name, r.Scale.String(), rep); perr != nil {
 				r.storeWarn.Do(func() {
 					fmt.Fprintf(os.Stderr, "# result store: write failed (further errors counted, not repeated): %v\n", perr)
 				})

@@ -47,7 +47,11 @@ func TestStoreRoundTripByteIdentical(t *testing.T) {
 	dir := t.TempDir()
 	bare, _ := storedFigure(t, nil)
 
-	cold, r1 := storedFigure(t, openStore(t, dir, "v1"))
+	// One store is open per campaign: the directory lock admits a single
+	// process/instance at a time, so each campaign closes before the next.
+	st1 := openStore(t, dir, "v1")
+	cold, r1 := storedFigure(t, st1)
+	st1.Close()
 	if !bytes.Equal(bare, cold) {
 		t.Fatal("attaching an empty store changed figure output")
 	}
@@ -75,7 +79,9 @@ func TestStoreRoundTripByteIdentical(t *testing.T) {
 func TestStoreVersionMismatchResimulates(t *testing.T) {
 	dir := t.TempDir()
 	bare, _ := storedFigure(t, nil)
-	_, r1 := storedFigure(t, openStore(t, dir, "v1"))
+	st1 := openStore(t, dir, "v1")
+	_, r1 := storedFigure(t, st1)
+	st1.Close()
 	ok1, _ := r1.Outcome()
 
 	out, r2 := storedFigure(t, openStore(t, dir, "v2"))
@@ -93,7 +99,9 @@ func TestStoreVersionMismatchResimulates(t *testing.T) {
 func TestStoreCorruptRecordResimulates(t *testing.T) {
 	dir := t.TempDir()
 	bare, _ := storedFigure(t, nil)
-	_, _ = storedFigure(t, openStore(t, dir, "v1"))
+	st1 := openStore(t, dir, "v1")
+	_, _ = storedFigure(t, st1)
+	st1.Close()
 
 	path := filepath.Join(dir, "store.journal")
 	journal, err := os.ReadFile(path)
@@ -143,7 +151,7 @@ func TestStoreHitsFeedTelemetryConsistently(t *testing.T) {
 		t.Fatal(err)
 	}
 	pre.Close()
-	if err := pre.Store.Flush(); err != nil {
+	if err := pre.Store.Close(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -233,7 +241,7 @@ func TestStoreProgressLineMarksHits(t *testing.T) {
 		t.Fatal(err)
 	}
 	pre.Close()
-	pre.Store.Flush()
+	pre.Store.Close()
 
 	var prog bytes.Buffer
 	r := NewRunner(workload.ScaleSmall)
@@ -245,5 +253,33 @@ func TestStoreProgressLineMarksHits(t *testing.T) {
 	r.Close()
 	if !strings.Contains(prog.String(), "(store)") {
 		t.Fatalf("progress line not marked: %q", prog.String())
+	}
+}
+
+// TestStoreScaleMismatchMisses is the cross-scale poisoning guard at
+// the Runner level: a store populated by a small-scale campaign keys
+// its records under that scale, so a campaign at any other -scale
+// misses and re-simulates instead of being served small-scale reports.
+func TestStoreScaleMismatchMisses(t *testing.T) {
+	dir := t.TempDir()
+	pre := NewRunner(workload.ScaleSmall)
+	pre.Store = openStore(t, dir, "v1")
+	cfg := core.DefaultConfig(core.CC, 2)
+	if _, err := pre.Run(cfg, "fir"); err != nil {
+		t.Fatal(err)
+	}
+	pre.Close()
+	if err := pre.Store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := openStore(t, dir, "v1")
+	if _, ok := st.Get(cfg, "fir", workload.ScaleSmall.String()); !ok {
+		t.Fatal("runner did not key the stored record under its own scale")
+	}
+	for _, other := range []workload.Scale{workload.ScaleDefault, workload.ScalePaper} {
+		if _, ok := st.Get(cfg, "fir", other.String()); ok {
+			t.Fatalf("small-scale record served at %v scale", other)
+		}
 	}
 }

@@ -22,23 +22,29 @@ func (c Config) Normalize() Config {
 }
 
 // Hash returns the canonical content address of one simulation: the
-// normalized configuration, the workload name, and a version string
-// (the binary's git describe plus the store schema version). The
-// version participates in the key so a result store written by an older
-// build can never poison a newer one — a changed simulator silently
-// misses and re-simulates instead of serving stale physics.
+// normalized configuration, the workload name, the dataset scale the
+// workload was built at, and a version string (the binary's git
+// describe plus the store schema version). The version participates in
+// the key so a result store written by an older build can never poison
+// a newer one — a changed simulator silently misses and re-simulates
+// instead of serving stale physics. The scale participates because it
+// selects the workload's dataset sizes: the same machine running "fir"
+// at small and paper scale are different experiments with different
+// reports, and a store shared across -scale values must never serve
+// one as the other.
 //
-// The hash is SHA-256 over the JSON encoding of a fixed three-field
+// The hash is SHA-256 over the JSON encoding of a fixed four-field
 // struct. encoding/json emits struct fields in declaration order and
 // formats integers and strings canonically, so the encoding — and
 // therefore the hash — is deterministic across processes and platforms
 // for any comparable Config value.
-func (c Config) Hash(workload, version string) string {
+func (c Config) Hash(workload, scale, version string) string {
 	payload := struct {
 		Version  string `json:"version"`
+		Scale    string `json:"scale"`
 		Workload string `json:"workload"`
 		Config   Config `json:"config"`
-	}{version, workload, c.Normalize()}
+	}{version, scale, workload, c.Normalize()}
 	b, err := json.Marshal(payload)
 	if err != nil {
 		// Config is a plain value struct (observers are json:"-" and nil

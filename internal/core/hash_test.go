@@ -28,11 +28,11 @@ func TestNormalizeStripsObservers(t *testing.T) {
 
 // TestHashDiscriminates pins the key properties of the canonical hash:
 // stable for equal inputs, different for any differing machine field,
-// workload, or version, and insensitive to observers.
+// workload, dataset scale, or version, and insensitive to observers.
 func TestHashDiscriminates(t *testing.T) {
 	base := DefaultConfig(CC, 4)
-	h := base.Hash("fir", "v1")
-	if h2 := base.Hash("fir", "v1"); h2 != h {
+	h := base.Hash("fir", "small", "v1")
+	if h2 := base.Hash("fir", "small", "v1"); h2 != h {
 		t.Fatalf("hash not stable: %s vs %s", h, h2)
 	}
 	if len(h) != 64 {
@@ -40,21 +40,22 @@ func TestHashDiscriminates(t *testing.T) {
 	}
 
 	cases := map[string]string{
-		"workload": base.Hash("fem", "v1"),
-		"version":  base.Hash("fir", "v2"),
+		"workload": base.Hash("fem", "small", "v1"),
+		"scale":    base.Hash("fir", "paper", "v1"),
+		"version":  base.Hash("fir", "small", "v2"),
 	}
 	other := base
 	other.Cores = 8
-	cases["cores"] = other.Hash("fir", "v1")
+	cases["cores"] = other.Hash("fir", "small", "v1")
 	other = base
 	other.Model = STR
-	cases["model"] = other.Hash("fir", "v1")
+	cases["model"] = other.Hash("fir", "small", "v1")
 	other = base
 	other.DRAMBandwidthMBps = 6400
-	cases["bandwidth"] = other.Hash("fir", "v1")
+	cases["bandwidth"] = other.Hash("fir", "small", "v1")
 	other = base
 	other.PrefetchDepth = 4
-	cases["prefetch"] = other.Hash("fir", "v1")
+	cases["prefetch"] = other.Hash("fir", "small", "v1")
 	seen := map[string]string{h: "base"}
 	for what, hh := range cases {
 		if prev, dup := seen[hh]; dup {
@@ -66,7 +67,7 @@ func TestHashDiscriminates(t *testing.T) {
 	observed := base
 	observed.Probe = probe.NewRecorder(sim.Microsecond)
 	observed.FlightRecorder = 64
-	if observed.Hash("fir", "v1") != h {
+	if observed.Hash("fir", "small", "v1") != h {
 		t.Fatal("observers perturb the hash")
 	}
 }

@@ -59,7 +59,7 @@ func TestTornWriteRecovers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put(diskCfg(0), "fir", diskRep(0)); err != nil {
+	if err := s.Put(diskCfg(0), "fir", "small", diskRep(0)); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -77,10 +77,10 @@ func TestTornWriteRecovers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put(diskCfg(0), "fir", diskRep(0)); err != nil {
+	if err := s.Put(diskCfg(0), "fir", "small", diskRep(0)); err != nil {
 		t.Fatalf("first put within budget: %v", err)
 	}
-	if err := s.Put(diskCfg(1), "fir", diskRep(1)); err == nil {
+	if err := s.Put(diskCfg(1), "fir", "small", diskRep(1)); err == nil {
 		t.Fatal("torn write reported success")
 	}
 	// The dead file also fails rollback, so torn bytes stay on disk —
@@ -88,7 +88,7 @@ func TestTornWriteRecovers(t *testing.T) {
 	if st := s.Stats(); st.PutErrors != 1 {
 		t.Fatalf("put errors: %+v", st)
 	}
-	if _, ok := s.Get(diskCfg(0), "fir"); !ok {
+	if _, ok := s.Get(diskCfg(0), "fir", "small"); !ok {
 		t.Fatal("surviving record unreadable after torn write")
 	}
 	s.Close()
@@ -105,10 +105,10 @@ func TestTornWriteRecovers(t *testing.T) {
 	if st.Recovered != 1 || st.TruncatedBytes == 0 || st.Corrupt != 0 {
 		t.Fatalf("recovery stats after torn write: %+v", st)
 	}
-	if rep, ok := s2.Get(diskCfg(0), "fir"); !ok || rep.Wall != diskRep(0).Wall {
+	if rep, ok := s2.Get(diskCfg(0), "fir", "small"); !ok || rep.Wall != diskRep(0).Wall {
 		t.Fatal("record written before the crash lost")
 	}
-	if _, ok := s2.Get(diskCfg(1), "fir"); ok {
+	if _, ok := s2.Get(diskCfg(1), "fir", "small"); ok {
 		t.Fatal("torn record served")
 	}
 }
@@ -128,20 +128,20 @@ func TestBitFlipQuarantined(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put(diskCfg(0), "fir", diskRep(0)); err != nil {
+	if err := s.Put(diskCfg(0), "fir", "small", diskRep(0)); err != nil {
 		t.Fatalf("put: %v", err)
 	}
-	if err := s.Put(diskCfg(1), "fir", diskRep(1)); err != nil {
+	if err := s.Put(diskCfg(1), "fir", "small", diskRep(1)); err != nil {
 		t.Fatalf("put 2: %v", err)
 	}
-	if _, ok := s.Get(diskCfg(0), "fir"); ok {
+	if _, ok := s.Get(diskCfg(0), "fir", "small"); ok {
 		t.Fatal("bit-flipped record served")
 	}
 	st := s.Stats()
 	if st.Corrupt == 0 {
 		t.Fatalf("flip not quarantined: %+v", st)
 	}
-	if _, ok := s.Get(diskCfg(1), "fir"); !ok {
+	if _, ok := s.Get(diskCfg(1), "fir", "small"); !ok {
 		t.Fatal("undamaged record lost")
 	}
 	s.Close()
@@ -156,10 +156,10 @@ func TestBitFlipQuarantined(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	if _, ok := s2.Get(diskCfg(0), "fir"); ok {
+	if _, ok := s2.Get(diskCfg(0), "fir", "small"); ok {
 		t.Fatal("bit-flipped record served after reopen")
 	}
-	if rep, ok := s2.Get(diskCfg(1), "fir"); !ok || rep.Wall != diskRep(1).Wall {
+	if rep, ok := s2.Get(diskCfg(1), "fir", "small"); !ok || rep.Wall != diskRep(1).Wall {
 		t.Fatal("undamaged record lost after reopen")
 	}
 }
@@ -172,11 +172,11 @@ func TestShortReadIsAMiss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put(diskCfg(0), "fir", diskRep(0)); err != nil {
+	if err := s.Put(diskCfg(0), "fir", "small", diskRep(0)); err != nil {
 		t.Fatal(err)
 	}
 	firstEnd := journalSize(t, dir)
-	if err := s.Put(diskCfg(1), "fir", diskRep(1)); err != nil {
+	if err := s.Put(diskCfg(1), "fir", "small", diskRep(1)); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -192,10 +192,10 @@ func TestShortReadIsAMiss(t *testing.T) {
 		t.Fatalf("open with starved reads: %v", err)
 	}
 	defer s2.Close()
-	if rep, ok := s2.Get(diskCfg(0), "fir"); !ok || rep.Wall != diskRep(0).Wall {
+	if rep, ok := s2.Get(diskCfg(0), "fir", "small"); !ok || rep.Wall != diskRep(0).Wall {
 		t.Fatal("readable record lost")
 	}
-	if _, ok := s2.Get(diskCfg(1), "fir"); ok {
+	if _, ok := s2.Get(diskCfg(1), "fir", "small"); ok {
 		t.Fatal("short-read record served")
 	}
 	if st := s2.Stats(); st.Misses == 0 {
@@ -212,7 +212,7 @@ func TestNoSpaceRollsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put(diskCfg(0), "fir", diskRep(0)); err != nil {
+	if err := s.Put(diskCfg(0), "fir", "small", diskRep(0)); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
@@ -227,17 +227,17 @@ func TestNoSpaceRollsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = s2.Put(diskCfg(1), "fir", diskRep(1))
+	err = s2.Put(diskCfg(1), "fir", "small", diskRep(1))
 	if !errors.Is(err, syscall.ENOSPC) {
 		t.Fatalf("put on full disk: %v", err)
 	}
 	if st := s2.Stats(); st.PutErrors != 1 {
 		t.Fatalf("stats: %+v", st)
 	}
-	if _, ok := s2.Get(diskCfg(0), "fir"); !ok {
+	if _, ok := s2.Get(diskCfg(0), "fir", "small"); !ok {
 		t.Fatal("full disk broke reads")
 	}
-	if _, ok := s2.Get(diskCfg(1), "fir"); ok {
+	if _, ok := s2.Get(diskCfg(1), "fir", "small"); ok {
 		t.Fatal("failed put served")
 	}
 	s2.Close()
@@ -251,10 +251,10 @@ func TestNoSpaceRollsBack(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s3.Close()
-	if err := s3.Put(diskCfg(1), "fir", diskRep(1)); err != nil {
+	if err := s3.Put(diskCfg(1), "fir", "small", diskRep(1)); err != nil {
 		t.Fatalf("put after space freed: %v", err)
 	}
-	if rep, ok := s3.Get(diskCfg(1), "fir"); !ok || rep.Wall != diskRep(1).Wall {
+	if rep, ok := s3.Get(diskCfg(1), "fir", "small"); !ok || rep.Wall != diskRep(1).Wall {
 		t.Fatal("record lost after recovery from full disk")
 	}
 }

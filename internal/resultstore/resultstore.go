@@ -5,13 +5,14 @@
 //
 // Layout: one append-only journal (store.journal) of length-prefixed,
 // CRC32C-checksummed records, each carrying the canonical key — a
-// SHA-256 over the normalized core.Config, the workload name, and a
-// version string (git describe + schema version; see core.Config.Hash)
-// — plus the full config, workload and report for belt-and-braces
-// verification on read. A fixed header identifies the file and its
-// schema; records whose key version differs from the running binary's
-// simply never match a lookup, so a stale store cannot poison a new
-// build.
+// SHA-256 over the normalized core.Config, the workload name, the
+// dataset scale, and a version string (git describe + schema version;
+// see core.Config.Hash) — plus the full config, workload, scale and
+// report for belt-and-braces verification on read. A fixed header
+// identifies the file and its schema; records whose key version differs
+// from the running binary's simply never match a lookup, so a stale
+// store cannot poison a new build, and records written at one -scale
+// never answer a lookup at another.
 //
 // Durability: writes go through an injectable positional File (the
 // fault package wraps it to inject torn writes, bit flips, short reads
@@ -34,8 +35,12 @@
 // over the journal atomically (then the directory is fsynced), so a
 // crash at any instant leaves either the old journal or the new one.
 //
-// One process owns a store directory at a time; methods are safe for
-// concurrent use within that process.
+// One process owns a store directory at a time — Open takes an advisory
+// lock on DIR/store.lock and fails with a "store directory … in use"
+// error while another process (or another open Store in this process)
+// holds it, so two writers can never interleave appends or race a
+// compaction's rename. Methods are safe for concurrent use within the
+// owning process.
 package resultstore
 
 import (
@@ -56,12 +61,14 @@ import (
 // SchemaVersion is the journal format version. It participates in both
 // the file header (a journal written under another schema is archived,
 // not parsed) and every record key (a report produced under another
-// schema never answers a lookup).
-const SchemaVersion = 1
+// schema never answers a lookup). Version 2 added the dataset scale to
+// the record identity and key hash.
+const SchemaVersion = 2
 
 const (
 	journalName    = "store.journal"
 	quarantineName = "quarantine.jsonl"
+	lockName       = "store.lock"
 
 	headerLen = 16
 	recHdrLen = 12 // magic + payload length + CRC32C, uint32 LE each
@@ -168,13 +175,14 @@ type entry struct {
 	lastUse uint64
 }
 
-// payload is a record's JSON body. Workload, Version and Config ride
-// along so a lookup can verify the record answers the question asked
-// even under a (cosmically unlikely) key collision, and so humans can
-// inspect quarantined records.
+// payload is a record's JSON body. Workload, Scale, Version and Config
+// ride along so a lookup can verify the record answers the question
+// asked even under a (cosmically unlikely) key collision, and so humans
+// can inspect quarantined records.
 type payload struct {
 	Key      string       `json:"key"`
 	Version  string       `json:"version"`
+	Scale    string       `json:"scale"`
 	Workload string       `json:"workload"`
 	Config   core.Config  `json:"config"`
 	Report   *core.Report `json:"report"`
@@ -188,6 +196,7 @@ type Store struct {
 	syncEach int
 	openFile func(string) (File, error)
 	log      io.Writer
+	lock     *os.File // advisory cross-process lock on the directory
 
 	mu      sync.Mutex
 	f       File
@@ -203,7 +212,8 @@ type Store struct {
 // scan. It never fails on journal corruption — corrupt content is
 // quarantined or truncated and counted — only on I/O errors that keep
 // the store from operating at all (unreadable directory, unopenable
-// journal).
+// journal), or when another process already owns the directory (the
+// advisory lock is held).
 func Open(opts Options) (*Store, error) {
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("resultstore: Options.Dir is required")
@@ -211,7 +221,12 @@ func Open(opts Options) (*Store, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("resultstore: %w", err)
 	}
+	lock, err := lockDir(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
 	s := &Store{
+		lock: lock,
 		dir:      opts.Dir,
 		version:  fmt.Sprintf("%s+schema%d", opts.Version, SchemaVersion),
 		maxBytes: opts.MaxBytes,
@@ -227,6 +242,7 @@ func Open(opts Options) (*Store, error) {
 		s.openFile = OpenOSFile
 	}
 	if err := s.openAndRecover(); err != nil {
+		unlockDir(lock)
 		return nil, err
 	}
 	return s, nil
@@ -305,16 +321,17 @@ func (s *Store) openAndRecover() error {
 		s.logf("recovery: truncated %d-byte torn header", size)
 		return s.writeHeader()
 	}
-	if [4]byte(buf[:4]) != headerMagic ||
-		binary.LittleEndian.Uint32(buf[4:8]) != SchemaVersion {
-		// The header is not ours. If our record magic follows it, this
-		// is almost certainly our journal with a damaged (or old-schema)
-		// header: repair the header in place and let the per-record
-		// checksums and per-record version keys decide what survives —
-		// a single flipped header byte must not void every good record
-		// behind it, and old-schema records simply miss on Get. Only a
-		// file with no recognizable records is archived wholesale.
-		if size >= headerLen+recHdrLen && [4]byte(buf[headerLen:headerLen+4]) == recordMagic {
+	if magicOK, schema := [4]byte(buf[:4]) == headerMagic, binary.LittleEndian.Uint32(buf[4:8]); !magicOK || schema != SchemaVersion {
+		// The header is not ours. Two very different situations look
+		// like this: a journal written under another schema version,
+		// whose record framing we must not parse (it is archived intact,
+		// never interpreted), and our own journal with a damaged magic,
+		// which must not void every good record behind it. Repair in
+		// place only when the schema field still matches ours — the one
+		// case where the records are known to use our framing — and our
+		// record magic follows; anything else is archived wholesale.
+		if !magicOK && schema == SchemaVersion &&
+			size >= headerLen+recHdrLen && [4]byte(buf[headerLen:headerLen+4]) == recordMagic {
 			if _, err := s.f.WriteAt(newHeader(), 0); err != nil {
 				s.f.Close()
 				return fmt.Errorf("resultstore: repair header: %w", err)
@@ -323,7 +340,7 @@ func (s *Store) openAndRecover() error {
 				s.f.Close()
 				return fmt.Errorf("resultstore: sync repaired header: %w", err)
 			}
-			s.logf("recovery: journal header damaged; repaired in place")
+			s.logf("recovery: journal header magic damaged; repaired in place")
 		} else {
 			return s.archiveJournal(size)
 		}
@@ -487,12 +504,13 @@ func (s *Store) quarantine(off int64, data []byte, reason string) {
 	}
 }
 
-// Get answers one lookup. The record's checksum and identity (key,
-// workload, version) are re-verified on every read; any failure
-// quarantines the record and answers a miss, so corruption discovered
-// after open degrades to re-simulation, never to bad data.
-func (s *Store) Get(cfg core.Config, workload string) (*core.Report, bool) {
-	key := cfg.Hash(workload, s.version)
+// Get answers one lookup for a workload run at the given dataset scale.
+// The record's checksum and identity (key, workload, scale, version)
+// are re-verified on every read; any failure quarantines the record and
+// answers a miss, so corruption discovered after open degrades to
+// re-simulation, never to bad data.
+func (s *Store) Get(cfg core.Config, workload, scale string) (*core.Report, bool) {
+	key := cfg.Hash(workload, scale, s.version)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -513,7 +531,7 @@ func (s *Store) Get(cfg core.Config, workload string) (*core.Report, bool) {
 		return nil, false
 	}
 	p, reason := decodeRecord(buf)
-	if reason == "" && (p.Key != key || p.Workload != workload || p.Version != s.version) {
+	if reason == "" && (p.Key != key || p.Workload != workload || p.Scale != scale || p.Version != s.version) {
 		reason = "identity mismatch"
 	}
 	if reason != "" {
@@ -559,25 +577,35 @@ func encodeRecord(body []byte) []byte {
 	return rec
 }
 
-// Put appends one verified result. A failed or short append rolls the
-// journal back to its previous length and returns the error; the store
-// stays usable for reads and later puts either way.
-func (s *Store) Put(cfg core.Config, workload string, rep *core.Report) error {
-	key := cfg.Hash(workload, s.version)
+// Put appends one verified result for a workload run at the given
+// dataset scale. A failed or short append rolls the journal back to its
+// previous length and returns the error; the store stays usable for
+// reads and later puts either way.
+func (s *Store) Put(cfg core.Config, workload, scale string, rep *core.Report) error {
+	key := cfg.Hash(workload, scale, s.version)
 	body, err := json.Marshal(payload{
-		Key: key, Version: s.version, Workload: workload,
+		Key: key, Version: s.version, Scale: scale, Workload: workload,
 		Config: cfg.Normalize(), Report: rep,
 	})
 	if err != nil {
 		return fmt.Errorf("resultstore: encode record: %w", err)
 	}
-	rec := encodeRecord(body)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("resultstore: store is closed")
 	}
+	if len(body) > maxRecordLen {
+		// The recovery scan rejects any length field above maxRecordLen
+		// as corruption by construction, so appending a larger record
+		// would serve from memory now and quarantine at the next open —
+		// a record the store itself wrote, silently lost across
+		// restarts. Refuse it up front instead.
+		s.stats.PutErrors++
+		return fmt.Errorf("resultstore: record payload is %d bytes, above the %d-byte journal limit", len(body), maxRecordLen)
+	}
+	rec := encodeRecord(body)
 	n, werr := s.f.WriteAt(rec, s.end)
 	if werr == nil && n < len(rec) {
 		werr = io.ErrShortWrite
@@ -731,7 +759,8 @@ func (s *Store) Flush() error {
 	return nil
 }
 
-// Close flushes and closes the journal. Idempotent.
+// Close flushes and closes the journal and releases the directory
+// lock, so another process can open the store. Idempotent.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -746,6 +775,8 @@ func (s *Store) Close() error {
 	if cerr := s.f.Close(); err == nil {
 		err = cerr
 	}
+	unlockDir(s.lock)
+	s.lock = nil
 	if err != nil {
 		return fmt.Errorf("resultstore: close: %w", err)
 	}

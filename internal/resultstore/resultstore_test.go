@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/cpu"
 	"repro/internal/sim"
 )
 
@@ -46,7 +48,7 @@ func mustOpen(t *testing.T, opts Options) *Store {
 func fill(t *testing.T, s *Store, n int) {
 	t.Helper()
 	for i := 0; i < n; i++ {
-		if err := s.Put(testCfg(i), "fir", testReport(i)); err != nil {
+		if err := s.Put(testCfg(i), "fir", "small", testReport(i)); err != nil {
 			t.Fatalf("Put %d: %v", i, err)
 		}
 	}
@@ -60,10 +62,10 @@ func TestRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, Options{Dir: dir, Version: "v1"})
 	fill(t, s, 5)
-	if rep, ok := s.Get(testCfg(2), "fir"); !ok || rep.Wall != testReport(2).Wall {
+	if rep, ok := s.Get(testCfg(2), "fir", "small"); !ok || rep.Wall != testReport(2).Wall {
 		t.Fatalf("live get: ok=%v rep=%+v", ok, rep)
 	}
-	if _, ok := s.Get(testCfg(2), "fem"); ok {
+	if _, ok := s.Get(testCfg(2), "fem", "small"); ok {
 		t.Fatal("hit for a workload never stored")
 	}
 	if err := s.Close(); err != nil {
@@ -79,7 +81,7 @@ func TestRoundTrip(t *testing.T) {
 		t.Fatalf("recovery stats: %+v", st)
 	}
 	for i := 0; i < 5; i++ {
-		rep, ok := s2.Get(testCfg(i), "fir")
+		rep, ok := s2.Get(testCfg(i), "fir", "small")
 		if !ok || rep.Wall != testReport(i).Wall || rep.Instructions != testReport(i).Instructions {
 			t.Fatalf("reopened get %d: ok=%v rep=%+v", i, ok, rep)
 		}
@@ -98,17 +100,17 @@ func TestVersionMismatchIsAMiss(t *testing.T) {
 	s.Close()
 
 	s2 := mustOpen(t, Options{Dir: dir, Version: "git-def"})
-	defer s2.Close()
 	if st := s2.Stats(); st.Recovered != 3 {
 		t.Fatalf("old-version records should still recover: %+v", st)
 	}
-	if _, ok := s2.Get(testCfg(0), "fir"); ok {
+	if _, ok := s2.Get(testCfg(0), "fir", "small"); ok {
 		t.Fatal("new version served a stale record")
 	}
+	s2.Close() // release the directory lock for the next open
 	// The old version still hits its own records in the shared journal.
 	s3 := mustOpen(t, Options{Dir: dir, Version: "git-abc"})
 	defer s3.Close()
-	if _, ok := s3.Get(testCfg(0), "fir"); !ok {
+	if _, ok := s3.Get(testCfg(0), "fir", "small"); !ok {
 		t.Fatal("original version lost its records")
 	}
 }
@@ -121,7 +123,7 @@ func TestObserversDoNotPerturbKeys(t *testing.T) {
 	fill(t, s, 1)
 	cfg := testCfg(0)
 	cfg.FlightRecorder = 512
-	if _, ok := s.Get(cfg, "fir"); !ok {
+	if _, ok := s.Get(cfg, "fir", "small"); !ok {
 		t.Fatal("flight recorder perturbed the store key")
 	}
 }
@@ -168,7 +170,7 @@ func TestTruncateAtEveryByte(t *testing.T) {
 			t.Fatalf("cut=%d: recovered %d records, want %d", cut, got, wantComplete)
 		}
 		for i := 0; i < wantComplete; i++ {
-			if rep, ok := st.Get(testCfg(i), "fir"); !ok || rep.Wall != testReport(i).Wall {
+			if rep, ok := st.Get(testCfg(i), "fir", "small"); !ok || rep.Wall != testReport(i).Wall {
 				t.Fatalf("cut=%d: record %d lost or wrong", cut, i)
 			}
 		}
@@ -207,7 +209,11 @@ func recordEnds(t *testing.T, journal []byte) []int64 {
 // journal in turn: every open must succeed, and every record the store
 // then serves must be one of the records originally written — corrupt
 // ones vanish into quarantine or (at the tail) truncation, they are
-// never returned.
+// never returned. The header's schema field is the one region where a
+// flip loses availability rather than a single record: a changed schema
+// version is indistinguishable from a genuinely different journal
+// format, so the whole file is archived intact (never parsed, never
+// destroyed) and the store starts fresh.
 func TestBitFlipAtEveryByteNeverServesBadData(t *testing.T) {
 	master := t.TempDir()
 	s := mustOpen(t, Options{Dir: master, Version: "v1", SyncEvery: 1})
@@ -234,7 +240,7 @@ func TestBitFlipAtEveryByteNeverServesBadData(t *testing.T) {
 		}
 		served := 0
 		for i := 0; i < n; i++ {
-			rep, ok := st.Get(testCfg(i), "fir")
+			rep, ok := st.Get(testCfg(i), "fir", "small")
 			if !ok {
 				continue
 			}
@@ -243,7 +249,16 @@ func TestBitFlipAtEveryByteNeverServesBadData(t *testing.T) {
 				t.Fatalf("pos=%d: record %d served with wrong content", pos, i)
 			}
 		}
-		if served < n-1 {
+		if pos >= 4 && pos < 8 {
+			// Schema field flipped: the journal must be archived wholesale,
+			// not parsed under guessed framing.
+			if served != 0 {
+				t.Fatalf("pos=%d: schema-flipped journal served %d records", pos, served)
+			}
+			if _, err := os.Stat(filepath.Join(dir, journalName+".bad")); err != nil {
+				t.Fatalf("pos=%d: schema-flipped journal not archived: %v", pos, err)
+			}
+		} else if served < n-1 {
 			t.Fatalf("pos=%d: one flipped byte destroyed %d records", pos, n-served)
 		}
 		st.Close()
@@ -284,11 +299,11 @@ func TestMidJournalCorruptionQuarantines(t *testing.T) {
 		t.Fatalf("stats after corruption: %+v", st)
 	}
 	for _, i := range []int{0, 1, 3, 4} {
-		if _, ok := s2.Get(testCfg(i), "fir"); !ok {
+		if _, ok := s2.Get(testCfg(i), "fir", "small"); !ok {
 			t.Fatalf("record %d lost to a neighbor's corruption", i)
 		}
 	}
-	if _, ok := s2.Get(testCfg(2), "fir"); ok {
+	if _, ok := s2.Get(testCfg(2), "fir", "small"); ok {
 		t.Fatal("corrupt record served")
 	}
 	qb, err := os.ReadFile(filepath.Join(dir, quarantineName))
@@ -324,7 +339,7 @@ func TestForeignJournalArchived(t *testing.T) {
 		t.Fatalf("foreign journal not archived: %v", err)
 	}
 	fill(t, s, 1)
-	if _, ok := s.Get(testCfg(0), "fir"); !ok {
+	if _, ok := s.Get(testCfg(0), "fir", "small"); !ok {
 		t.Fatal("fresh journal after archive does not serve")
 	}
 }
@@ -345,10 +360,10 @@ func TestLRUEvictionCompacts(t *testing.T) {
 	cap := headerLen + 6*recSize + recSize/2
 	s = mustOpen(t, Options{Dir: dir, Version: "v1", SyncEvery: 1, MaxBytes: cap})
 	for i := 1; i < 10; i++ {
-		if _, ok := s.Get(testCfg(0), "fir"); !ok {
+		if _, ok := s.Get(testCfg(0), "fir", "small"); !ok {
 			t.Fatalf("hot record 0 evicted at i=%d", i)
 		}
-		if err := s.Put(testCfg(i), "fir", testReport(i)); err != nil {
+		if err := s.Put(testCfg(i), "fir", "small", testReport(i)); err != nil {
 			t.Fatalf("Put %d: %v", i, err)
 		}
 	}
@@ -359,10 +374,10 @@ func TestLRUEvictionCompacts(t *testing.T) {
 	if st.Bytes > cap {
 		t.Fatalf("journal %d bytes exceeds cap %d after compaction", st.Bytes, cap)
 	}
-	if _, ok := s.Get(testCfg(0), "fir"); !ok {
+	if _, ok := s.Get(testCfg(0), "fir", "small"); !ok {
 		t.Fatal("most-recently-used record was evicted")
 	}
-	if _, ok := s.Get(testCfg(9), "fir"); !ok {
+	if _, ok := s.Get(testCfg(9), "fir", "small"); !ok {
 		t.Fatal("newest record was evicted")
 	}
 	s.Close()
@@ -373,7 +388,7 @@ func TestLRUEvictionCompacts(t *testing.T) {
 	if s2.Stats().Corrupt != 0 {
 		t.Fatalf("compacted journal reopens corrupt: %+v", s2.Stats())
 	}
-	if _, ok := s2.Get(testCfg(9), "fir"); !ok {
+	if _, ok := s2.Get(testCfg(9), "fir", "small"); !ok {
 		t.Fatal("compacted journal lost the newest record")
 	}
 }
@@ -384,19 +399,19 @@ func TestDuplicatePutLastWins(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, Options{Dir: dir, Version: "v1", SyncEvery: 1})
 	cfg := testCfg(0)
-	if err := s.Put(cfg, "fir", testReport(0)); err != nil {
+	if err := s.Put(cfg, "fir", "small", testReport(0)); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put(cfg, "fir", testReport(7)); err != nil {
+	if err := s.Put(cfg, "fir", "small", testReport(7)); err != nil {
 		t.Fatal(err)
 	}
-	if rep, ok := s.Get(cfg, "fir"); !ok || rep.Wall != testReport(7).Wall {
+	if rep, ok := s.Get(cfg, "fir", "small"); !ok || rep.Wall != testReport(7).Wall {
 		t.Fatalf("live duplicate get: %+v", rep)
 	}
 	s.Close()
 	s2 := mustOpen(t, Options{Dir: dir, Version: "v1"})
 	defer s2.Close()
-	if rep, ok := s2.Get(cfg, "fir"); !ok || rep.Wall != testReport(7).Wall {
+	if rep, ok := s2.Get(cfg, "fir", "small"); !ok || rep.Wall != testReport(7).Wall {
 		t.Fatalf("reopened duplicate get: %+v", rep)
 	}
 }
@@ -414,11 +429,11 @@ func TestConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 40; i++ {
 				k := (w*40 + i) % 23
-				if rep, ok := s.Get(testCfg(k), "fir"); ok && rep.Wall != testReport(k).Wall {
+				if rep, ok := s.Get(testCfg(k), "fir", "small"); ok && rep.Wall != testReport(k).Wall {
 					t.Errorf("concurrent get served wrong record")
 					return
 				}
-				if err := s.Put(testCfg(k), "fir", testReport(k)); err != nil {
+				if err := s.Put(testCfg(k), "fir", "small", testReport(k)); err != nil {
 					t.Errorf("concurrent put: %v", err)
 					return
 				}
@@ -430,7 +445,7 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("index has %d records, want 23", s.Len())
 	}
 	for k := 0; k < 23; k++ {
-		if rep, ok := s.Get(testCfg(k), "fir"); !ok || rep.Wall != testReport(k).Wall {
+		if rep, ok := s.Get(testCfg(k), "fir", "small"); !ok || rep.Wall != testReport(k).Wall {
 			t.Fatalf("record %d wrong after concurrent load", k)
 		}
 	}
@@ -441,10 +456,10 @@ func TestGetAfterCloseMisses(t *testing.T) {
 	s := mustOpen(t, Options{Dir: t.TempDir(), Version: "v1"})
 	fill(t, s, 1)
 	s.Close()
-	if _, ok := s.Get(testCfg(0), "fir"); ok {
+	if _, ok := s.Get(testCfg(0), "fir", "small"); ok {
 		t.Fatal("closed store served a record")
 	}
-	if err := s.Put(testCfg(1), "fir", testReport(1)); err == nil {
+	if err := s.Put(testCfg(1), "fir", "small", testReport(1)); err == nil {
 		t.Fatal("closed store accepted a put")
 	}
 }
@@ -462,9 +477,9 @@ func TestStatsShape(t *testing.T) {
 	s := mustOpen(t, Options{Dir: t.TempDir(), Version: "v1"})
 	defer s.Close()
 	fill(t, s, 2)
-	s.Get(testCfg(0), "fir")
-	s.Get(testCfg(0), "fir")
-	s.Get(testCfg(5), "fir")
+	s.Get(testCfg(0), "fir", "small")
+	s.Get(testCfg(0), "fir", "small")
+	s.Get(testCfg(5), "fir", "small")
 	st := s.Stats()
 	want := fmt.Sprintf("puts=2 hits=2 misses=1 records=2")
 	got := fmt.Sprintf("puts=%d hits=%d misses=%d records=%d", st.Puts, st.Hits, st.Misses, st.Records)
@@ -473,5 +488,127 @@ func TestStatsShape(t *testing.T) {
 	}
 	if st.Bytes <= headerLen {
 		t.Fatalf("bytes not tracked: %+v", st)
+	}
+}
+
+// TestScaleMismatchIsAMiss is the cross-scale poisoning guard: one
+// store directory shared by campaigns at different dataset scales must
+// never serve a small-scale report as a paper-scale hit (the reports
+// genuinely differ — the scale sets the workload's dataset sizes).
+func TestScaleMismatchIsAMiss(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir(), Version: "v1"})
+	defer s.Close()
+	cfg := testCfg(0)
+	if err := s.Put(cfg, "fir", "small", testReport(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(cfg, "fir", "paper"); ok {
+		t.Fatal("paper-scale lookup served a small-scale record")
+	}
+	if _, ok := s.Get(cfg, "fir", "default"); ok {
+		t.Fatal("default-scale lookup served a small-scale record")
+	}
+	// Both scales coexist in one journal, each answering only its own.
+	if err := s.Put(cfg, "fir", "paper", testReport(9)); err != nil {
+		t.Fatal(err)
+	}
+	if rep, ok := s.Get(cfg, "fir", "small"); !ok || rep.Wall != testReport(0).Wall {
+		t.Fatal("small-scale record lost or cross-served after paper-scale put")
+	}
+	if rep, ok := s.Get(cfg, "fir", "paper"); !ok || rep.Wall != testReport(9).Wall {
+		t.Fatal("paper-scale record missing or wrong")
+	}
+}
+
+// TestDirLockExcludesSecondOpen enforces the one-process-per-directory
+// rule: while a store is open, a second Open of the same directory
+// fails with a clear "in use" error instead of silently racing the
+// first writer's appends and compactions; Close releases the lock.
+func TestDirLockExcludesSecondOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, Version: "v1"})
+	if _, err := Open(Options{Dir: dir, Version: "v1"}); err == nil {
+		t.Fatal("second Open of a locked store directory succeeded")
+	} else if !strings.Contains(err.Error(), "in use") {
+		t.Fatalf("lock error not self-explanatory: %v", err)
+	}
+	fill(t, s, 1)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, Options{Dir: dir, Version: "v1"})
+	defer s2.Close()
+	if _, ok := s2.Get(testCfg(0), "fir", "small"); !ok {
+		t.Fatal("store lost a record across a lock handoff")
+	}
+}
+
+// TestPutRejectsOversizedRecord: a payload above the journal's record
+// length bound is refused up front with an error, because the recovery
+// scan would otherwise quarantine it at the next open — a record the
+// store wrote itself, silently lost across restarts.
+func TestPutRejectsOversizedRecord(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, Version: "v1", SyncEvery: 1})
+	// Size the report to encode just past the record limit: one encoded
+	// per-core breakdown entry, measured, times enough entries.
+	one, err := json.Marshal(cpu.Breakdown{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := testReport(0)
+	huge.PerCore = make([]cpu.Breakdown, maxRecordLen/(len(one)+1)+2)
+	err = s.Put(testCfg(0), "fir", "small", huge)
+	if err == nil {
+		t.Fatal("oversized record accepted")
+	}
+	if st := s.Stats(); st.PutErrors != 1 || st.Puts != 0 {
+		t.Fatalf("stats after oversized put: %+v", st)
+	}
+	// The journal is untouched and the store still works.
+	if err := s.Put(testCfg(1), "fir", "small", testReport(1)); err != nil {
+		t.Fatalf("put after oversized rejection: %v", err)
+	}
+	s.Close()
+	s2 := mustOpen(t, Options{Dir: dir, Version: "v1"})
+	defer s2.Close()
+	if st := s2.Stats(); st.Recovered != 1 || st.Corrupt != 0 {
+		t.Fatalf("journal damaged by rejected oversized put: %+v", st)
+	}
+}
+
+// TestOtherSchemaJournalArchived: a journal whose header carries a
+// different schema version is archived intact, never parsed — its
+// record framing may differ, and mis-parsing it would churn good
+// records into quarantine.
+func TestOtherSchemaJournalArchived(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir, Version: "v1", SyncEvery: 1})
+	fill(t, s, 2)
+	s.Close()
+	path := filepath.Join(dir, journalName)
+	journal, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the header's schema field to a (hypothetical) older
+	// version, leaving the magic and every record byte intact.
+	journal[4], journal[5], journal[6], journal[7] = SchemaVersion-1, 0, 0, 0
+	if err := os.WriteFile(path, journal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var log bytes.Buffer
+	s2 := mustOpen(t, Options{Dir: dir, Version: "v1", Log: &log})
+	defer s2.Close()
+	if s2.Len() != 0 {
+		t.Fatalf("old-schema journal parsed: %d records", s2.Len())
+	}
+	bad, err := os.ReadFile(path + ".bad")
+	if err != nil {
+		t.Fatalf("old-schema journal not archived: %v", err)
+	}
+	if !bytes.Equal(bad, journal) {
+		t.Fatal("archived journal not byte-identical to the original")
 	}
 }
