@@ -45,6 +45,7 @@ bench-engine:
 	go test -bench 'BenchmarkSyncFastPath|BenchmarkDispatch|BenchmarkServerAcquire|BenchmarkFlightRecorder' -run xxx ./internal/sim/
 	go test -bench BenchmarkLedger -run xxx ./internal/cpu/
 	go test -bench BenchmarkHistogramRecord -run xxx ./internal/stats/
+	go test -bench BenchmarkTxnTrace -run xxx ./internal/txntrace/
 	go test -bench BenchmarkRunner -run xxx -benchtime 3x ./internal/bench/
 
 # bench-check fails if the engine microbenchmarks regress more than 25%
@@ -55,6 +56,7 @@ bench-check:
 	go test -bench 'BenchmarkSyncFastPath|BenchmarkDispatch|BenchmarkServerAcquire|BenchmarkFlightRecorder' -run xxx ./internal/sim/ > /tmp/bench-engine-check.txt
 	go test -bench BenchmarkLedger -run xxx ./internal/cpu/ >> /tmp/bench-engine-check.txt
 	go test -bench BenchmarkHistogramRecord -run xxx ./internal/stats/ >> /tmp/bench-engine-check.txt
+	go test -bench BenchmarkTxnTrace -run xxx ./internal/txntrace/ >> /tmp/bench-engine-check.txt
 	go test -bench BenchmarkRunner -run xxx -benchtime 3x ./internal/bench/ >> /tmp/bench-engine-check.txt
 	go run ./cmd/benchcheck -baseline BENCH_engine.json -max-regress 25 < /tmp/bench-engine-check.txt
 

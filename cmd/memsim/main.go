@@ -43,9 +43,11 @@ import (
 	memsys "repro"
 	"repro/internal/probe"
 	"repro/internal/resultstore"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/warnonce"
 )
 
 // gitDescribe identifies the running code for the result store's record
@@ -224,6 +226,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	verbose := fs.Bool("v", false, "print detailed counters")
 	asJSON := fs.Bool("json", false, "print the full report as JSON")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+	txnTraceOut := fs.String("txn-trace", "", "write sampled and worst-K exemplar transaction trees as JSONL to this file")
+	txnSample := fs.Uint64("txn-sample", 0, "keep the full tree of ~1-in-N transactions, selected by a deterministic hash of (serial, -txn-seed) (0 = exemplars only; requires -txn-trace or -explain-tail)")
+	txnSeed := fs.Uint64("txn-seed", 0, "sampling-hash seed for -txn-sample (requires -txn-trace or -explain-tail)")
+	explainTail := fs.Bool("explain-tail", false, "print the worst-K transaction trees per latency class with per-hop cycle attribution")
 	sample := fs.String("sample", "", "sample the machine every simulated interval (e.g. 1us, 500ns)")
 	sampleCSV := fs.String("sample-csv", "", "write the per-epoch samples as CSV to this file (requires -sample)")
 	breakdown := fs.Bool("breakdown", false, "enable the cycle ledger and print cycle-accounting and latency-distribution tables")
@@ -265,6 +271,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *flightRec < 0 {
 		fmt.Fprintln(stderr, "memsim: -flightrec must be non-negative")
+		return 2
+	}
+	if (*txnSample != 0 || *txnSeed != 0) && *txnTraceOut == "" && !*explainTail {
+		fmt.Fprintln(stderr, "memsim: -txn-sample/-txn-seed require -txn-trace or -explain-tail")
 		return 2
 	}
 	if *httpLinger < 0 {
@@ -311,6 +321,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pr = memsys.NewProbe(interval)
 		cfg.Probe = pr
 	}
+	var txn *memsys.TxnTrace
+	if *txnTraceOut != "" || *explainTail {
+		txn = memsys.NewTxnTrace()
+		txn.SampleEvery = *txnSample
+		txn.Seed = *txnSeed
+		cfg.TxnTrace = txn
+	}
+	// Capacity-overflow warnings are warn-once so re-entrant printing
+	// paths can report them unconditionally.
+	traceWarn := warnonce.New(stderr)
+	txnWarn := warnonce.New(stderr)
 
 	var store *resultstore.Store
 	if *storeDir != "" {
@@ -375,11 +396,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sp.Start()
 	// A store hit replays the persisted report through the exact printing
 	// paths a fresh run uses, so the output is byte-identical either way.
-	// Runs collecting live-only artifacts (-trace, -sample) must really
-	// simulate; they skip the probe but still persist their reports.
+	// Runs collecting live-only artifacts (-trace, -sample, -txn-trace,
+	// -explain-tail) must really simulate; they skip the probe but still
+	// persist their reports.
 	var rep *memsys.Report
 	fromStore := false
-	if store != nil && tr == nil && pr == nil {
+	if store != nil && tr == nil && pr == nil && txn == nil {
 		if hit, ok := store.Get(cfg, *name, scale.String()); ok {
 			rep, fromStore = hit, true
 			sp.StoreHit()
@@ -427,6 +449,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if pr != nil {
 			writeProbeText(stdout, pr)
 		}
+		if *explainTail {
+			txn.WriteExplainTail(stdout, sim.MHz(cfg.CoreMHz).Period)
+		}
+	}
+	if tele != nil {
+		if rep.Latency != nil {
+			period := sim.MHz(cfg.CoreMHz).Period
+			if period > 0 {
+				rep.Latency.Each(func(lname string, d *memsys.LatencyDist) {
+					for _, b := range d.Buckets {
+						tele.RecordLatency(lname, uint64(b.HiFS)/uint64(period), b.Count)
+					}
+				})
+			}
+		}
+		for _, s := range txn.Summary() {
+			tele.RecordTxnClass(s.Class, s.Count, s.Exemplars, s.SlowestID, s.SlowestFS)
+		}
 	}
 	if *latencyCSV != "" {
 		f, ferr := os.Create(*latencyCSV)
@@ -455,10 +495,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "samples: %d epochs written to %s\n", pr.Epochs(), *sampleCSV)
 		}
 	}
+	if txn != nil && *txnTraceOut != "" {
+		f, ferr := os.Create(*txnTraceOut)
+		if ferr != nil {
+			fmt.Fprintf(stderr, "memsim: %v\n", ferr)
+			return finish(1)
+		}
+		if werr := txn.WriteJSONL(f); werr != nil {
+			fmt.Fprintf(stderr, "memsim: %v\n", werr)
+			return finish(1)
+		}
+		f.Close()
+		if !*asJSON {
+			fmt.Fprintf(stdout, "txn-trace: %d transaction trees written to %s\n", txn.Trees(), *txnTraceOut)
+		}
+	}
+	if txn != nil {
+		if d := txn.DroppedSampled(); d > 0 {
+			txnWarn.Warnf("memsim: warning: txn trace dropped %d sampled trees past the retention cap; lower -txn-sample or rely on the exemplar reservoirs", d)
+		}
+	}
 	if tr != nil {
 		if pr != nil {
 			mergeProbeCounters(tr, pr)
 		}
+		txn.MergeChrome(tr)
 		f, ferr := os.Create(*traceOut)
 		if ferr != nil {
 			fmt.Fprintf(stderr, "memsim: %v\n", ferr)
@@ -473,7 +534,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "trace: %d spans written to %s (%d dropped)\n", tr.Len(), *traceOut, tr.Dropped())
 		}
 		if d := tr.Dropped(); d > 0 {
-			fmt.Fprintf(stderr, "memsim: warning: trace dropped %d spans past the collector cap; the timeline is incomplete\n", d)
+			traceWarn.Warnf("memsim: warning: trace dropped %d spans past the collector cap; the timeline is incomplete", d)
 		}
 	}
 	if *verbose {

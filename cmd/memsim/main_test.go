@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 
@@ -270,5 +271,109 @@ func TestStoreTraceRunAlwaysSimulates(t *testing.T) {
 	}
 	if !strings.Contains(errs.String(), "served from store") {
 		t.Fatalf("plain rerun missed after traced run persisted: %s", errs.String())
+	}
+}
+
+// TestTxnFlagValidation pins the -txn-sample/-txn-seed pairing rule.
+func TestTxnFlagValidation(t *testing.T) {
+	var out, errs bytes.Buffer
+	for _, args := range [][]string{
+		{"-w", "fir", "-txn-sample", "8"},
+		{"-w", "fir", "-txn-seed", "3"},
+	} {
+		errs.Reset()
+		if code := run(args, &out, &errs); code != 2 {
+			t.Fatalf("run(%v) = %d, want 2", args, code)
+		}
+		if !strings.Contains(errs.String(), "-txn-sample/-txn-seed require -txn-trace or -explain-tail") {
+			t.Fatalf("stderr: %s", errs.String())
+		}
+	}
+	// Paired with an enabling flag they are accepted.
+	if code := run([]string{"-w", "fir", "-cores", "2", "-scale", "small",
+		"-explain-tail", "-txn-sample", "64", "-txn-seed", "3"}, &out, &errs); code != 0 {
+		t.Fatalf("valid -txn-sample run exited %d: %s", code, errs.String())
+	}
+}
+
+// TestExplainTailDeterministic is the CLI acceptance check: the
+// acceptance workload (fir, CC, 8 cores) prints a worst-K read-miss
+// table whose trees are identical across two runs at the same seed,
+// and the report portion is byte-identical to an untraced run.
+func TestExplainTailDeterministic(t *testing.T) {
+	args := []string{"-w", "fir", "-model", "cc", "-cores", "8", "-scale", "small",
+		"-explain-tail", "-txn-sample", "64", "-txn-seed", "7"}
+	var a, b, plain, errs bytes.Buffer
+	if code := run(args, &a, &errs); code != 0 {
+		t.Fatalf("first run exited %d: %s", code, errs.String())
+	}
+	if code := run(args, &b, &errs); code != 0 {
+		t.Fatalf("second run exited %d: %s", code, errs.String())
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("-explain-tail output differs between two same-seed runs")
+	}
+	for _, want := range []string{"worst-", "read_miss exemplars", "= total", "cyc"} {
+		if !strings.Contains(a.String(), want) {
+			t.Fatalf("-explain-tail output missing %q:\n%s", want, a.String())
+		}
+	}
+	if code := run([]string{"-w", "fir", "-model", "cc", "-cores", "8", "-scale", "small"}, &plain, &errs); code != 0 {
+		t.Fatalf("plain run exited %d: %s", code, errs.String())
+	}
+	if !bytes.HasPrefix(a.Bytes(), plain.Bytes()) {
+		t.Fatal("traced run's report prefix differs from the untraced report")
+	}
+}
+
+// TestTxnTraceSinkAndMerge: -txn-trace writes the JSONL sink and a
+// combined -trace file gains the transaction flow events.
+func TestTxnTraceSinkAndMerge(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := dir + "/txn.jsonl"
+	chrome := dir + "/trace.json"
+	var out, errs bytes.Buffer
+	code := run([]string{"-w", "fir", "-cores", "2", "-scale", "small",
+		"-txn-trace", jsonl, "-trace", chrome}, &out, &errs)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errs.String())
+	}
+	if !strings.Contains(out.String(), "txn-trace: ") {
+		t.Fatalf("no txn-trace summary line:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"class":"read_miss"`)) {
+		t.Fatalf("JSONL sink has no read_miss tree: %.200s", raw)
+	}
+	tj, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"ph":"s"`, `"ph":"f"`, "txn.dram"} {
+		if !bytes.Contains(tj, []byte(want)) {
+			t.Fatalf("merged Chrome trace missing %q", want)
+		}
+	}
+}
+
+// TestStoreExplainTailAlwaysSimulates: like -trace, a txn-tracing run
+// must skip the store probe (a stored report cannot yield trees).
+func TestStoreExplainTailAlwaysSimulates(t *testing.T) {
+	dir := t.TempDir()
+	plain := []string{"-w", "fir", "-cores", "2", "-scale", "small", "-store", dir}
+	var out, errs bytes.Buffer
+	if code := run(plain, &out, &errs); code != 0 {
+		t.Fatalf("seed run exited %d: %s", code, errs.String())
+	}
+	errs.Reset()
+	traced := append(append([]string{}, plain...), "-explain-tail")
+	if code := run(traced, &out, &errs); code != 0 {
+		t.Fatalf("traced run exited %d: %s", code, errs.String())
+	}
+	if strings.Contains(errs.String(), "served from store") {
+		t.Fatal("-explain-tail run was served from the store; its trees would be empty")
 	}
 }

@@ -5,7 +5,7 @@
 //
 //	paperbench [-scale small|default|paper] [-only table3,fig2,...] [-apps fir,depth] [-j N]
 //	           [-job-timeout 2m] [-retries 2] [-artifacts DIR] [-resume] [-manifest-sync]
-//	           [-store DIR] [-store-max-bytes N]
+//	           [-store DIR] [-store-max-bytes N] [-txn-trace FILE.jsonl]
 //	           [-cpuprofile cpu.pprof] [-blockprofile block.pprof]
 //	           [-http :9090] [-http-linger 60s] [-flightrec 256]
 //
@@ -63,6 +63,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -72,6 +73,7 @@ import (
 	"repro/internal/resultstore"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/txntrace"
 	"repro/internal/workload"
 )
 
@@ -185,6 +187,69 @@ func (m *manifestWriter) close() error {
 	}
 }
 
+// txnSink gathers each fresh simulation's transaction tracer from the
+// OnRecord stream and writes one deterministic JSONL file at campaign
+// end: per run a header line (workload, config, tail_exemplars digest)
+// followed by that run's retained transaction trees. Runs are sorted by
+// (workload, config) so the file is byte-identical at any -j; store
+// hits and resume-seeded jobs carry no tracer and are skipped.
+type txnSink struct {
+	mu   sync.Mutex
+	recs []bench.Record
+}
+
+func (s *txnSink) record(rec bench.Record) {
+	if rec.Txn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.recs = append(s.recs, rec)
+	s.mu.Unlock()
+}
+
+func (s *txnSink) write(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type keyed struct {
+		key string
+		rec bench.Record
+	}
+	ks := make([]keyed, 0, len(s.recs))
+	for _, rec := range s.recs {
+		cj, err := json.Marshal(rec.Cfg)
+		if err != nil {
+			return err
+		}
+		ks = append(ks, keyed{rec.Name + "\x00" + string(cj), rec})
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, k := range ks {
+		// A map marshals with sorted keys, keeping the header stable.
+		hdr := map[string]any{
+			"kind":     "run",
+			"workload": k.rec.Name,
+			"config":   k.rec.Cfg,
+		}
+		if len(k.rec.TailExemplars) > 0 {
+			hdr["tail_exemplars"] = k.rec.TailExemplars
+		}
+		if err := enc.Encode(hdr); err != nil {
+			f.Close()
+			return err
+		}
+		if err := k.rec.Txn.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
 // seedFromManifest replays a previous campaign's journal into the
 // runner's memo table: every "run" record that completed cleanly is
 // seeded (first record wins), so the resumed campaign simulates only
@@ -252,6 +317,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	httpAddr := fs.String("http", "", "serve live campaign telemetry on this address: GET /metrics, /progress, /debug/pprof (empty = off)")
 	httpLinger := fs.Duration("http-linger", 0, "keep -http serving this long after the campaign finishes (ends early on /quit)")
 	flightRec := fs.Int("flightrec", 0, "per-job flight-recorder depth: last K scheduler events in failure dumps (0 = default 256, negative = off)")
+	txnTrace := fs.String("txn-trace", "", "arm per-run transaction tracing with worst-K tail exemplars, write every retained tree as JSONL to this file, and record tail_exemplars blocks in the manifest")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -429,6 +495,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	r.JobTimeout = *jobTimeout
 	r.Retries = *retries
 	r.FlightRecorder = *flightRec
+	var txns *txnSink
+	if *txnTrace != "" {
+		r.TxnExemplars = txntrace.DefaultK
+		txns = &txnSink{}
+	}
 
 	// The persistent result store: verified results from any previous
 	// campaign of this code version are recalled instead of re-simulated.
@@ -509,6 +580,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		r.OnRecord = manifest.record
+	}
+	if txns != nil {
+		prev := r.OnRecord
+		r.OnRecord = func(rec bench.Record) {
+			if prev != nil {
+				prev(rec)
+			}
+			txns.record(rec)
+		}
 	}
 	out := stdout
 	start := time.Now()
@@ -667,6 +747,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if manifest != nil {
 		if err := manifest.close(); err != nil {
 			fmt.Fprintf(stderr, "paperbench: manifest: %v\n", err)
+			return finish(1)
+		}
+	}
+	if txns != nil {
+		if err := txns.write(*txnTrace); err != nil {
+			fmt.Fprintf(stderr, "paperbench: -txn-trace: %v\n", err)
 			return finish(1)
 		}
 	}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTxnTraceCampaign: a -txn-trace campaign writes the per-run tree
+// JSONL sink with sorted run headers, records tail_exemplars blocks in
+// the manifest, and leaves the figure output byte-identical to an
+// untraced campaign.
+func TestTxnTraceCampaign(t *testing.T) {
+	dir := t.TempDir()
+	sink := filepath.Join(dir, "txn.jsonl")
+	args := []string{"-scale", "small", "-only", "fig2", "-apps", "fir", "-q",
+		"-artifacts", dir, "-txn-trace", sink}
+	var traced, plain, errs bytes.Buffer
+	if code := run(args, &traced, &errs); code != 0 {
+		t.Fatalf("traced campaign exit %d: %s", code, errs.String())
+	}
+	if code := run([]string{"-scale", "small", "-only", "fig2", "-apps", "fir", "-q"}, &plain, &errs); code != 0 {
+		t.Fatalf("plain campaign exit %d: %s", code, errs.String())
+	}
+	if !bytes.Equal(traced.Bytes(), plain.Bytes()) {
+		t.Error("-txn-trace changed the figure output")
+	}
+
+	f, err := os.Open(sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var headers []string
+	trees := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var probe struct {
+			Kind  string `json:"kind"`
+			Class string `json:"class"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatalf("unparseable sink line: %v", err)
+		}
+		if probe.Kind == "run" {
+			headers = append(headers, sc.Text())
+		} else if probe.Class != "" {
+			trees++
+		}
+	}
+	if len(headers) == 0 || trees == 0 {
+		t.Fatalf("sink has %d run headers and %d trees", len(headers), trees)
+	}
+	for i := 1; i < len(headers); i++ {
+		if headers[i] < headers[i-1] {
+			t.Fatal("run headers are not sorted")
+		}
+	}
+	if !strings.Contains(headers[0], `"tail_exemplars"`) {
+		t.Fatalf("run header lacks tail_exemplars: %s", headers[0])
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, tailed := 0, 0
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if !bytes.Contains(line, []byte(`"kind":"run"`)) {
+			continue
+		}
+		runs++
+		if bytes.Contains(line, []byte(`"tail_exemplars"`)) {
+			tailed++
+		}
+	}
+	if runs == 0 || tailed != runs {
+		t.Fatalf("manifest: %d/%d run records carry tail_exemplars", tailed, runs)
+	}
+}

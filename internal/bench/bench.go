@@ -8,17 +8,19 @@ package bench
 import (
 	"fmt"
 	"io"
-	"os"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ledger"
 	"repro/internal/resultstore"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/txntrace"
+	"repro/internal/warnonce"
 	"repro/internal/workload"
 )
 
@@ -77,6 +79,15 @@ type Record struct {
 	// let -resume analysis distinguish queue pressure from slow sims.
 	QueueWaitNS int64   `json:"queue_wait_ns"`
 	AttemptsNS  []int64 `json:"attempts_ns,omitempty"`
+	// TailExemplars is the run's transaction-tracer digest — per latency
+	// class, how many transactions were observed and the slowest one's
+	// identity — present when the Runner armed per-run tracers
+	// (TxnExemplars) or the caller attached one via Config.TxnTrace.
+	TailExemplars []txntrace.ClassSummary `json:"tail_exemplars,omitempty"`
+	// Txn is the run's tracer itself, for callers that export the
+	// exemplar trees (paperbench's -txn-trace sink). Never serialized:
+	// the digest above is the manifest form.
+	Txn *txntrace.Tracer `json:"-"`
 }
 
 // flight is one simulation's singleflight slot: the first requester of a
@@ -153,6 +164,15 @@ type Runner struct {
 	// excluded from the memo key and from manifest configs — and its
 	// disabled cost on the engine is one nil compare per record site.
 	FlightRecorder int
+	// TxnExemplars, when positive, arms a per-run transaction tracer
+	// (internal/txntrace) for every fresh simulation with that worst-K
+	// exemplar reservoir depth per latency class. Run-scoped like the
+	// flight recorder: excluded from memo and store identity, reports
+	// stay byte-identical. Each fresh Record then carries the run's
+	// tracer and its tail_exemplars digest, and campaign telemetry
+	// aggregates the per-class rollups. A caller-set Config.TxnTrace
+	// wins over the Runner's arming.
+	TxnExemplars int
 
 	initOnce  sync.Once
 	closeOnce sync.Once
@@ -160,7 +180,7 @@ type Runner struct {
 	progCh    chan string
 	progWG    sync.WaitGroup
 
-	storeWarn sync.Once // store write failures surface once, not per-job
+	storeWarn warnonce.Warner // store write failures surface once, not per-job
 
 	mu        sync.Mutex
 	cache     map[cfgKey]*flight
@@ -274,27 +294,30 @@ func (r *Runner) simulate(fl *flight, cfg core.Config, name string) {
 			return
 		}
 	}
-	rep, attemptsNS, jerr := r.attemptWithRetries(cfg, name, fl.span)
+	rep, tr, attemptsNS, jerr := r.attemptWithRetries(cfg, name, fl.span)
 	fl.rep = rep
 	if jerr != nil {
 		fl.err = jerr // typed-nil guard: only assign a non-nil *JobError
 		fl.span.Fail(string(jerr.Kind))
 	} else {
 		fl.span.Done()
+		r.feedObservability(cfg, rep, tr)
 		// Persist the verified result. A failed write never fails the
 		// job — the report is already in hand — and the first failure is
 		// warned once; the store's PutErrors counter tracks the rest.
 		if r.Store != nil && rep != nil {
 			if perr := r.Store.Put(cfg, name, r.Scale.String(), rep); perr != nil {
-				r.storeWarn.Do(func() {
-					fmt.Fprintf(os.Stderr, "# result store: write failed (further errors counted, not repeated): %v\n", perr)
-				})
+				r.storeWarn.Warnf("# result store: write failed (further errors counted, not repeated): %v", perr)
 			}
 		}
 	}
 	if r.OnRecord != nil {
 		rec := Record{Name: name, Cfg: cfg, Report: rep, HostNS: time.Since(started).Nanoseconds(),
 			QueueWaitNS: queueWait.Nanoseconds(), AttemptsNS: attemptsNS}
+		if tr != nil {
+			rec.Txn = tr
+			rec.TailExemplars = tr.Summary()
+		}
 		if jerr != nil {
 			rec.Err = jerr.Error()
 			rec.ErrKind = string(jerr.Kind)
@@ -327,20 +350,20 @@ func (r *Runner) simulate(fl *flight, cfg core.Config, name string) {
 // Retries more for retryable failures, spaced by deterministic backoff.
 // It returns each attempt's wall time alongside the result, and walks
 // the span through retrying → running around every backoff.
-func (r *Runner) attemptWithRetries(cfg core.Config, name string, sp *telemetry.Span) (*core.Report, []int64, *JobError) {
+func (r *Runner) attemptWithRetries(cfg core.Config, name string, sp *telemetry.Span) (*core.Report, *txntrace.Tracer, []int64, *JobError) {
 	var attemptsNS []int64
 	for attempt := 0; ; attempt++ {
 		t0 := time.Now()
-		rep, jerr := r.attempt(cfg, name)
+		rep, tr, jerr := r.attempt(cfg, name)
 		d := time.Since(t0)
 		attemptsNS = append(attemptsNS, d.Nanoseconds())
 		sp.Attempt(d)
 		if jerr == nil {
-			return rep, attemptsNS, nil
+			return rep, tr, attemptsNS, nil
 		}
 		jerr.Attempts = attempt + 1
 		if attempt >= r.Retries || !jerr.Retryable() {
-			return nil, attemptsNS, jerr
+			return nil, nil, attemptsNS, jerr
 		}
 		sp.Retry()
 		time.Sleep(backoffDelay(name, cfg, attempt))
@@ -351,13 +374,13 @@ func (r *Runner) attemptWithRetries(cfg core.Config, name string, sp *telemetry.
 // attempt runs the job once. Validation happens before core.New, so a
 // bad configuration fails typed and synchronously — no goroutine ever
 // spawns for it; the watchdog (JobTimeout) covers the simulation run.
-func (r *Runner) attempt(cfg core.Config, name string) (*core.Report, *JobError) {
+func (r *Runner) attempt(cfg core.Config, name string) (*core.Report, *txntrace.Tracer, *JobError) {
 	f, ferr := workload.Get(name)
 	if ferr != nil {
-		return nil, &JobError{Name: name, Cfg: cfg, Kind: ErrWorkload, Attempts: 1, Err: ferr}
+		return nil, nil, &JobError{Name: name, Cfg: cfg, Kind: ErrWorkload, Attempts: 1, Err: ferr}
 	}
 	if verr := keyOf(cfg, name).cfg.Validate(); verr != nil {
-		return nil, &JobError{Name: name, Cfg: cfg, Kind: ErrConfig, Attempts: 1, Err: verr}
+		return nil, nil, &JobError{Name: name, Cfg: cfg, Kind: ErrConfig, Attempts: 1, Err: verr}
 	}
 	// Arm the flight recorder for this run (it is run-scoped: keyOf
 	// strips it, and Record.Cfg carries the caller's value, so manifests
@@ -374,6 +397,14 @@ func (r *Runner) attempt(cfg core.Config, name string) (*core.Report, *JobError)
 	} else if cfg.FlightRecorder < 0 {
 		cfg.FlightRecorder = 0
 	}
+	// Arm a fresh transaction tracer per attempt (run-scoped like the
+	// recorder: stripped by keyOf, json:"-" in manifests). A retried
+	// attempt's partial tracer is discarded with the attempt.
+	tr := cfg.TxnTrace
+	if tr == nil && r.TxnExemplars > 0 {
+		tr = &txntrace.Tracer{K: r.TxnExemplars}
+		cfg.TxnTrace = tr
+	}
 	sys := core.New(cfg)
 	if r.JobTimeout > 0 {
 		watchdog := time.AfterFunc(r.JobTimeout, func() {
@@ -383,9 +414,34 @@ func (r *Runner) attempt(cfg core.Config, name string) (*core.Report, *JobError)
 	}
 	rep, err := sys.Run(f(r.Scale))
 	if err != nil {
-		return nil, classify(name, cfg, err)
+		return nil, nil, classify(name, cfg, err)
 	}
-	return rep, nil
+	return rep, tr, nil
+}
+
+// feedObservability folds one fresh run's latency distribution and
+// transaction-tracer rollup into campaign telemetry: each report bucket
+// replays into the campaign-wide per-class histograms (converted to
+// core cycles, so runs at different clocks aggregate on one axis), and
+// the tracer's class digests accumulate into the /progress and /metrics
+// txn rollup. Nil-safe throughout.
+func (r *Runner) feedObservability(cfg core.Config, rep *core.Report, tr *txntrace.Tracer) {
+	if r.Telemetry == nil {
+		return
+	}
+	if rep != nil && rep.Latency != nil {
+		period := sim.MHz(cfg.CoreMHz).Period
+		if period > 0 {
+			rep.Latency.Each(func(name string, d *ledger.Dist) {
+				for _, b := range d.Buckets {
+					r.Telemetry.RecordLatency(name, uint64(b.HiFS)/uint64(period), b.Count)
+				}
+			})
+		}
+	}
+	for _, s := range tr.Summary() {
+		r.Telemetry.RecordTxnClass(s.Class, s.Count, s.Exemplars, s.SlowestID, s.SlowestFS)
+	}
 }
 
 // Seed inserts an already-known result into the memo table (paperbench

@@ -3,6 +3,8 @@ package bench
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"sort"
 	"sync"
 	"testing"
 
@@ -10,6 +12,8 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/txntrace"
 	"repro/internal/workload"
 )
 
@@ -71,29 +75,100 @@ func TestCfgKeyNoCollisions(t *testing.T) {
 	if keyOf(c, "fir") != keyOf(base, "fir") {
 		t.Error("Trace field leaked into the memo key")
 	}
+	c = base
+	c.TxnTrace = txntrace.New()
+	if keyOf(c, "fir") != keyOf(base, "fir") {
+		t.Error("TxnTrace field leaked into the memo key")
+	}
 }
 
 // figureGrid renders the Figure 2 grid for two apps with the given
-// worker count, returning the exact bytes written.
-func figureGrid(t *testing.T, workers int) []byte {
+// worker count, returning the exact bytes written. With txnK > 0 every
+// fresh simulation is traced with worst-K exemplars, and the second
+// return holds the merged transaction artifacts in deterministic run
+// order: each run's tree JSONL plus its Chrome-trace merge (spans and
+// flow events), so any -j-dependent divergence in either sink fails the
+// byte compare.
+func figureGrid(t *testing.T, workers, txnK int) (fig, txn []byte) {
 	t.Helper()
 	r := NewRunner(workload.ScaleSmall)
 	r.Workers = workers
+	var mu sync.Mutex
+	var recs []Record
+	if txnK > 0 {
+		r.TxnExemplars = txnK
+		r.OnRecord = func(rec Record) {
+			mu.Lock()
+			recs = append(recs, rec)
+			mu.Unlock()
+		}
+	}
 	var out bytes.Buffer
 	if _, err := r.Figure2(&out, []string{"fir", "depth"}); err != nil {
 		t.Fatal(err)
 	}
-	return out.Bytes()
+	r.Close()
+	if txnK == 0 {
+		return out.Bytes(), nil
+	}
+	type keyed struct {
+		key string
+		rec Record
+	}
+	ks := make([]keyed, 0, len(recs))
+	for _, rec := range recs {
+		cj, err := json.Marshal(rec.Cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks = append(ks, keyed{rec.Name + "\x00" + string(cj), rec})
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	var tb bytes.Buffer
+	tc := trace.New()
+	for _, k := range ks {
+		fmt.Fprintf(&tb, "## %s\n", k.key)
+		if k.rec.Txn == nil {
+			t.Fatalf("record %s carries no tracer", k.rec.Name)
+		}
+		if err := k.rec.Txn.WriteJSONL(&tb); err != nil {
+			t.Fatal(err)
+		}
+		k.rec.Txn.MergeChrome(tc)
+	}
+	if err := tc.WriteChrome(&tb); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes(), tb.Bytes()
 }
 
 // TestParallelDeterminism runs the same figure grid at -j 1 and -j 8 and
 // requires byte-identical reports. Every simulation is a deterministic
 // isolated engine, so any divergence here is a data race in the runner.
+// The traced pass repeats the comparison with per-run transaction
+// tracing armed: the figure bytes must not move (tracing is
+// zero-perturbation even across a concurrent campaign) and the merged
+// transaction artifacts — tree JSONL plus the Chrome trace with its
+// flow events — must be stable across -j too.
 func TestParallelDeterminism(t *testing.T) {
-	seq := figureGrid(t, 1)
-	par := figureGrid(t, 8)
+	seq, _ := figureGrid(t, 1, 0)
+	par, _ := figureGrid(t, 8, 0)
 	if !bytes.Equal(seq, par) {
 		t.Fatalf("figure output differs between -j 1 (%d bytes) and -j 8 (%d bytes)", len(seq), len(par))
+	}
+	seqT, seqTxn := figureGrid(t, 1, 4)
+	parT, parTxn := figureGrid(t, 8, 4)
+	if !bytes.Equal(seqT, seq) {
+		t.Fatal("arming the transaction tracer changed the figure output")
+	}
+	if !bytes.Equal(seqT, parT) {
+		t.Fatal("traced figure output differs between -j 1 and -j 8")
+	}
+	if len(seqTxn) == 0 {
+		t.Fatal("traced grid produced no transaction artifacts")
+	}
+	if !bytes.Equal(seqTxn, parTxn) {
+		t.Fatalf("transaction artifacts differ between -j 1 (%d bytes) and -j 8 (%d bytes)", len(seqTxn), len(parTxn))
 	}
 }
 

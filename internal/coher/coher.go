@@ -21,6 +21,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
+	"repro/internal/txntrace"
 	"repro/internal/uncore"
 )
 
@@ -118,7 +119,8 @@ type Domain struct {
 	pref  []*prefetch.Prefetcher
 	gath  []*gatherBuffer
 	stats Stats
-	lat   *ledger.Latency // nil = latency histograms disabled
+	lat   *ledger.Latency  // nil = latency histograms disabled
+	txn   *txntrace.Tracer // nil = transaction tracing disabled
 	// The RegionScout filter state, array-backed (see table.go):
 	// regions[i] counts core i's resident lines per region, and
 	// regionOwners counts, per region, how many cores hold at least one
@@ -202,6 +204,17 @@ func (d *Domain) Stats() Stats { return d.stats }
 // recording).
 func (d *Domain) SetLatency(l *ledger.Latency) { d.lat = l }
 
+// SetTxnTrace attaches the run's transaction tracer (nil disables it).
+func (d *Domain) SetTxnTrace(t *txntrace.Tracer) { d.txn = t }
+
+// tag annotates the active transaction with an outcome (no-op when
+// tracing is off or nothing is active).
+func (d *Domain) tag(s string) {
+	if d.txn != nil {
+		d.txn.Active().AddTag(s)
+	}
+}
+
 // Uncore returns the shared hierarchy.
 func (d *Domain) Uncore() *uncore.Uncore { return d.unc }
 
@@ -281,6 +294,13 @@ func (d *Domain) insertL1(at sim.Time, i int, a mem.Addr, st cache.State, fill s
 // readMiss services a demand read miss (or a prefetch when pf is set)
 // for core i. It returns the time the line is filled.
 func (d *Domain) readMiss(at sim.Time, i int, a mem.Addr, pf bool) sim.Time {
+	if d.txn != nil {
+		class := txntrace.ReadMiss
+		if pf {
+			class = txntrace.Prefetch
+		}
+		d.txn.Begin(class, i, uint64(a.Line()), at)
+	}
 	done := d.readMiss1(at, i, a, pf)
 	if !pf {
 		d.stats.ReadMissLatency += done - at
@@ -288,6 +308,7 @@ func (d *Domain) readMiss(at sim.Time, i int, a mem.Addr, pf bool) sim.Time {
 			d.lat.ReadMiss.Record(uint64(done - at))
 		}
 	}
+	d.txn.End(done)
 	return done
 }
 
@@ -304,6 +325,10 @@ func (d *Domain) readMiss1(at sim.Time, i int, a mem.Addr, pf bool) sim.Time {
 	// Step 1: snoop within the cluster.
 	if owner, oln := d.snoopCluster(cl, i, a); owner != -1 {
 		d.stats.C2CCluster++
+		if d.txn != nil {
+			d.tag("src=c2c_cluster")
+			d.tag("mesi=" + oln.State.String() + "->S")
+		}
 		t = d.net.BusData(t, cl, mem.LineSize)
 		if oln.State == cache.Modified && oln.Dirty {
 			// Owner supplies dirty data and writes it back to the L2 so
@@ -324,12 +349,14 @@ func (d *Domain) readMiss1(at sim.Time, i int, a mem.Addr, pf bool) sim.Time {
 	tSnoop := t
 	if d.cfg.SnoopFilter && !d.regionShared(i, a) {
 		d.stats.FilteredSnoops++
+		d.tag("snoop=filtered")
 		owner = -1
 	} else {
 		owner, oln, tSnoop = d.snoopRemote(t, cl, a)
 	}
 	if owner != -1 && oln.State == cache.Modified {
 		d.stats.C2CRemote++
+		d.tag("src=owner_remote_m")
 		ocl := d.procs[owner].Cluster()
 		td := d.net.BusData(tSnoop, ocl, mem.LineSize)
 		td = d.net.ToGlobal(td, ocl, mem.LineSize)
@@ -351,6 +378,10 @@ func (d *Domain) readMiss1(at sim.Time, i int, a mem.Addr, pf bool) sim.Time {
 	if owner != -1 {
 		oln.State = cache.Shared
 		newState = cache.Shared
+	}
+	if d.txn != nil {
+		d.tag("src=l2")
+		d.tag("mesi=I->" + newState.String())
 	}
 	done, _ := d.unc.ReadLine(t, cl, a)
 	if done < tSnoop {
@@ -394,11 +425,13 @@ func (d *Domain) invalidateOthers(at sim.Time, i int, a mem.Addr, withinOnly boo
 // policy: a read-for-ownership that fetches the line (the "superfluous
 // refill" for output-only data) and invalidates every other copy.
 func (d *Domain) writeMiss(at sim.Time, i int, a mem.Addr) sim.Time {
+	d.txn.Begin(txntrace.WriteMiss, i, uint64(a.Line()), at)
 	done := d.writeMiss1(at, i, a)
 	d.stats.WriteMissLatency += done - at
 	if d.lat != nil {
 		d.lat.WriteMiss.Record(uint64(done - at))
 	}
+	d.txn.End(done)
 	return done
 }
 
@@ -410,6 +443,10 @@ func (d *Domain) writeMiss1(at sim.Time, i int, a mem.Addr) sim.Time {
 
 	// Cluster-local M/E owner: take the data and ownership locally.
 	if owner, oln := d.snoopCluster(cl, i, a); owner != -1 {
+		if d.txn != nil {
+			d.tag("src=c2c_cluster")
+			d.tag("mesi=" + oln.State.String() + "->M")
+		}
 		exclusiveOwner := oln.State == cache.Modified || oln.State == cache.Exclusive
 		t = d.net.BusData(t, cl, mem.LineSize)
 		dirty := oln.Dirty
@@ -434,12 +471,14 @@ func (d *Domain) writeMiss1(at sim.Time, i int, a mem.Addr) sim.Time {
 	tSnoop := t
 	if d.cfg.SnoopFilter && !d.regionShared(i, a) {
 		d.stats.FilteredSnoops++
+		d.tag("snoop=filtered")
 		owner = -1
 	} else {
 		owner, oln, tSnoop = d.snoopRemote(t, cl, a)
 	}
 	if owner != -1 && oln.State == cache.Modified {
 		// Remote dirty owner transfers the line with ownership.
+		d.tag("src=owner_remote_m")
 		ocl := d.procs[owner].Cluster()
 		td := d.net.BusData(tSnoop, ocl, mem.LineSize)
 		td = d.net.ToGlobal(td, ocl, mem.LineSize)
@@ -452,6 +491,10 @@ func (d *Domain) writeMiss1(at sim.Time, i int, a mem.Addr) sim.Time {
 		return td
 	}
 	d.killRemaining(a, i)
+	if d.txn != nil {
+		d.tag("src=l2")
+		d.tag("mesi=I->M")
+	}
 	d.stats.DebugStage[0] += t - at
 	d.stats.DebugStage[1] += tSnoop - t
 	done, _ := d.unc.ReadLine(t, cl, a)

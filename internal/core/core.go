@@ -18,6 +18,7 @@ import (
 	"repro/internal/probe"
 	"repro/internal/sim"
 	"repro/internal/stream"
+	"repro/internal/txntrace"
 	"repro/internal/uncore"
 )
 
@@ -111,6 +112,14 @@ type Config struct {
 	// machine: it never moves a clock, so the outcome is identical with
 	// it on or off, and the run layer excludes it from the memo key.
 	FlightRecorder int `json:"flight_recorder,omitempty"`
+
+	// TxnTrace, when non-nil, records per-transaction causal traces
+	// (internal/txntrace): sampled full trees plus worst-K exemplar
+	// reservoirs per latency class. Like Trace and Probe it is a
+	// run-scoped observer behind the nil-sentinel pattern — it reads
+	// clocks, never moves them — so the report is byte-identical with
+	// it attached or not.
+	TxnTrace *txntrace.Tracer `json:"-"`
 }
 
 // DefaultConfig is the paper's default machine: 800 MHz cores, 1.6 GB/s
@@ -252,7 +261,28 @@ func New(cfg Config) *System {
 	if cfg.CycleLedger {
 		s.attachLedger()
 	}
+	if cfg.TxnTrace != nil {
+		s.attachTxnTrace(cfg.TxnTrace)
+	}
 	return s
+}
+
+// attachTxnTrace arms transaction tracing: every memory-system layer
+// shares one Tracer, mirroring attachLedger (model code runs
+// single-threaded in event order, so the shared tracer needs no locks).
+func (s *System) attachTxnTrace(t *txntrace.Tracer) {
+	s.unc.SetTxnTrace(t)
+	s.net.SetTxnTrace(t)
+	switch s.cfg.Model {
+	case CC:
+		s.dom.SetTxnTrace(t)
+	case STR:
+		for _, m := range s.strs {
+			m.SetTxnTrace(t)
+		}
+	case INC:
+		s.inc.SetTxnTrace(t)
+	}
 }
 
 // attachLedger arms the cycle-accounting layer: one ledger per core and

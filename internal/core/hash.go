@@ -18,6 +18,7 @@ func (c Config) Normalize() Config {
 	c.Trace = nil
 	c.Probe = nil
 	c.FlightRecorder = 0
+	c.TxnTrace = nil
 	return c
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/lstore"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/txntrace"
 	"repro/internal/uncore"
 )
 
@@ -49,6 +50,10 @@ type command struct {
 	// issued is when the core queued the command; completion minus
 	// issued (queuing included) is the command-latency distribution.
 	issued sim.Time
+	// ctx is the command's detached transaction trace (nil when tracing
+	// is off). Commands interleave with other engine work across steps,
+	// so the trace lives on the command, resumed around each beat.
+	ctx *txntrace.Txn
 }
 
 // Stats counts engine activity.
@@ -144,7 +149,9 @@ type Engine struct {
 	la, lbase, lend mem.Addr
 
 	stats Stats
-	lat   *ledger.Latency // nil = latency histograms disabled
+	lat   *ledger.Latency  // nil = latency histograms disabled
+	txn   *txntrace.Tracer // nil = transaction tracing disabled
+	core  int              // owning core, stamped on traced commands
 }
 
 // New creates an engine for a core in the given cluster. Call Spawn to
@@ -186,6 +193,13 @@ func (e *Engine) Stats() Stats { return e.stats }
 // SetLatency attaches the run's service-time histograms (nil disables
 // recording).
 func (e *Engine) SetLatency(l *ledger.Latency) { e.lat = l }
+
+// SetTxnTrace attaches the run's transaction tracer (nil disables it);
+// core is the owning core, stamped on each traced command.
+func (e *Engine) SetTxnTrace(t *txntrace.Tracer, core int) {
+	e.txn = t
+	e.core = core
+}
 
 // QueuedCommands returns the number of commands waiting in the queue
 // (not including the one being processed). A probe-layer gauge: a deep
@@ -230,6 +244,13 @@ func (e *Engine) enqueue(at sim.Time, c command) Tag {
 	e.nextTag++
 	c.tag = e.nextTag
 	c.issued = at
+	if e.txn != nil {
+		class := txntrace.DMAGet
+		if c.dir == Put {
+			class = txntrace.DMAPut
+		}
+		c.ctx = e.txn.BeginDetached(class, e.core, uint64(c.base), at)
+	}
 	e.queue = append(e.queue, c)
 	e.stats.Commands++
 	if e.idle {
@@ -363,6 +384,11 @@ func (e *Engine) Step(t *sim.Task) sim.Status {
 			e.cur = e.queue[0]
 			e.queue = e.queue[1:]
 			e.cmdStart = t.Time()
+			if e.cur.ctx != nil && e.cmdStart > e.cur.issued {
+				e.txn.Resume(e.cur.ctx)
+				e.txn.Hop("dma", "queue", e.cur.issued, e.cmdStart)
+				e.txn.Suspend()
+			}
 			e.beatNo = 0
 			e.last = 0
 			e.startIter()
@@ -371,7 +397,12 @@ func (e *Engine) Step(t *sim.Task) sim.Status {
 			}
 		case dmaBeat:
 			// Past the beat's sync: perform the access at the synced time.
+			// The command's trace is active only for the duration of the
+			// access, so the nested uncore/NoC hops attribute to it while
+			// other tasks' hops (between engine steps) cannot.
+			e.txn.Resume(e.cur.ctx)
 			done := e.performBeat(t)
+			e.txn.Suspend()
 			e.ring[e.beatNo%e.window] = done
 			if done > e.last {
 				e.last = done
@@ -553,6 +584,7 @@ func (e *Engine) finishCmd(done sim.Time) {
 			e.lat.DMAPut.Record(uint64(cmdLat))
 		}
 	}
+	e.txn.EndDetached(e.cur.ctx, done)
 	e.done[e.cur.tag] = done
 	e.lastDone = e.cur.tag
 	if e.waiter != nil && e.waitingFor <= e.cur.tag {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/ledger"
 	"repro/internal/sim"
+	"repro/internal/txntrace"
 )
 
 // Config describes the interconnect.
@@ -61,7 +62,8 @@ type Network struct {
 	toL2  []*sim.Pipe // per-cluster crossbar output port (towards L2)
 	frL2  []*sim.Pipe // per-cluster crossbar input port (from L2)
 	stats Stats
-	lat   *ledger.Latency // nil = latency histograms disabled
+	lat   *ledger.Latency  // nil = latency histograms disabled
+	txn   *txntrace.Tracer // nil = transaction tracing disabled
 }
 
 // New returns a network with cfg.
@@ -88,12 +90,23 @@ func (n *Network) Stats() Stats { return n.stats }
 // recording).
 func (n *Network) SetLatency(l *ledger.Latency) { n.lat = l }
 
+// SetTxnTrace attaches the run's transaction tracer (nil disables it).
+func (n *Network) SetTxnTrace(t *txntrace.Tracer) { n.txn = t }
+
 // xfer runs one tracked transfer, recording the arbitration wait into
-// the NoC-acquire histogram when enabled.
-func (n *Network) xfer(p *sim.Pipe, at sim.Time, nbytes uint64) sim.Time {
+// the NoC-acquire histogram and a hop on the active transaction when
+// either observer is enabled.
+func (n *Network) xfer(p *sim.Pipe, at sim.Time, nbytes uint64, op string) sim.Time {
 	done, wait := p.TransferTracked(at, nbytes)
 	if n.lat != nil {
 		n.lat.NoCAcquire.Record(uint64(wait))
+	}
+	if n.txn != nil {
+		tag := ""
+		if wait > 0 {
+			tag = fmt.Sprintf("wait=%dfs", wait)
+		}
+		n.txn.HopTag("noc", op, at, done, tag)
 	}
 	return done
 }
@@ -108,14 +121,14 @@ func (n *Network) Clusters() int { return n.cfg.Clusters }
 // delivery time.
 func (n *Network) BusData(at sim.Time, cluster int, nbytes uint64) sim.Time {
 	n.stats.BusDataBytes += nbytes
-	return n.xfer(n.buses[cluster], at, nbytes)
+	return n.xfer(n.buses[cluster], at, nbytes, "bus_data")
 }
 
 // BusControl occupies one command slot on a cluster's bus (a coherence
 // request, snoop result, or DMA command), returning delivery time.
 func (n *Network) BusControl(at sim.Time, cluster int) sim.Time {
 	n.stats.BusControl++
-	return n.xfer(n.buses[cluster], at, n.cfg.BusBytes) // one bus cycle
+	return n.xfer(n.buses[cluster], at, n.cfg.BusBytes, "bus_control") // one bus cycle
 }
 
 // ToGlobal moves nbytes from a cluster to the global side (L2/DRAM
@@ -123,14 +136,14 @@ func (n *Network) BusControl(at sim.Time, cluster int) sim.Time {
 func (n *Network) ToGlobal(at sim.Time, cluster int, nbytes uint64) sim.Time {
 	n.stats.XbarBytes += nbytes
 	n.stats.XbarMsgs++
-	return n.xfer(n.toL2[cluster], at, nbytes)
+	return n.xfer(n.toL2[cluster], at, nbytes, "to_global")
 }
 
 // FromGlobal moves nbytes from the global side back into a cluster.
 func (n *Network) FromGlobal(at sim.Time, cluster int, nbytes uint64) sim.Time {
 	n.stats.XbarBytes += nbytes
 	n.stats.XbarMsgs++
-	return n.xfer(n.frL2[cluster], at, nbytes)
+	return n.xfer(n.frL2[cluster], at, nbytes, "from_global")
 }
 
 // BusUtilization returns the busy fraction of a cluster bus over [0, end].

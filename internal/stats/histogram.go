@@ -36,6 +36,21 @@ func (h *Histogram) Record(v uint64) {
 	}
 }
 
+// RecordN adds n observations of the same value — the bucket-replay
+// primitive for merging pre-aggregated distributions (a report's
+// power-of-two buckets) into a live histogram.
+func (h *Histogram) RecordN(v, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.buckets[bucketOf(v)] += n
+	h.count += n
+	h.sum += float64(v) * float64(n)
+	if v > h.max {
+		h.max = v
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count }
 
@@ -63,8 +78,11 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	if q < 0 {
 		q = 0
 	}
-	if q > 1 {
-		q = 1
+	if q >= 1 {
+		// The 100th percentile is the maximum exactly, not the containing
+		// bucket's upper bound (which for huge counts could also round
+		// rank past the total and fall through).
+		return h.max
 	}
 	// rank is the 1-based index of the q-th observation.
 	rank := uint64(q*float64(h.count) + 0.5)

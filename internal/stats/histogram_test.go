@@ -102,6 +102,86 @@ func TestHistogramLargeValues(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileEdges(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		var h Histogram
+		for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+			if got := h.Quantile(q); got != 0 {
+				t.Fatalf("empty q(%v) = %d, want 0", q, got)
+			}
+		}
+	})
+	t.Run("q below zero clamps to first observation", func(t *testing.T) {
+		var h Histogram
+		h.Record(3)
+		h.Record(100)
+		if got := h.Quantile(-0.5); got != h.Quantile(0) {
+			t.Fatalf("q(-0.5) = %d, want q(0) = %d", got, h.Quantile(0))
+		}
+		// Rank clamps to 1: the answer is the first observation's bucket.
+		if got := h.Quantile(0); got != 3 {
+			t.Fatalf("q(0) = %d, want 3 (bucket of the smallest observation)", got)
+		}
+	})
+	t.Run("q at and above one is exactly Max", func(t *testing.T) {
+		var h Histogram
+		for _, v := range []uint64{1, 5, 9, 1000} {
+			h.Record(v)
+		}
+		for _, q := range []float64{1, 1.5, 100} {
+			if got := h.Quantile(q); got != h.Max() {
+				t.Fatalf("q(%v) = %d, want Max() = %d", q, got, h.Max())
+			}
+		}
+	})
+	t.Run("single bucket", func(t *testing.T) {
+		var h Histogram
+		for i := 0; i < 10; i++ {
+			h.Record(5) // all in [4,7]
+		}
+		for _, q := range []float64{0, 0.5, 0.99} {
+			if got := h.Quantile(q); got != 5 {
+				t.Fatalf("q(%v) = %d, want 5 (bucket hi clamped to max)", q, got)
+			}
+		}
+		if got := h.Quantile(1); got != 5 {
+			t.Fatalf("q(1) = %d, want 5", got)
+		}
+	})
+	t.Run("saturated max bucket", func(t *testing.T) {
+		var h Histogram
+		h.Record(1)
+		h.Record(^uint64(0))
+		h.Record(^uint64(0) - 1)
+		if got := h.Quantile(0.99); got != ^uint64(0) {
+			t.Fatalf("q(0.99) = %d, want top-bucket max %d", got, ^uint64(0))
+		}
+		if got := h.Quantile(1); got != ^uint64(0) {
+			t.Fatalf("q(1) = %d, want %d", got, ^uint64(0))
+		}
+	})
+}
+
+func TestHistogramRecordN(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 7; i++ {
+		a.Record(12)
+	}
+	a.Record(900)
+	b.RecordN(12, 7)
+	b.RecordN(900, 1)
+	b.RecordN(5, 0) // no-op
+	if a.Count() != b.Count() || a.Sum() != b.Sum() || a.Max() != b.Max() {
+		t.Fatalf("RecordN mismatch: got (%d,%v,%d), want (%d,%v,%d)",
+			b.Count(), b.Sum(), b.Max(), a.Count(), a.Sum(), a.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 1} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("q(%v): RecordN %d != Record %d", q, b.Quantile(q), a.Quantile(q))
+		}
+	}
+}
+
 // BenchmarkHistogramRecord is the per-observation cost gate: Record sits
 // on the per-miss hot path when the cycle ledger is enabled.
 func BenchmarkHistogramRecord(b *testing.B) {

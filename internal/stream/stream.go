@@ -17,6 +17,7 @@ import (
 	"repro/internal/lstore"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/txntrace"
 	"repro/internal/uncore"
 )
 
@@ -57,7 +58,8 @@ type Mem struct {
 	ls      *lstore.Store
 	eng     *dma.Engine
 	stats   Stats
-	lat     *ledger.Latency // nil = latency histograms disabled
+	lat     *ledger.Latency  // nil = latency histograms disabled
+	txn     *txntrace.Tracer // nil = transaction tracing disabled
 }
 
 // Stats counts the 8 KB cache's miss service, mirroring the coherent
@@ -138,6 +140,13 @@ func (m *Mem) SetLatency(l *ledger.Latency) {
 	m.eng.SetLatency(l)
 }
 
+// SetTxnTrace attaches the run's transaction tracer to this first level
+// and its DMA engine (nil disables it).
+func (m *Mem) SetTxnTrace(t *txntrace.Tracer) {
+	m.txn = t
+	m.eng.SetTxnTrace(t, m.core)
+}
+
 // FlushClass implements cpu.FlushClasser: the Finish-time drain waits on
 // the DMA engine, so its ledger class is DMAWait.
 func (m *Mem) FlushClass() ledger.Class { return ledger.DMAWait }
@@ -149,8 +158,10 @@ func (m *Mem) Load(p *cpu.Proc, a mem.Addr) sim.Time {
 	}
 	p.Task().Sync()
 	at := p.Now()
+	m.txn.Begin(txntrace.ReadMiss, m.core, uint64(a.Line()), at)
 	done, _ := m.unc.ReadLine(m.busOut(at), m.cluster, a)
 	done = m.unc.Network().BusData(done, m.cluster, mem.LineSize)
+	m.txn.End(done)
 	m.insert(done, a, cache.Exclusive)
 	m.stats.ReadMisses++
 	m.stats.ReadMissLatency += done - at
@@ -170,8 +181,10 @@ func (m *Mem) Store(p *cpu.Proc, a mem.Addr, nbytes uint64) sim.Time {
 	}
 	p.Task().Sync()
 	at := p.Now()
+	m.txn.Begin(txntrace.WriteMiss, m.core, uint64(a.Line()), at)
 	done, _ := m.unc.ReadLine(m.busOut(at), m.cluster, a)
 	done = m.unc.Network().BusData(done, m.cluster, mem.LineSize)
+	m.txn.End(done)
 	ln := m.insert(done, a, cache.Modified)
 	ln.Dirty = true
 	m.stats.WriteMisses++

@@ -153,6 +153,27 @@ func (c *Campaign) WriteMetrics(w io.Writer) error {
 		m.metric("memsim_store_bytes", st.Bytes)
 	}
 
+	writeLatencyFamily(m, snap.LatencyHists)
+
+	if len(snap.TxnClasses) > 0 {
+		m.header("memsim_txn_transactions_total", "Transactions observed by the per-run tracers, by latency class.", "counter")
+		for _, t := range snap.TxnClasses {
+			m.metric("memsim_txn_transactions_total", t.Count, "class", t.Class)
+		}
+		m.header("memsim_txn_exemplars", "Worst-K exemplar transaction trees retained across runs, by latency class.", "gauge")
+		for _, t := range snap.TxnClasses {
+			m.metric("memsim_txn_exemplars", t.Exemplars, "class", t.Class)
+		}
+		m.header("memsim_txn_slowest_latency_fs", "End-to-end latency of the campaign's slowest transaction per class, in femtoseconds.", "gauge")
+		for _, t := range snap.TxnClasses {
+			m.metric("memsim_txn_slowest_latency_fs", t.SlowestFS, "class", t.Class)
+		}
+		m.header("memsim_txn_slowest_id", "Trace ID of the campaign's slowest transaction per class (pair with the run's -txn-trace sink).", "gauge")
+		for _, t := range snap.TxnClasses {
+			m.metric("memsim_txn_slowest_id", t.SlowestID, "class", t.Class)
+		}
+	}
+
 	if len(snap.Figures) > 0 {
 		figs := append([]FigureSnapshot(nil), snap.Figures...)
 		sort.Slice(figs, func(i, j int) bool { return figs[i].Figure < figs[j].Figure })

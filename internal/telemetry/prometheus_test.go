@@ -51,6 +51,16 @@ func TestWriteMetricsGolden(t *testing.T) {
 	c.BeginGroup("tbl\"3\\x\ny")
 	c.ErrCell()
 
+	// Campaign latency histograms (bucket replay) and transaction-tracer
+	// rollups; the unknown class must be ignored.
+	c.RecordLatency("read_miss", 5, 1)
+	c.RecordLatency("read_miss", 100, 3)
+	c.RecordLatency("dma_get", 1, 2)
+	c.RecordLatency("bogus", 9, 9)
+	c.RecordTxnClass("read_miss", 42, 4, 17, 123456)
+	c.RecordTxnClass("dma_get", 7, 2, 99, 999999)
+	c.RecordTxnClass("read_miss", 8, 4, 3, 200000)
+
 	fc.advance(6 * time.Second)
 	c.SetComplete()
 
@@ -142,6 +152,33 @@ memsim_store_records 7
 # HELP memsim_store_bytes Journal size in bytes.
 # TYPE memsim_store_bytes gauge
 memsim_store_bytes 4096
+# HELP memsim_latency_cycles Campaign-wide memory service-time distributions in core cycles, by latency class.
+# TYPE memsim_latency_cycles histogram
+memsim_latency_cycles_bucket{class="read_miss",le="8"} 1
+memsim_latency_cycles_bucket{class="read_miss",le="128"} 4
+memsim_latency_cycles_bucket{class="read_miss",le="+Inf"} 4
+memsim_latency_cycles_sum{class="read_miss"} 305
+memsim_latency_cycles_count{class="read_miss"} 4
+memsim_latency_cycles_bucket{class="dma_get",le="2"} 2
+memsim_latency_cycles_bucket{class="dma_get",le="+Inf"} 2
+memsim_latency_cycles_sum{class="dma_get"} 2
+memsim_latency_cycles_count{class="dma_get"} 2
+# HELP memsim_txn_transactions_total Transactions observed by the per-run tracers, by latency class.
+# TYPE memsim_txn_transactions_total counter
+memsim_txn_transactions_total{class="read_miss"} 50
+memsim_txn_transactions_total{class="dma_get"} 7
+# HELP memsim_txn_exemplars Worst-K exemplar transaction trees retained across runs, by latency class.
+# TYPE memsim_txn_exemplars gauge
+memsim_txn_exemplars{class="read_miss"} 8
+memsim_txn_exemplars{class="dma_get"} 2
+# HELP memsim_txn_slowest_latency_fs End-to-end latency of the campaign's slowest transaction per class, in femtoseconds.
+# TYPE memsim_txn_slowest_latency_fs gauge
+memsim_txn_slowest_latency_fs{class="read_miss"} 200000
+memsim_txn_slowest_latency_fs{class="dma_get"} 999999
+# HELP memsim_txn_slowest_id Trace ID of the campaign's slowest transaction per class (pair with the run's -txn-trace sink).
+# TYPE memsim_txn_slowest_id gauge
+memsim_txn_slowest_id{class="read_miss"} 3
+memsim_txn_slowest_id{class="dma_get"} 99
 # HELP memsim_figure_jobs_total Jobs attributed to each figure, by terminal state.
 # TYPE memsim_figure_jobs_total counter
 memsim_figure_jobs_total{figure="fig2",state="done"} 1

@@ -63,6 +63,16 @@ type Snapshot struct {
 	// attached (-store); absent otherwise.
 	Store *StoreStats `json:"store,omitempty"`
 
+	// TxnClasses is the transaction tracer's per-class rollup (counts,
+	// retained exemplars, campaign-wide slowest transaction) while any
+	// run recorded one; absent otherwise.
+	TxnClasses []TxnClassSnapshot `json:"txn_classes,omitempty"`
+
+	// LatencyHists carries the campaign latency histograms for the
+	// metrics renderer; /progress omits them (the JSON payload would
+	// dwarf the span table).
+	LatencyHists []LatencyClassSnapshot `json:"-"`
+
 	Figures []FigureSnapshot `json:"figures,omitempty"`
 	Spans   []SpanSnapshot   `json:"spans,omitempty"`
 }
@@ -126,6 +136,19 @@ func (c *Campaign) Snapshot(withSpans bool) Snapshot {
 	default:
 		rate := float64(finished) / elapsed.Seconds()
 		snap.ETASeconds = float64(remaining) / rate
+	}
+
+	for _, class := range c.txnOrder {
+		a := c.txn[class]
+		snap.TxnClasses = append(snap.TxnClasses, TxnClassSnapshot{
+			Class: class, Count: a.count, Exemplars: a.exemplars,
+			SlowestID: a.slowestID, SlowestFS: a.slowestFS,
+		})
+	}
+	for i, class := range LatencyClasses {
+		if c.latency[i].Count() > 0 {
+			snap.LatencyHists = append(snap.LatencyHists, LatencyClassSnapshot{Class: class, Hist: c.latency[i]})
+		}
 	}
 
 	for _, fig := range c.figOrder {

@@ -22,6 +22,8 @@ package telemetry
 import (
 	"sync"
 	"time"
+
+	"repro/internal/stats"
 )
 
 // State is a span's position in the job lifecycle. A span is in exactly
@@ -144,6 +146,13 @@ type Campaign struct {
 
 	workers  int // pool size, for utilization readers (0 = unknown)
 	complete bool
+
+	// latency holds the campaign-wide service-time histograms (core
+	// cycles), one per LatencyClasses entry; txn the per-class
+	// transaction-tracer rollups in first-seen order.
+	latency  [4]stats.Histogram
+	txn      map[string]*txnAgg
+	txnOrder []string
 
 	// storeStats, when set, is polled at snapshot time for the result
 	// store's counters. The provider must not call back into telemetry

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/sim"
 )
@@ -34,12 +35,30 @@ type Counter struct {
 	Value float64
 }
 
+// FlowStep is one anchor of a flow arrow: the track the request was on
+// at that instant. Chrome draws an arrow between consecutive steps.
+type FlowStep struct {
+	Track int
+	At    sim.Time
+}
+
+// Flow is one request arrow chain ("s"/"t"/"f" events sharing an id):
+// the transaction tracer merges one Flow per traced memory request, so
+// -trace timelines show where each request traveled.
+type Flow struct {
+	ID    uint64
+	Name  string
+	Steps []FlowStep
+}
+
 // Collector accumulates spans. The simulation engine is single-threaded,
 // so no locking is needed.
 type Collector struct {
 	Cap      int
 	spans    []Span
 	counters []Counter
+	flows    []Flow
+	tracks   map[int]string
 	dropped  uint64
 }
 
@@ -74,6 +93,29 @@ func (c *Collector) AddCounter(name string, at sim.Time, value float64) {
 // Counters returns the recorded counter samples (read-only view).
 func (c *Collector) Counters() []Counter { return c.counters }
 
+// AddFlow records one request arrow chain. Flows are bounded by their
+// producer (the transaction tracer's reservoirs and sampling cap), so
+// they do not count against Cap. Chains shorter than two steps draw no
+// arrow and are dropped.
+func (c *Collector) AddFlow(id uint64, name string, steps []FlowStep) {
+	if len(steps) < 2 {
+		return
+	}
+	c.flows = append(c.flows, Flow{ID: id, Name: name, Steps: steps})
+}
+
+// Flows returns the recorded flow chains (read-only view).
+func (c *Collector) Flows() []Flow { return c.flows }
+
+// SetTrackName labels a timeline row ("M" thread_name metadata), so
+// merged component tracks render as "uncore.l2" instead of a bare tid.
+func (c *Collector) SetTrackName(track int, name string) {
+	if c.tracks == nil {
+		c.tracks = map[int]string{}
+	}
+	c.tracks[track] = name
+}
+
 // chromeEvent is the trace-event wire format ("X" = complete event;
 // timestamps and durations in microseconds).
 type chromeEvent struct {
@@ -105,6 +147,27 @@ type metaEvent struct {
 	Args map[string]uint64 `json:"args"`
 }
 
+// threadNameEvent is the "M" thread_name record labeling one track.
+type threadNameEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// flowEvent is one anchor of a flow arrow ("s" start, "t" step,
+// "f" finish), tied together by Id.
+type flowEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Id   uint64  `json:"id"`
+	Ts   float64 `json:"ts"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
 // WriteChrome writes the spans, counter samples and a trailing
 // dropped-span metadata record as a Chrome trace-event JSON array.
 func (c *Collector) WriteChrome(w io.Writer) error {
@@ -121,6 +184,25 @@ func (c *Collector) WriteChrome(w io.Writer) error {
 		}
 		first = false
 		return enc.Encode(ev)
+	}
+	// Track labels first, in ascending track order (deterministic output
+	// regardless of SetTrackName call order).
+	tids := make([]int, 0, len(c.tracks))
+	for tid := range c.tracks {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		err := emit(threadNameEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  0,
+			Tid:  tid,
+			Args: map[string]string{"name": c.tracks[tid]},
+		})
+		if err != nil {
+			return err
+		}
 	}
 	for _, s := range c.spans {
 		err := emit(chromeEvent{
@@ -147,6 +229,29 @@ func (c *Collector) WriteChrome(w io.Writer) error {
 		})
 		if err != nil {
 			return err
+		}
+	}
+	for _, f := range c.flows {
+		for i, st := range f.Steps {
+			ph := "t"
+			switch i {
+			case 0:
+				ph = "s"
+			case len(f.Steps) - 1:
+				ph = "f"
+			}
+			err := emit(flowEvent{
+				Name: f.Name,
+				Cat:  "txn",
+				Ph:   ph,
+				Id:   f.ID,
+				Ts:   float64(st.At) / float64(sim.Microsecond),
+				Pid:  0,
+				Tid:  st.Track,
+			})
+			if err != nil {
+				return err
+			}
 		}
 	}
 	// Always record how much the cap discarded (zero included), so a

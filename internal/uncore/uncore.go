@@ -28,6 +28,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/sim"
+	"repro/internal/txntrace"
 )
 
 // Config sizes the shared memory system.
@@ -80,7 +81,8 @@ type Uncore struct {
 	l2Ports []*sim.Server
 	drams   []*dram.Channel
 	stats   Stats
-	lat     *ledger.Latency // nil = latency histograms disabled
+	lat     *ledger.Latency  // nil = latency histograms disabled
+	txn     *txntrace.Tracer // nil = transaction tracing disabled
 }
 
 // New builds the shared hierarchy on the given network.
@@ -122,9 +124,18 @@ func (u *Uncore) chanOf(a mem.Addr) int {
 // l2For returns the tag array holding a.
 func (u *Uncore) l2For(a mem.Addr) *cache.Cache { return u.l2s[u.bankOf(a)] }
 
-// dramAccess routes an access to its channel.
+// dramAccess routes an access to its channel, recording the channel
+// service interval as a hop on the active transaction.
 func (u *Uncore) dramAccess(at sim.Time, a mem.Addr, nbytes uint64, write bool) sim.Time {
-	return u.drams[u.chanOf(a)].Access(at, a, nbytes, write)
+	done := u.drams[u.chanOf(a)].Access(at, a, nbytes, write)
+	if u.txn != nil {
+		op := "read"
+		if write {
+			op = "write"
+		}
+		u.txn.HopTag("dram", op, at, done, fmt.Sprintf("ch%d", u.chanOf(a)))
+	}
+	return done
 }
 
 // L2 returns bank 0's tag array (the whole L2 in the default single-bank
@@ -199,6 +210,9 @@ func (u *Uncore) Stats() Stats { return u.stats }
 // recording).
 func (u *Uncore) SetLatency(l *ledger.Latency) { u.lat = l }
 
+// SetTxnTrace attaches the run's transaction tracer (nil disables it).
+func (u *Uncore) SetTxnTrace(t *txntrace.Tracer) { u.txn = t }
+
 // L2PortBusy returns the total time the L2 ports were occupied (summed
 // across banks).
 func (u *Uncore) L2PortBusy() sim.Time {
@@ -216,7 +230,15 @@ func (u *Uncore) Config() Config { return u.cfg }
 // completes.
 func (u *Uncore) l2Access(at sim.Time, a mem.Addr) sim.Time {
 	start := u.l2Ports[u.bankOf(a)].Acquire(at, u.cfg.L2Latency)
-	return start + u.cfg.L2Latency
+	done := start + u.cfg.L2Latency
+	if u.txn != nil {
+		tag := ""
+		if start > at {
+			tag = fmt.Sprintf("port_wait=%dfs", start-at)
+		}
+		u.txn.HopTag("l2", "access", at, done, tag)
+	}
+	return done
 }
 
 // evictL2 handles an L2 victim, writing it to DRAM if dirty.
@@ -232,6 +254,11 @@ func (u *Uncore) evictL2(at sim.Time, ev cache.Evicted) {
 // data arrives back at the cluster and whether the L2 hit.
 func (u *Uncore) ReadLine(at sim.Time, cluster int, a mem.Addr) (done sim.Time, l2Hit bool) {
 	u.stats.ReadRequests++
+	// The line read is its own (sub-)transaction: provisionally an L2
+	// hit, reclassified once the tag lookup misses. Nested inside a CC
+	// miss or DMA beat it attaches to that parent; standalone callers
+	// (e.g. gather-buffer flushes) make it a root.
+	x := u.txn.Begin(txntrace.L2Hit, cluster, uint64(a), at)
 	t := u.net.ToGlobal(at, cluster, ctrlMsgBytes)
 	t = u.l2Access(t, a)
 	if ln := u.l2For(a).Access(a, false); ln != nil {
@@ -243,8 +270,12 @@ func (u *Uncore) ReadLine(at sim.Time, cluster int, a mem.Addr) (done sim.Time, 
 		if u.lat != nil {
 			u.lat.L2Hit.Record(uint64(done - at))
 		}
+		x.AddTag("l2=hit")
+		u.txn.End(done)
 		return done, true
 	}
+	x.SetClass(txntrace.DRAMFill)
+	x.AddTag("l2=miss")
 	t = u.dramAccess(t, a.Line(), mem.LineSize, false)
 	_, ev := u.l2For(a).Insert(a, cache.Exclusive, t)
 	u.evictL2(t, ev)
@@ -252,6 +283,7 @@ func (u *Uncore) ReadLine(at sim.Time, cluster int, a mem.Addr) (done sim.Time, 
 	if u.lat != nil {
 		u.lat.DRAMFill.Record(uint64(done - at))
 	}
+	u.txn.End(done)
 	return done, false
 }
 

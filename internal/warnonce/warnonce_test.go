@@ -1,0 +1,55 @@
+package warnonce
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWarnerEmitsOnce(t *testing.T) {
+	var sb strings.Builder
+	w := New(&sb)
+	w.Warnf("store write failed: %v", "disk full")
+	w.Warnf("store write failed: %v", "other error")
+	got := sb.String()
+	if got != "store write failed: disk full\n" {
+		t.Fatalf("output = %q, want single newline-terminated first message", got)
+	}
+}
+
+func TestWarnerKeepsExistingNewline(t *testing.T) {
+	var sb strings.Builder
+	New(&sb).Warnf("already terminated\n")
+	if got := sb.String(); got != "already terminated\n" {
+		t.Fatalf("output = %q, want exactly one newline", got)
+	}
+}
+
+func TestWarnerConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	var sb strings.Builder
+	locked := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return sb.Write(p)
+	})
+	w := New(locked)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Warnf("boom")
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if got := sb.String(); got != "boom\n" {
+		t.Fatalf("output = %q, want one message across 32 goroutines", got)
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -35,6 +35,7 @@ import (
 	"repro/internal/stream"
 	"repro/internal/syncprim"
 	"repro/internal/trace"
+	"repro/internal/txntrace"
 	"repro/internal/workload"
 )
 
@@ -223,6 +224,28 @@ type Probe = probe.Recorder
 
 // NewProbe returns a recorder sampling every interval of simulated time.
 func NewProbe(interval Time) *Probe { return probe.NewRecorder(interval) }
+
+// TxnTrace records request-scoped causal traces of individual memory
+// transactions: each sampled miss, DMA command or prefetch gets a tree
+// of hops through the hierarchy (L1 → snoop/L2 → NoC → DRAM), plus an
+// always-on worst-K exemplar reservoir per latency class. Attach one
+// via Config.TxnTrace; like Trace and Probe it never changes a report.
+type TxnTrace = txntrace.Tracer
+
+// Txn is one recorded transaction tree; TxnHop one interval within it.
+type (
+	Txn    = txntrace.Txn
+	TxnHop = txntrace.Hop
+)
+
+// TxnClass is a transaction latency class (read_miss, write_miss,
+// l2_hit, dram_fill, dma_get, dma_put, prefetch).
+type TxnClass = txntrace.Class
+
+// NewTxnTrace returns a tracer with worst-K exemplar capture on and
+// sampled capture off; set SampleEvery/Seed before the run for
+// deterministic sampled capture.
+func NewTxnTrace() *TxnTrace { return txntrace.New() }
 
 // Run builds a machine, runs the named workload, verifies its output
 // and returns the report. A verification failure returns the report
